@@ -1,0 +1,22 @@
+"""Benchmark-suite fixtures.
+
+Each benchmark regenerates one of the paper's tables/figures and asserts its
+qualitative shape (who wins, roughly by how much).  Expensive simulations run
+once (``benchmark.pedantic(rounds=1)``); numeric kernel microbenches run with
+normal statistics.
+"""
+
+import pytest
+
+from repro.framework import seed
+
+
+@pytest.fixture(autouse=True)
+def _reseed():
+    seed(0)
+    yield
+
+
+def run_once(benchmark, fn):
+    """Benchmark an expensive simulation exactly once and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

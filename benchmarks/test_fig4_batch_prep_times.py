@@ -1,0 +1,43 @@
+"""Figure 4: sorted batch preparation time of the training dataset.
+
+Paper: "Depending on the data sample's initial sequence length and
+multi-sequence alignment size, the batch preparation time varies
+significantly" — spanning three scales, with ~10% of batches slow enough to
+block the pipeline.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.experiments import run_fig4
+from repro.datapipe.prep_time import sorted_prep_times
+from repro.datapipe.samples import SyntheticProteinDataset
+from repro.model.config import AlphaFoldConfig
+
+
+class TestFig4:
+    def test_regenerate(self, benchmark):
+        result = run_once(benchmark, run_fig4)
+        print("\n" + result.format())
+        by_pct = {r["percentile"]: r["prep_seconds"] for r in result.rows}
+
+        # Three-scale spread: p99.9 / p1 spans >= two orders of magnitude.
+        assert by_pct[99.9] / by_pct[1] > 25
+        # Heavy tail: p99 far above the median.
+        assert by_pct[99] > 5 * by_pct[50]
+        # Sorted curve is monotone by construction.
+        values = [r["prep_seconds"] for r in result.rows]
+        assert values == sorted(values)
+
+    def test_slow_batch_fraction(self, benchmark):
+        """~10% of batches are slow outliers (paper §3.1)."""
+
+        def fraction():
+            dataset = SyntheticProteinDataset(AlphaFoldConfig.full(),
+                                              size=2048)
+            times = sorted_prep_times(dataset, n=2048)
+            return float(np.mean(times > 3 * np.median(times)))
+
+        slow = run_once(benchmark, fraction)
+        print(f"\nslow-batch fraction (>3x median): {slow:.3f} (paper ~0.10)")
+        assert 0.03 < slow < 0.20

@@ -1,0 +1,74 @@
+"""Figure 5: the default PyTorch pipeline vs ScaleFold's non-blocking one.
+
+Paper scenario: batches a..f with batch b slow (7s vs 2-3s); step time 2s.
+(i) The blocking loader delivers in order and idles while b finishes.
+(ii) The non-blocking loader yields c before b; training never idles while
+any batch is ready.
+
+This bench runs BOTH the discrete-event model and the real threaded loaders
+(scaled to milliseconds).
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.core.experiments import run_fig5
+from repro.datapipe.loader import BlockingLoader, NonBlockingLoader, run_loader
+
+
+class TestFig5Simulated:
+    def test_regenerate(self, benchmark):
+        result = run_once(benchmark, run_fig5)
+        print("\n" + result.format())
+        rows = {r["pipeline"]: r for r in result.rows}
+        blocking = rows["blocking (PyTorch)"]
+        nonblocking = rows["non-blocking (ScaleFold)"]
+        assert blocking["delivery_order"] == "abcdef"
+        assert nonblocking["delivery_order"].startswith("ac")  # c before b
+        assert nonblocking["total_s"] < blocking["total_s"]
+        assert nonblocking["stall_s"] < blocking["stall_s"]
+
+
+class _SleepyDataset:
+    def __init__(self, delays):
+        self.delays = delays
+
+    def __len__(self):
+        return len(self.delays)
+
+    def __getitem__(self, i):
+        time.sleep(self.delays[i])
+        return i
+
+
+class TestFig5RealThreads:
+    # Figure 5's seconds scaled to milliseconds: b is the slow batch.
+    DELAYS = [0.02, 0.07, 0.03, 0.02, 0.02, 0.02]
+    STEP = 0.02
+
+    def test_blocking_loader_wall_time(self, benchmark):
+        def run():
+            loader = BlockingLoader(_SleepyDataset(self.DELAYS),
+                                    num_workers=2, prefetch=4)
+            return run_loader(loader, consume_seconds=self.STEP)
+
+        order, seconds = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert order == [0, 1, 2, 3, 4, 5]
+
+    def test_nonblocking_loader_beats_blocking(self, benchmark):
+        def run_both():
+            _, t_blocking = run_loader(
+                BlockingLoader(_SleepyDataset(self.DELAYS), num_workers=2,
+                               prefetch=4), consume_seconds=self.STEP)
+            order, t_nonblocking = run_loader(
+                NonBlockingLoader(_SleepyDataset(self.DELAYS), num_workers=2,
+                                  prefetch=4), consume_seconds=self.STEP)
+            return order, t_blocking, t_nonblocking
+
+        order, t_b, t_nb = benchmark.pedantic(run_both, rounds=3,
+                                              iterations=1)
+        print(f"\nreal threads: blocking {t_b * 1000:.1f}ms vs "
+              f"non-blocking {t_nb * 1000:.1f}ms; order {order}")
+        assert sorted(order) == [0, 1, 2, 3, 4, 5]
+        assert t_nb < t_b

@@ -1,0 +1,53 @@
+"""Figure 8: step-by-step optimization ladder on H100 (and A100).
+
+Paper marginal speedups on H100: GEMM batching 1.03x, dataloader ~1.04x,
+bf16 1.24x, Triton MHA 1.12x, Triton LN 1.13x, FusedAdam+SWA 1.17x,
+DAP-8+CUDAGraph+no-ckpt 1.79x, GC off 1.13x, torch.compile 1.17x —
+~6.2x total.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.core.experiments import run_fig8
+
+
+class TestFig8H100:
+    @pytest.fixture(scope="class")
+    def ladder(self):
+        return run_fig8("H100")
+
+    def test_regenerate(self, benchmark, ladder):
+        run_once(benchmark, lambda: None)  # timing anchor; ladder cached
+        print("\n" + ladder.format())
+        rows = {r["stage"]: r for r in ladder.rows}
+
+        # Every optimization except GEMM batching gives a clear win;
+        # GEMM batching is allowed to be neutral (paper: only 1.03x).
+        assert rows["+gemm_batching"]["marginal_speedup"] > 0.97
+        for stage in ("+nonblocking_dataloader", "+bf16", "+triton_mha",
+                      "+triton_layernorm", "+fused_adam_swa",
+                      "+dap8_cudagraph_nockpt", "+torch_compile"):
+            assert rows[stage]["marginal_speedup"] > 1.0, stage
+
+    def test_biggest_single_win_is_dap8_bundle(self, ladder):
+        rows = {r["stage"]: r["marginal_speedup"] for r in ladder.rows}
+        rows.pop("reference")
+        assert max(rows, key=rows.get) == "+dap8_cudagraph_nockpt"
+
+    def test_total_speedup_order_of_paper(self, ladder):
+        """Paper: ~6.2x total on H100 (we accept 4-12x)."""
+        total = ladder.rows[-1]["cumulative_speedup"]
+        assert 4.0 < total < 12.0
+
+    def test_bf16_among_largest_kernel_level_wins(self, ladder):
+        rows = {r["stage"]: r["marginal_speedup"] for r in ladder.rows}
+        assert rows["+bf16"] > 1.15  # paper: 1.24x on a memory-bound model
+
+
+class TestFig8A100:
+    def test_a100_ladder_also_improves(self, benchmark):
+        ladder = run_once(benchmark, lambda: run_fig8("A100"))
+        print("\n" + ladder.format())
+        total = ladder.rows[-1]["cumulative_speedup"]
+        assert total > 3.5

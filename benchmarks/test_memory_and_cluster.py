@@ -1,0 +1,77 @@
+"""Memory-model bench (the DAP-8/no-checkpointing claim) and the
+event-driven cluster simulation cross-check."""
+
+from conftest import run_once
+
+from repro.model.config import KernelPolicy
+from repro.perf.memory import checkpointing_required, estimate_memory
+from repro.perf.time_to_train import mlperf_time_to_train
+from repro.sim.cluster import ClusterSimConfig, run_cluster_simulation
+from repro.train.convergence import MLPERF_CHECKPOINT_SAMPLES
+
+
+class TestMemoryModel:
+    def test_dap8_unlocks_no_checkpointing(self, benchmark):
+        """§4.1: 'Applying DAP reduced the pressure of memory and allowed
+        for disabling gradient checkpointing'."""
+
+        def table():
+            rows = {}
+            for dap in (1, 2, 4, 8):
+                est = estimate_memory(
+                    policy=KernelPolicy.scalefold(checkpointing=False),
+                    dap_n=dap)
+                rows[dap] = (est.total_gib, est.fits(80.0))
+            return rows
+
+        rows = run_once(benchmark, table)
+        print("\nbf16 no-checkpointing per-GPU memory by DAP degree:")
+        for dap, (gib, fits) in rows.items():
+            print(f"  DAP-{dap}: {gib:6.1f} GiB  fits80={fits}")
+        assert not rows[1][1]     # DAP-1 cannot drop checkpointing
+        assert rows[8][1]         # DAP-8 can
+        assert rows[8][0] < rows[1][0] / 3
+
+    def test_checkpointing_required_boundary(self, benchmark):
+        result = run_once(benchmark, lambda: {
+            dap: checkpointing_required(policy=KernelPolicy.scalefold(),
+                                        dap_n=dap)
+            for dap in (1, 2, 4, 8)})
+        print(f"\ncheckpointing required by DAP degree: {result}")
+        assert result[1] is True
+        assert result[8] is False
+
+
+class TestClusterDes:
+    def test_cross_validates_closed_form(self, benchmark):
+        """The event-driven cluster run and the closed-form TTT model must
+        agree within tens of percent."""
+
+        def both():
+            closed = mlperf_time_to_train(scalefold=True, async_eval=True)
+            des = run_cluster_simulation(ClusterSimConfig(
+                step_seconds=closed.phases[0].step_seconds,
+                start_samples=MLPERF_CHECKPOINT_SAMPLES))
+            return closed.total_minutes, des.total_minutes
+
+        closed_min, des_min = run_once(benchmark, both)
+        print(f"\nMLPerf TTT: closed-form {closed_min:.2f} min vs "
+              f"event-driven {des_min:.2f} min")
+        assert 0.7 < des_min / closed_min < 1.6
+
+    def test_async_eval_tail_latency_visible(self, benchmark):
+        """The DES captures what the closed form cannot: the final eval's
+        queue latency is inside the measured TTT."""
+
+        def run():
+            res = run_cluster_simulation(ClusterSimConfig(
+                step_seconds=0.45,
+                start_samples=MLPERF_CHECKPOINT_SAMPLES))
+            last = res.evals[-1]
+            return res.total_seconds, last.completed_at, last.triggered_at
+
+        total, completed, triggered = run_once(benchmark, run)
+        print(f"\nrun ends at {total:.1f}s; final eval triggered at "
+              f"{triggered:.1f}s, completed at {completed:.1f}s")
+        assert total == completed  # TTT ends when the target eval SCORES
+        assert completed > triggered

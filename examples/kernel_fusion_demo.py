@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""ScaleFold's Triton kernels, demonstrated numerically.
+
+For each critical pattern (§3.3.1) this script runs the fragmented reference
+path and the fused path on the same inputs, showing (a) identical numerics
+and (b) the launch-count / traffic reduction the fusion buys.
+
+Run: python examples/kernel_fusion_demo.py
+"""
+
+import numpy as np
+
+from repro.framework import Tensor, no_grad, seed, trace
+from repro.framework import functional as F
+from repro.framework import ops
+from repro.kernels import (AdamParams, flash_attention_tiled,
+                           fused_adam_swa_step, fused_attention,
+                           fused_layer_norm, reference_adam_swa_step,
+                           reference_attention_np)
+
+
+def show(name, t_ref, t_fused, max_err):
+    print(f"  {name:<28} launches {len(t_ref):>4} -> {len(t_fused):<3}  "
+          f"traffic {t_ref.total_bytes() / 1e6:8.2f}MB -> "
+          f"{t_fused.total_bytes() / 1e6:7.2f}MB   max|err|={max_err:.2e}")
+
+
+def layernorm_demo():
+    seed(0)
+    x = Tensor(np.random.default_rng(0).standard_normal(
+        (512, 256)).astype(np.float32))
+    w = Tensor(np.ones(256, np.float32))
+    b = Tensor(np.zeros(256, np.float32))
+    with no_grad():
+        with trace() as t_ref:
+            ref = F.layer_norm(x, w, b)
+        with trace() as t_fused:
+            fused = fused_layer_norm(x, w, b)
+    err = np.abs(ref.numpy() - fused.numpy()).max()
+    show("LayerNorm", t_ref, t_fused, err)
+
+
+def mha_demo():
+    rng = np.random.default_rng(1)
+    q, k, v = (Tensor(rng.standard_normal((1, 8, 64, 32)).astype(np.float32))
+               for _ in range(3))
+    pair_bias = Tensor(rng.standard_normal((1, 8, 64, 64)).astype(np.float32))
+    with no_grad():
+        with trace() as t_ref:
+            ref = F.attention(q, k, v, biases=[pair_bias])
+        with trace() as t_fused:
+            fused = fused_attention(q, k, v, biases=[pair_bias])
+    err = np.abs(ref.numpy() - fused.numpy()).max()
+    show("MHA + pair bias", t_ref, t_fused, err)
+
+    # And the faithful tiled algorithm (what the Triton kernel implements).
+    tiled = flash_attention_tiled(q.numpy(), k.numpy(), v.numpy(),
+                                  bias=pair_bias.numpy(),
+                                  block_q=16, block_k=16)
+    direct = reference_attention_np(q.numpy(), k.numpy(), v.numpy(),
+                                    bias=pair_bias.numpy())
+    print(f"  {'tiled FlashAttention':<28} online-softmax over 16x16 tiles "
+          f"  max|err|={np.abs(tiled - direct).max():.2e}")
+
+
+def adam_swa_demo():
+    rng = np.random.default_rng(2)
+
+    def tensors():
+        rng_local = np.random.default_rng(3)
+        return [(rng_local.standard_normal(s).astype(np.float32),
+                 rng_local.standard_normal(s).astype(np.float32),
+                 np.zeros(s, np.float32), np.zeros(s, np.float32),
+                 np.zeros(s, np.float32))
+                for s in [(256, 256)] * 8 + [(256,)] * 24]
+
+    hp = AdamParams()
+    t1, t2 = tensors(), tensors()
+    with trace() as t_ref:
+        reference_adam_swa_step(t1, 1, hp)
+    with trace() as t_fused:
+        fused_adam_swa_step(t2, 1, hp)
+    err = max(np.abs(a[0] - b[0]).max() for a, b in zip(t1, t2))
+    show("Adam + SWA (32 tensors)", t_ref, t_fused, err)
+
+
+if __name__ == "__main__":
+    print("ScaleFold kernel fusion: reference vs fused paths")
+    print("=" * 70)
+    layernorm_demo()
+    mha_demo()
+    adam_swa_demo()
+    print()
+    print("All fused kernels are numerically identical to the reference")
+    print("implementations while launching a fraction of the kernels and")
+    print("moving a fraction of the memory traffic (compare columns above).")

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Why DAP-8 can turn off gradient checkpointing (§2.2 / §4.1).
+
+Estimates per-GPU training memory across DAP degrees, with and without
+activation checkpointing, fp32 and bf16 — reproducing the paper's claim
+that the O(n^3) Evoformer activations force checkpointing at DAP-1 while
+DAP-8 fits comfortably without it (eliminating the backward recompute).
+
+Run: python examples/memory_analysis.py
+"""
+
+from repro.model.config import KernelPolicy
+from repro.perf.memory import checkpointing_required, estimate_memory
+
+
+def main() -> None:
+    print("Per-GPU training memory for the full AlphaFold model (80GB HBM)")
+    print("=" * 72)
+    header = f"{'config':<28}{'DAP-1':>12}{'DAP-2':>10}{'DAP-4':>10}{'DAP-8':>10}"
+    print(header)
+    print("-" * len(header))
+
+    configs = [
+        ("fp32 + checkpointing", KernelPolicy.reference()),
+        ("fp32, no checkpointing",
+         KernelPolicy.reference().replace(activation_checkpointing=False)),
+        ("bf16 + checkpointing", KernelPolicy.scalefold(checkpointing=True)),
+        ("bf16, no checkpointing", KernelPolicy.scalefold(checkpointing=False)),
+    ]
+    for label, policy in configs:
+        cells = []
+        for dap in (1, 2, 4, 8):
+            est = estimate_memory(policy=policy, dap_n=dap)
+            marker = "" if est.fits(80.0) else "!"
+            cells.append(f"{est.total_gib:8.1f}{marker:<2}")
+        print(f"{label:<28}" + "".join(f"{c:>10}" for c in cells))
+    print("  ('!' = does not fit in 80 GB)")
+
+    print()
+    print("Breakdown of the bf16 no-checkpointing case at DAP-1:")
+    est = estimate_memory(policy=KernelPolicy.scalefold(checkpointing=False),
+                          dap_n=1)
+    for key, value in est.as_dict().items():
+        print(f"  {key:<22}{value:8.2f}")
+
+    print()
+    print("Checkpointing required?")
+    for dap in (1, 2, 4, 8):
+        needed = checkpointing_required(
+            policy=KernelPolicy.scalefold(), dap_n=dap)
+        print(f"  DAP-{dap}: {'yes — must recompute in backward' if needed else 'no — recompute eliminated'}")
+    print()
+    print("The paper disables checkpointing at DAP-8 (part of the 1.79x")
+    print("step-time gain in Figure 8); the 97M parameters are a rounding")
+    print("error next to the O(S*N^2) and O(N^3) Evoformer activations.")
+
+
+if __name__ == "__main__":
+    main()

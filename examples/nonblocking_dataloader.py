@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""The non-blocking data pipeline (§3.2 / Figure 5), run for real.
+
+Spawns worker threads over a dataset with a heavy-tailed per-sample cost and
+measures wall-clock time for the PyTorch-style blocking loader vs
+ScaleFold's priority-queue non-blocking loader — then reruns the paper's
+exact Figure 5 scenario in the discrete-event model.
+
+Run: python examples/nonblocking_dataloader.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.datapipe.loader import BlockingLoader, NonBlockingLoader, run_loader
+from repro.datapipe.sim_pipeline import simulate_pipeline
+
+
+class HeavyTailDataset:
+    """Per-sample cost drawn from a lognormal (like Figure 4, scaled down)."""
+
+    def __init__(self, n, seed=0, scale=0.01):
+        rng = np.random.default_rng(seed)
+        self.delays = rng.lognormal(0.0, 1.0, n) * scale
+
+    def __len__(self):
+        return len(self.delays)
+
+    def __getitem__(self, i):
+        time.sleep(self.delays[i])
+        return i
+
+
+def real_threads_demo():
+    print("Real threaded loaders over 48 samples with lognormal prep cost")
+    print("=" * 70)
+    dataset = HeavyTailDataset(48, seed=7)
+    step = 0.01  # simulated training step
+    for name, cls in (("blocking (PyTorch-style)", BlockingLoader),
+                      ("non-blocking (ScaleFold)", NonBlockingLoader)):
+        order, wall = run_loader(cls(dataset, num_workers=4, prefetch=8),
+                                 consume_seconds=step)
+        displaced = sum(1 for pos, idx in enumerate(order) if pos != idx)
+        print(f"  {name:<26} wall {wall * 1000:7.1f}ms   "
+              f"samples out of order: {displaced}")
+    print("  (every sample is still delivered exactly once)")
+
+
+def paper_figure5_demo():
+    print()
+    print("Figure 5's exact scenario in the discrete-event model")
+    print("=" * 70)
+    prep = [2.0, 7.0, 3.0, 2.0, 2.0, 2.0]  # batch b (index 1) is slow
+    for blocking in (True, False):
+        res = simulate_pipeline(prep, n_workers=2, step_time_s=2.0,
+                                blocking=blocking, warmup_s=2.0)
+        letters = "".join(chr(ord("a") + i) for i in res.delivery_order)
+        label = "blocking   " if blocking else "non-blocking"
+        print(f"  {label}: delivery '{letters}', total {res.total_time_s:.0f}s,"
+              f" stalls {res.total_stall_s:.0f}s  "
+              f"(per-step: {[f'{s:.0f}' for s in res.stalls]})")
+    print()
+    print("  Exactly the paper's Figure 5: the non-blocking pipeline yields")
+    print("  batch c before the slow batch b, eliminating the idle time.")
+
+
+def scale_sensitivity_demo():
+    print()
+    print("Why this matters more as steps get faster (§4.1)")
+    print("=" * 70)
+    rng = np.random.default_rng(1)
+    prep = rng.lognormal(-0.7, 1.5, 400)
+    for step_s in (6.0, 1.8, 0.65):  # reference -> DAP-1 -> DAP-8 step times
+        b = simulate_pipeline(prep, 4, step_s, blocking=True,
+                              queue_capacity=6)
+        nb = simulate_pipeline(prep, 4, step_s, blocking=False,
+                               queue_capacity=6)
+        gain = b.total_time_s / nb.total_time_s
+        print(f"  step {step_s:4.2f}s: blocking stalls "
+              f"{b.total_stall_s:7.2f}s vs non-blocking "
+              f"{nb.total_stall_s:6.2f}s -> {gain:.3f}x end-to-end")
+    print("  The faster the training step, the more the blocking pipeline")
+    print("  costs — the paper's 'importance of dataload optimization")
+    print("  becomes increasingly high'.")
+
+
+if __name__ == "__main__":
+    real_threads_demo()
+    paper_figure5_demo()
+    scale_sensitivity_demo()

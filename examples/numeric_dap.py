@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Dynamic Axial Parallelism, numerically: shard an Evoformer block across
+simulated ranks and verify bit-close equivalence with the unsharded block.
+
+Shows where each collective is required (the communication DAP adds in both
+forward and backward, §2.3/§3.1) and the comm volume per block.
+
+Run: python examples/numeric_dap.py
+"""
+
+import numpy as np
+
+from repro.distributed.numeric_dap import DapEvoformerBlock
+from repro.framework import KernelCategory, no_grad, randn, seed, trace
+from repro.model.config import AlphaFoldConfig
+from repro.model.evoformer import EvoformerBlock
+
+
+def main() -> None:
+    seed(3)
+    cfg = AlphaFoldConfig.tiny()
+    block = EvoformerBlock(cfg)
+    block.eval()
+
+    m = randn((4, 8, cfg.c_m))   # (sequences, residues, c_m)
+    z = randn((8, 8, cfg.c_z))   # (residues, residues, c_z)
+
+    with no_grad():
+        m_ref, z_ref = block(m, z)
+
+    print("DAP-sharded Evoformer block vs unsharded reference")
+    print("=" * 70)
+    for n in (2, 4):
+        with no_grad():
+            with trace() as t:
+                m_dap, z_dap = DapEvoformerBlock(block, n).forward_gathered(m, z)
+        comm = [r for r in t.records if r.category is KernelCategory.COMM]
+        by_kind = {}
+        vol = 0.0
+        for r in comm:
+            kind = r.tags["collective"]
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+            vol += r.bytes
+        err_m = np.abs(m_ref.numpy() - m_dap.numpy()).max()
+        err_z = np.abs(z_ref.numpy() - z_dap.numpy()).max()
+        print(f"  DAP-{n}: max|err| msa={err_m:.2e} pair={err_z:.2e}   "
+              f"collectives={by_kind} ({vol / 1024:.1f} KiB)")
+    print()
+    print("  Collectives per block (forward):")
+    print("    - all_gather  : pair tensor for the row-attention bias and")
+    print("                    the triangle updates")
+    print("    - all_to_all  : MSA row<->column axis switch around the")
+    print("                    column attention")
+    print("    - all_reduce  : outer-product-mean partial sums")
+    print("  These are the communications whose cost and imbalance limit")
+    print("  DAP's scaling efficiency (paper Figure 3).")
+
+
+if __name__ == "__main__":
+    main()

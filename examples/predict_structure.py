@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Train briefly, predict a structure, and write a PDB file.
+
+The downstream artifact of the whole system: run the (tiny) AlphaFold on a
+synthetic protein, extract CA coordinates and pLDDT confidence, score
+against the ground truth with real lDDT-CA, and serialize a PDB you can
+open in PyMOL/ChimeraX.
+
+Run: python examples/predict_structure.py [output.pdb]
+"""
+
+import sys
+
+from repro.datapipe.samples import SyntheticProteinDataset, make_batch
+from repro.model.config import AlphaFoldConfig
+from repro.model.predict import predict, to_pdb, write_pdb
+from repro.train.optimizer import OptimizerConfig
+from repro.train.trainer import Trainer
+
+
+def main() -> None:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "prediction.pdb"
+    cfg = AlphaFoldConfig.tiny()
+    print("Training a tiny AlphaFold for a few steps on synthetic data...")
+    trainer = Trainer(cfg, OptimizerConfig(max_grad_norm=1.0), rng_seed=0)
+    dataset = SyntheticProteinDataset(cfg, size=4)
+    result = trainer.fit(dataset, steps=6)
+    print(f"  loss: {result.losses[0]:.4f} -> {result.losses[-1]:.4f}")
+
+    print("\nPredicting a held-out synthetic protein...")
+    batch = make_batch(dataset[3])
+    prediction = predict(trainer.model, batch, n_recycle=1)
+    print(f"  residues:       {prediction.n_res}")
+    print(f"  mean pLDDT:     {prediction.mean_plddt:.1f} "
+          "(the model's own confidence)")
+    print(f"  true lDDT-CA:   {prediction.lddt_vs_true:.3f} "
+          "(vs ground truth)")
+
+    write_pdb(prediction, out_path)
+    print(f"\nWrote {out_path}:")
+    for line in to_pdb(prediction).splitlines()[:5]:
+        print("  " + line)
+    print("  ...")
+    print("\n(A 16-channel, 2-block model trained for 6 steps will not fold")
+    print(" proteins — the point is that the full pipeline, from features")
+    print(" to PDB output with confidence, runs end to end numerically.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+#!/usr/bin/env python
+"""DAP scaling analysis: Figures 3, 7, and 8 from the command line.
+
+Run: python examples/scaling_analysis.py
+"""
+
+from repro.core.experiments import (run_dap_baseline, run_fig3, run_fig7,
+                                    run_fig8)
+
+
+def main() -> None:
+    print("Why naive DAP stops scaling (§3.1)")
+    print(run_dap_baseline().format())
+    print()
+    print("Barrier decomposition (Figure 3)")
+    print(run_fig3().format())
+    print()
+    print("ScaleFold step times across DAP degrees (Figure 7)")
+    print(run_fig7().format())
+    print()
+    print("The optimization ladder (Figure 8)")
+    print(run_fig8().format())
+
+
+if __name__ == "__main__":
+    main()

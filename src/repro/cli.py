@@ -1,0 +1,54 @@
+"""Command-line entry point: ``python -m repro <experiment-id>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.experiments import EXPERIMENTS, run_experiment
+from .core.optimizations import format_table
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ScaleFold reproduction: regenerate the paper's tables "
+                    "and figures from the simulation.")
+    parser.add_argument("experiment", nargs="?",
+                        help=f"one of: {', '.join(sorted(EXPERIMENTS))}, "
+                             "'all', 'report', or 'optimizations'")
+    parser.add_argument("--output", "-o", default=None,
+                        help="write 'report' output to a file")
+    args = parser.parse_args(argv)
+
+    if args.experiment in (None, "list"):
+        print("available experiments:")
+        for key in sorted(EXPERIMENTS):
+            print(f"  {key}")
+        print("  all")
+        print("  report")
+        print("  optimizations")
+        return 0
+    if args.experiment == "optimizations":
+        print(format_table())
+        return 0
+    if args.experiment == "report":
+        from .core.report import generate_report, write_report
+
+        if args.output:
+            write_report(args.output)
+            print(f"report written to {args.output}")
+        else:
+            print(generate_report())
+        return 0
+    ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for experiment_id in ids:
+        result = run_experiment(experiment_id)
+        print(result.format())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

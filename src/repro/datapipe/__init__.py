@@ -1,0 +1,17 @@
+"""Data pipeline: synthetic samples, prep-time model, real + simulated loaders."""
+
+from .loader import BlockingLoader, NonBlockingLoader, run_loader
+from .prep_time import (PrepTimeModel, prep_time_series, sorted_prep_times,
+                        tail_statistics)
+from .samples import (ProteinSample, SyntheticProteinDataset, make_batch,
+                      meta_batch, synthetic_ca_trace)
+from .sim_pipeline import (PipelineResult, StallModel, simulate_pipeline,
+                           stall_model)
+
+__all__ = [
+    "BlockingLoader", "NonBlockingLoader", "run_loader",
+    "PrepTimeModel", "prep_time_series", "sorted_prep_times", "tail_statistics",
+    "ProteinSample", "SyntheticProteinDataset", "make_batch", "meta_batch",
+    "synthetic_ca_trace",
+    "PipelineResult", "StallModel", "simulate_pipeline", "stall_model",
+]

@@ -1,0 +1,89 @@
+"""Distributed sampler: rank-sharded, epoch-shuffled index streams.
+
+In data-parallel training every DP rank (or DAP group) must see a disjoint
+slice of each epoch's shuffled permutation, deterministically per (seed,
+epoch) so all ranks agree without communication — the same contract as
+``torch.utils.data.DistributedSampler``.  The ScaleFold non-blocking loader
+consumes these indices; best-effort reordering happens downstream of the
+sampler, so the *assignment* of samples to ranks stays deterministic even
+when delivery order varies (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+
+@dataclass
+class DistributedSampler:
+    """Deterministic per-rank index stream.
+
+    Args:
+        dataset_size: number of samples per epoch.
+        rank: this worker's data-parallel rank.
+        world_size: number of data-parallel consumers.
+        shuffle: permute each epoch (seeded by (seed, epoch)).
+        drop_last: drop the ragged tail so every rank gets equal counts;
+            otherwise pad by wrapping around (torch semantics).
+        seed: base seed shared by all ranks.
+    """
+
+    dataset_size: int
+    rank: int = 0
+    world_size: int = 1
+    shuffle: bool = True
+    drop_last: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.rank < self.world_size:
+            raise ValueError(f"rank {self.rank} outside world of "
+                             f"{self.world_size}")
+        if self.dataset_size <= 0:
+            raise ValueError("dataset_size must be positive")
+
+    @property
+    def samples_per_rank(self) -> int:
+        if self.drop_last:
+            return self.dataset_size // self.world_size
+        return -(-self.dataset_size // self.world_size)  # ceil
+
+    def epoch_indices(self, epoch: int) -> List[int]:
+        """This rank's indices for one epoch."""
+        if self.shuffle:
+            rng = np.random.default_rng((self.seed, epoch))
+            order = rng.permutation(self.dataset_size)
+        else:
+            order = np.arange(self.dataset_size)
+        per_rank = self.samples_per_rank
+        total = per_rank * self.world_size
+        if self.drop_last:
+            order = order[:total]
+        elif total > self.dataset_size:
+            order = np.concatenate([order, order[:total - self.dataset_size]])
+        return [int(i) for i in order[self.rank::self.world_size]]
+
+    def iter_epochs(self, n_epochs: int) -> Iterator[int]:
+        """Chain several epochs into one index stream."""
+        for epoch in range(n_epochs):
+            yield from self.epoch_indices(epoch)
+
+
+def coverage_check(samplers: List[DistributedSampler], epoch: int) -> bool:
+    """True when the ranks' epoch shards exactly partition the dataset
+    (with drop_last) or cover it with bounded duplication (without)."""
+    if not samplers:
+        return False
+    world = samplers[0].world_size
+    if len(samplers) != world:
+        return False
+    seen: List[int] = []
+    for sampler in samplers:
+        seen.extend(sampler.epoch_indices(epoch))
+    size = samplers[0].dataset_size
+    if samplers[0].drop_last:
+        return len(seen) == len(set(seen)) and set(seen) <= set(range(size))
+    return set(seen) == set(range(size))

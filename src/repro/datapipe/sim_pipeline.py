@@ -1,0 +1,134 @@
+"""Discrete-event models of the blocking vs non-blocking data pipeline.
+
+Figure 5 of the paper: the default PyTorch DataLoader delivers batches in
+sampler order, so one slow batch ("b") blocks training even though batch "c"
+is already prepared.  The ScaleFold pipeline yields whichever batch is ready
+(priority queue keyed by index for best-effort ordering), so training never
+idles while *any* batch is available.
+
+:func:`simulate_pipeline` runs W prep workers feeding one trainer and
+reports per-step stall statistics; the scaling analysis feeds these into the
+straggler model (a stalled rank drags its whole DAP/DP group).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..sim.des import FifoQueue, Simulator
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of one pipeline simulation."""
+
+    total_time_s: float
+    step_starts: List[float]
+    stalls: List[float]          # per-step wait for data
+    delivery_order: List[int]    # sample index per step
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.stalls)
+
+    @property
+    def total_stall_s(self) -> float:
+        return float(sum(self.stalls))
+
+    @property
+    def stall_probability(self) -> float:
+        eps = 1e-9
+        return float(np.mean([s > eps for s in self.stalls])) if self.stalls else 0.0
+
+    @property
+    def mean_stall_when_stalled(self) -> float:
+        stalls = [s for s in self.stalls if s > 1e-9]
+        return float(np.mean(stalls)) if stalls else 0.0
+
+
+def simulate_pipeline(prep_times: Sequence[float], n_workers: int,
+                      step_time_s: float, blocking: bool,
+                      queue_capacity: int = 4,
+                      warmup_s: float = 0.0) -> PipelineResult:
+    """Simulate W workers preparing batches for one training process.
+
+    Args:
+        prep_times: per-sample preparation seconds, in sampler order.
+        blocking: PyTorch-style in-order delivery vs ScaleFold's
+            ready-first (priority-queue) delivery.
+        queue_capacity: finished batches that may wait in the queue before
+            workers pause (prefetch backpressure).
+        warmup_s: head start the workers get before step 0 (prefetching
+            during initialization).
+    """
+    sim = Simulator()
+    queue = FifoQueue(sim, priority=not blocking, in_order=blocking)
+    n = len(prep_times)
+    state = {"next_sample": 0, "in_queue": 0, "blocked_workers": []}
+    result = PipelineResult(0.0, [], [], [])
+
+    def worker_start() -> None:
+        idx = state["next_sample"]
+        if idx >= n:
+            return
+        state["next_sample"] += 1
+        sim.schedule(float(prep_times[idx]), lambda i=idx: worker_done(i))
+
+    def worker_done(idx: int) -> None:
+        queue.put((idx,))
+        state["in_queue"] += 1
+        if state["in_queue"] < queue_capacity:
+            worker_start()
+        else:
+            state["blocked_workers"].append(True)
+
+    def trainer_request(ready_at: float) -> None:
+        def on_batch(item) -> None:
+            idx = item[0]
+            state["in_queue"] -= 1
+            while state["blocked_workers"] and state["in_queue"] < queue_capacity:
+                state["blocked_workers"].pop()
+                worker_start()
+            start = sim.now
+            result.step_starts.append(start)
+            result.stalls.append(max(start - ready_at, 0.0))
+            result.delivery_order.append(idx)
+            if len(result.delivery_order) < n:
+                sim.schedule(step_time_s,
+                             lambda: trainer_request(sim.now))
+            else:
+                result.total_time_s = sim.now + step_time_s
+
+        queue.get(on_batch)
+
+    for _ in range(min(n_workers, n)):
+        worker_start()
+    sim.schedule_at(warmup_s, lambda: trainer_request(warmup_s))
+    sim.run()
+    if result.total_time_s == 0.0 and result.step_starts:
+        result.total_time_s = result.step_starts[-1] + step_time_s
+    return result
+
+
+@dataclass
+class StallModel:
+    """Condensed stall statistics for the straggler/scaling models."""
+
+    probability: float
+    mean_stall_s: float
+
+    @classmethod
+    def from_result(cls, result: PipelineResult) -> "StallModel":
+        return cls(result.stall_probability, result.mean_stall_when_stalled)
+
+
+def stall_model(prep_times: Sequence[float], n_workers: int,
+                step_time_s: float, blocking: bool,
+                queue_capacity: int = 4) -> StallModel:
+    """Simulate and condense to (stall probability, mean stall)."""
+    res = simulate_pipeline(prep_times, n_workers, step_time_s, blocking,
+                            queue_capacity=queue_capacity)
+    return StallModel.from_result(res)

@@ -1,0 +1,104 @@
+"""NCCL-style collective cost models (latency-bandwidth / ring algorithms).
+
+Times follow the standard alpha-beta model with ring algorithms:
+
+* all-reduce:   2 (P-1)/P * B / bw + 2 (P-1) * alpha
+* all-gather:     (P-1)/P * B / bw +   (P-1) * alpha
+* reduce-scatter: (P-1)/P * B / bw +   (P-1) * alpha
+* all-to-all:     (P-1)/P * B / bw +   (P-1) * alpha
+
+where B is the *full* payload (concatenated across ranks), bw the per-GPU
+effective link bandwidth, and alpha the per-step latency.  Low precision
+halves B — the paper's note that DAP's communication overhead "can be
+reduced by low precision".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .topology import ClusterTopology
+
+
+class Collective(enum.Enum):
+    ALL_REDUCE = "all_reduce"
+    ALL_GATHER = "all_gather"
+    REDUCE_SCATTER = "reduce_scatter"
+    ALL_TO_ALL = "all_to_all"
+    BROADCAST = "broadcast"
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One collective call: total payload bytes over a group."""
+
+    collective: Collective
+    payload_bytes: float
+    group_size: int
+
+    def scaled(self, factor: float) -> "CommEvent":
+        return CommEvent(self.collective, self.payload_bytes * factor,
+                         self.group_size)
+
+
+#: Per-peer message size at which link efficiency reaches half its peak.
+#: Small messages (DAP-8 all-to-all moves payload/p^2 per peer) cannot
+#: saturate NVLink — the main reason DAP's scaling efficiency degrades
+#: ("DAP requires additional communication ... its scaling efficiency is
+#: suboptimal", §2.3).
+CHUNK_HALF_SAT_BYTES = 1.2e6
+
+
+def _link_efficiency(per_peer_bytes: float) -> float:
+    return per_peer_bytes / (per_peer_bytes + CHUNK_HALF_SAT_BYTES)
+
+
+def collective_time(event: CommEvent, topo: ClusterTopology) -> float:
+    """Seconds for one collective under the alpha-beta ring model with
+    message-size-dependent link efficiency."""
+    p = event.group_size
+    if p <= 1:
+        return 0.0
+    per_peer = event.payload_bytes / (p * p) \
+        if event.collective is Collective.ALL_TO_ALL \
+        else event.payload_bytes / p
+    bw = topo.group_bandwidth(p) * max(_link_efficiency(per_peer), 0.12)
+    alpha = topo.group_latency(p)
+    chunk = (p - 1) / p * event.payload_bytes / bw
+    if event.collective is Collective.ALL_REDUCE:
+        return 2.0 * chunk + 2.0 * (p - 1) * alpha
+    if event.collective in (Collective.ALL_GATHER, Collective.REDUCE_SCATTER,
+                            Collective.ALL_TO_ALL):
+        return chunk + (p - 1) * alpha
+    if event.collective is Collective.BROADCAST:
+        return event.payload_bytes / bw + (p - 1) * alpha
+    raise ValueError(f"unhandled collective {event.collective}")
+
+
+def hierarchical_all_reduce_time(payload_bytes: float, topo: ClusterTopology,
+                                 group_size: int) -> float:
+    """Two-level all-reduce: reduce-scatter/all-gather intra-node, ring
+    all-reduce across nodes — what NCCL effectively does at scale."""
+    p = group_size
+    if p <= 1:
+        return 0.0
+    per_node = min(topo.gpus_per_node, p)
+    n_nodes = max(1, p // per_node)
+    intra = 0.0
+    if per_node > 1:
+        # Reduce-scatter in, all-gather out: two intra-node passes.
+        intra = 2.0 * collective_time(
+            CommEvent(Collective.REDUCE_SCATTER, payload_bytes, per_node), topo)
+    inter = 0.0
+    if n_nodes > 1:
+        # Cross-node all-reduce over each rank's 1/per_node shard: ring
+        # bandwidth term, tree (logarithmic) latency term — what NCCL
+        # switches to at scale.
+        import math
+
+        bw = topo.ib_bw_gbps * 1e9
+        alpha = topo.inter_latency_s
+        inter = (2.0 * (n_nodes - 1) / n_nodes * (payload_bytes / per_node) / bw
+                 + 2.0 * math.ceil(math.log2(n_nodes)) * alpha)
+    return intra + inter

@@ -1,0 +1,131 @@
+"""Dynamic Axial Parallelism (FastFold), applied to measured kernel traces.
+
+DAP-n shards a single sample's Evoformer activations along a non-reductive
+axis across n GPUs: MSA ops shard the sequence axis, pair ops shard one
+residue axis.  Switching between row-wise and column-wise operators requires
+an all-to-all; the outer-product-mean and the pair-bias broadcast require
+all-gathers (FastFold §3).  The Structure Module and data pipeline cannot be
+sharded ("serial modules", §3.1 of the ScaleFold paper).
+
+:func:`partition_step` takes a single-rank :class:`StepTrace` and produces
+the per-rank workload: every kernel inside a shardable scope has its
+FLOPs/bytes divided by n (its *shape* also shrinks, so the roofline model
+sees the smaller, less efficient workload — the "poor kernel scalability"
+barrier), plus the list of collectives the rank must issue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from ..framework.tracer import KernelCategory, KernelRecord
+from ..model.config import AlphaFoldConfig
+from .collectives import Collective, CommEvent
+
+if TYPE_CHECKING:  # avoid a circular import at runtime (perf -> datapipe
+    # -> sim -> distributed -> perf); StepTrace is only a type here.
+    from ..perf.trace_builder import StepTrace
+
+#: Scope prefixes whose kernels DAP shards (the MSA/pair trunk).
+SHARDABLE_SCOPES = (
+    "alphafold/evoformer",
+    "alphafold/extra_msa_stack",
+    "alphafold/template_stack",
+)
+
+#: Scopes that stay serial (per §3.1: structure module; plus the small
+#: embedders and loss, which OpenFold also leaves replicated).
+SERIAL_HINT = ("alphafold/structure_module",)
+
+
+def _shard_shape(shape: Tuple[int, ...], n: int) -> Tuple[int, ...]:
+    """Shrink the leading axis by n (how DAP splits the work)."""
+    if not shape:
+        return shape
+    first = max(shape[0] // n, 1)
+    return (first,) + tuple(shape[1:])
+
+
+def is_shardable(record: KernelRecord) -> bool:
+    return record.scope.startswith(SHARDABLE_SCOPES)
+
+
+@dataclass
+class DapStepTrace:
+    """One rank's workload under DAP-n."""
+
+    records: List[KernelRecord]
+    comm_events: List[CommEvent]
+    dap_n: int
+    parallel_seconds_hint: float = 0.0
+
+    @property
+    def n_kernels(self) -> int:
+        return len(self.records)
+
+
+def dap_comm_events(cfg: AlphaFoldConfig, n: int, itemsize: int,
+                    checkpointing: bool) -> List[CommEvent]:
+    """The collectives one training step issues under DAP-n.
+
+    Per Evoformer block and direction (fwd/bwd): two all-to-alls for the
+    row<->column axis switches of the MSA track, one all-to-all for the pair
+    track's triangle-op axis switch, and one all-gather feeding the
+    outer-product-mean / pair bias.  Activation checkpointing repeats the
+    forward collectives during recompute.
+    """
+    if n <= 1:
+        return []
+    events: List[CommEvent] = []
+    msa_bytes = cfg.n_seq * cfg.n_res * cfg.c_m * itemsize
+    extra_bytes = cfg.n_extra_seq * cfg.n_res * cfg.c_e * itemsize
+    pair_bytes = cfg.n_res * cfg.n_res * cfg.c_z * itemsize
+
+    def block_events(track_bytes: float, pair: float) -> List[CommEvent]:
+        return [
+            # MSA track: row<->column axis switches around the column
+            # attention, plus the transition re-shard.
+            CommEvent(Collective.ALL_TO_ALL, track_bytes, n),
+            CommEvent(Collective.ALL_TO_ALL, track_bytes, n),
+            # Pair track: triangle-op axis switches (out/in, start/end).
+            CommEvent(Collective.ALL_TO_ALL, pair, n),
+            CommEvent(Collective.ALL_TO_ALL, pair, n),
+            # Pair-bias / outer-product gathers.
+            CommEvent(Collective.ALL_GATHER, pair, n),
+            CommEvent(Collective.ALL_GATHER, pair, n),
+        ]
+
+    passes = 3 if checkpointing else 2  # fwd + bwd (+ recompute fwd)
+    for _ in range(cfg.evoformer_blocks * passes):
+        events.extend(block_events(msa_bytes, pair_bytes))
+    for _ in range(cfg.extra_msa_blocks * passes):
+        events.extend(block_events(extra_bytes, pair_bytes))
+    for _ in range(cfg.template_blocks * passes):
+        # Template stack: pair-track only.
+        events.append(CommEvent(Collective.ALL_TO_ALL, pair_bytes, n))
+        events.append(CommEvent(Collective.ALL_GATHER, pair_bytes, n))
+    return events
+
+
+def partition_step(step: "StepTrace", n: int,
+                   cfg: Optional[AlphaFoldConfig] = None) -> DapStepTrace:
+    """Shard a single-rank step trace across a DAP group of size n."""
+    cfg = cfg or AlphaFoldConfig.full(step.policy)
+    if n < 1:
+        raise ValueError("DAP degree must be >= 1")
+    if n == 1:
+        return DapStepTrace(records=list(step.trace.records), comm_events=[],
+                            dap_n=1)
+    records: List[KernelRecord] = []
+    for r in step.trace.records:
+        if is_shardable(r):
+            shard = r.scaled(1.0 / n)
+            shard.shape = _shard_shape(r.shape, n)
+            records.append(shard)
+        else:
+            records.append(r)
+    itemsize = 2 if step.policy.dtype.name in ("bf16", "fp16") else 4
+    comm = dap_comm_events(cfg, n, itemsize,
+                           step.policy.activation_checkpointing)
+    return DapStepTrace(records=records, comm_events=comm, dap_n=n)

@@ -1,0 +1,57 @@
+"""Data-parallel gradient synchronization with bucketing and overlap.
+
+PyTorch DDP packs gradients into ~25 MB buckets and all-reduces each bucket
+as soon as its gradients are ready, overlapping communication with the rest
+of the backward pass.  ScaleFold reuses exactly these buckets for gradient
+clipping (§3.3.1) so the clip's norm computation rides along for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .collectives import hierarchical_all_reduce_time
+from .topology import ClusterTopology
+
+
+@dataclass
+class DdpConfig:
+    bucket_bytes: int = 25 * 2**20
+    #: Fraction of backward compute that bucket all-reduces can hide under
+    #: (the tail bucket plus scheduling slack is never hidden).
+    overlap_efficiency: float = 0.85
+
+
+@dataclass
+class DdpCost:
+    total_comm_s: float       # raw all-reduce time for all buckets
+    exposed_comm_s: float     # what remains on the critical path
+    n_buckets: int
+    hidden_clip_s: float      # clip work hidden under communication
+
+
+def gradient_buckets(param_bytes: float, bucket_bytes: int) -> int:
+    return max(1, int((param_bytes + bucket_bytes - 1) // bucket_bytes))
+
+
+def ddp_cost(param_bytes: float, dp_degree: int, topo: ClusterTopology,
+             backward_seconds: float, config: DdpConfig = DdpConfig(),
+             clip_seconds: float = 0.0) -> DdpCost:
+    """Cost of gradient all-reduce across ``dp_degree`` replicas.
+
+    Args:
+        param_bytes: gradient payload per replica (94M params x itemsize).
+        backward_seconds: backward compute available to hide comm under.
+        clip_seconds: bucketed-clip compute that wants to hide under comm;
+            it fits as long as it is shorter than the comm itself.
+    """
+    if dp_degree <= 1:
+        return DdpCost(0.0, 0.0, 0, 0.0)
+    n_buckets = gradient_buckets(param_bytes, config.bucket_bytes)
+    total = hierarchical_all_reduce_time(param_bytes, topo, dp_degree)
+    hidden_budget = backward_seconds * config.overlap_efficiency
+    exposed = max(total - hidden_budget, total / max(n_buckets, 1))
+    hidden_clip = min(clip_seconds, total)
+    return DdpCost(total_comm_s=total, exposed_comm_s=exposed,
+                   n_buckets=n_buckets, hidden_clip_s=hidden_clip)

@@ -1,0 +1,60 @@
+"""Cluster topology: nodes of 8 GPUs, NVLink inside, InfiniBand between.
+
+Mirrors the paper's setup: "8 MPI tasks are bound to a node", Eos = H100
+nodes with NVLink/NVSwitch intra-node and Quantum-2 InfiniBand inter-node.
+DAP groups (2/4/8 ranks) always fit within a node; data-parallel gradient
+all-reduce spans nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.gpu import GpuSpec
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """A homogeneous GPU cluster."""
+
+    gpu: GpuSpec
+    n_gpus: int
+    gpus_per_node: int = 8
+    #: Per-GPU effective intra-node (NVLink) collective bandwidth (GB/s).
+    #: Defaults pulled from the GPU spec when 0.
+    nvlink_bw_gbps: float = 0.0
+    #: Per-GPU effective inter-node (IB) collective bandwidth (GB/s).
+    ib_bw_gbps: float = 0.0
+    #: Collective base latencies (seconds per algorithm step).
+    intra_latency_s: float = 8e-6
+    inter_latency_s: float = 20e-6
+
+    def __post_init__(self) -> None:
+        if self.n_gpus < 1:
+            raise ValueError("cluster needs at least one GPU")
+        if self.nvlink_bw_gbps == 0.0:
+            object.__setattr__(self, "nvlink_bw_gbps", self.gpu.nvlink_bw_gbps)
+        if self.ib_bw_gbps == 0.0:
+            object.__setattr__(self, "ib_bw_gbps", self.gpu.ib_bw_gbps)
+
+    @property
+    def n_nodes(self) -> int:
+        return (self.n_gpus + self.gpus_per_node - 1) // self.gpus_per_node
+
+    def group_is_intra_node(self, group_size: int) -> bool:
+        return group_size <= self.gpus_per_node
+
+    def group_bandwidth(self, group_size: int) -> float:
+        """Per-GPU effective bandwidth (bytes/s) for a collective group."""
+        gbps = (self.nvlink_bw_gbps if self.group_is_intra_node(group_size)
+                else self.ib_bw_gbps)
+        return gbps * 1e9
+
+    def group_latency(self, group_size: int) -> float:
+        return (self.intra_latency_s if self.group_is_intra_node(group_size)
+                else self.inter_latency_s)
+
+
+def eos_cluster(gpu: GpuSpec, n_gpus: int) -> ClusterTopology:
+    """The paper's Eos-like cluster of H100 nodes."""
+    return ClusterTopology(gpu=gpu, n_gpus=n_gpus)

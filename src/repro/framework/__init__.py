@@ -1,0 +1,39 @@
+"""Mini deep-learning framework: numpy numerics + kernel-launch tracing.
+
+Public surface::
+
+    from repro.framework import (
+        Tensor, randn, zeros, ones,          # tensors
+        ops, functional,                     # kernels
+        Module, Parameter, ModuleList,       # modules
+        trace, Trace, KernelCategory,        # profiling
+        no_grad, backward, checkpoint,       # autograd
+        float32, bfloat16,                   # dtypes
+    )
+"""
+
+from . import dtypes, functional, ops
+from .autograd import backward, enable_grad, grad_enabled, no_grad, zero_grads
+from .checkpoint import checkpoint, checkpoint_sequential
+from .dtypes import (DType, as_dtype, bfloat16, bool_, float16, float32,
+                     float64, int32, int64, promote, quantize, tfloat32)
+from .module import (Module, ModuleList, Parameter, Sequential, building_meta,
+                     make_parameter, meta_build)
+from .tensor import (Tensor, arange, as_tensor, full, get_rng, ones, rand,
+                     randn, seed, tensor_like, zeros)
+from .tracer import (CategorySummary, KernelCategory, KernelRecord, Trace,
+                     current_trace, emit, phase, scope, trace)
+
+__all__ = [
+    "DType", "as_dtype", "bfloat16", "bool_", "float16", "float32", "float64",
+    "int32", "int64", "promote", "quantize", "tfloat32",
+    "Tensor", "arange", "as_tensor", "full", "get_rng", "ones", "rand",
+    "randn", "seed", "tensor_like", "zeros",
+    "Module", "ModuleList", "Parameter", "Sequential", "building_meta",
+    "make_parameter", "meta_build",
+    "backward", "enable_grad", "grad_enabled", "no_grad", "zero_grads",
+    "checkpoint", "checkpoint_sequential",
+    "CategorySummary", "KernelCategory", "KernelRecord", "Trace",
+    "current_trace", "emit", "phase", "scope", "trace",
+    "ops", "functional", "dtypes",
+]

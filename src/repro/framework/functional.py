@@ -1,0 +1,110 @@
+"""Composite (unfused) operations built from traced primitives.
+
+These are the *reference* implementations whose kernel fragmentation
+ScaleFold attacks: an unfused softmax is 5 launches, an unfused LayerNorm is
+~9, an unfused pair-bias attention is ~10 plus four separate projection
+GEMMs.  The fused counterparts live in :mod:`repro.kernels`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from . import ops
+from .tensor import Tensor
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax (single-kernel, torch-style — see ``ops.softmax``)."""
+    return ops.softmax(x, axis=axis)
+
+
+def softmax_decomposed(x: Tensor, axis: int = -1) -> Tensor:
+    """Fully unfused softmax: 5 separate kernels (max/sub/exp/sum/div).
+
+    What a naive elementwise decomposition launches; used by tests and the
+    fusion demo to quantify what kernel fusion buys.
+    """
+    m = ops.amax(x, axis=axis, keepdims=True)
+    shifted = ops.sub(x, ops.broadcast_to(m, x.shape))
+    e = ops.exp(shifted)
+    denom = ops.sum_(e, axis=axis, keepdims=True)
+    return ops.div(e, ops.broadcast_to(denom, e.shape))
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    m = ops.amax(x, axis=axis, keepdims=True)
+    shifted = ops.sub(x, ops.broadcast_to(m, x.shape))
+    e = ops.exp(shifted)
+    denom = ops.sum_(e, axis=axis, keepdims=True)
+    return ops.sub(shifted, ops.broadcast_to(ops.log(denom), x.shape))
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Unfused LayerNorm over the last dimension (~9 kernel launches).
+
+    This mirrors eager-PyTorch decomposition and is the baseline the paper's
+    custom Triton LN kernel (one launch forward, two backward) replaces.
+    """
+    mu = ops.mean(x, axis=-1, keepdims=True)
+    centered = ops.sub(x, ops.broadcast_to(mu, x.shape))
+    var = ops.mean(ops.square(centered), axis=-1, keepdims=True)
+    inv = ops.rsqrt(ops.add(var, eps))
+    normed = ops.mul(centered, ops.broadcast_to(inv, x.shape))
+    scaled = ops.mul(normed, ops.broadcast_to(weight, x.shape))
+    return ops.add(scaled, ops.broadcast_to(bias, x.shape))
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """``x @ weight + bias`` with weight of shape (in_features, out_features)."""
+    out = ops.matmul(x, weight)
+    if bias is not None:
+        out = ops.add(out, ops.broadcast_to(bias, out.shape))
+    return out
+
+
+def dropout(x: Tensor, p: float, training: bool, shared_axes: Sequence[int] = ()) -> Tensor:
+    """Inverted dropout; ``shared_axes`` broadcast the mask (AF row/col dropout)."""
+    if not training or p <= 0.0:
+        return x
+    mask_shape = tuple(1 if i in set(a % x.ndim for a in shared_axes) else s
+                       for i, s in enumerate(x.shape))
+    mask = ops.bernoulli_mask(mask_shape, keep_prob=1.0 - p, meta=x.is_meta,
+                              dtype=x.dtype)
+    return ops.mul(x, ops.broadcast_to(mask, x.shape))
+
+
+def attention(q: Tensor, k: Tensor, v: Tensor,
+              biases: Sequence[Tensor] = (),
+              scale: Optional[float] = None) -> Tensor:
+    """Unfused multi-head attention with additive biases.
+
+    Shapes follow OpenFold convention: ``q, k, v`` are ``(..., H, L, D)`` and
+    each bias broadcasts against the ``(..., H, L_q, L_k)`` logits.  The pair
+    bias of MSARowAttentionWithPairBias enters here — the reason stock
+    FlashAttention cannot be dropped in (§3.3.1).
+    """
+    d = q.shape[-1]
+    if scale is None:
+        scale = d ** -0.5
+    logits = ops.matmul(ops.mul(q, scale), ops.transpose(k, -1, -2))
+    for bias in biases:
+        logits = ops.add(logits, ops.broadcast_to(bias, logits.shape))
+    weights = softmax(logits, axis=-1)
+    return ops.matmul(weights, v)
+
+
+def mse_loss(pred: Tensor, target: Tensor) -> Tensor:
+    return ops.mean(ops.square(ops.sub(pred, target)))
+
+
+def cross_entropy(logits: Tensor, target_probs: Tensor, axis: int = -1) -> Tensor:
+    """Mean cross-entropy against a (soft) target distribution."""
+    logp = log_softmax(logits, axis=axis)
+    per_elem = ops.neg(ops.sum_(ops.mul(target_probs, logp), axis=axis))
+    return ops.mean(per_elem)
+
+
+def sigmoid_gate(gate_input: Tensor, value: Tensor) -> Tensor:
+    """AlphaFold's ubiquitous sigmoid gating: ``sigmoid(g) * v``."""
+    return ops.mul(ops.sigmoid(gate_input), value)

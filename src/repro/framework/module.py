@@ -1,0 +1,237 @@
+"""Module system: parameters, submodule registration, scoped tracing.
+
+``Module.__call__`` pushes the module's registered name onto the active
+trace's scope stack, so every kernel record knows which part of the model it
+came from (``"evoformer/blocks.3/pair_transition"``).  The DAP partitioner
+and the profiler's module-share breakdown both key off these scopes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import dtypes, tracer
+from .dtypes import DType
+from .tensor import Tensor, get_rng
+
+# Parameters are created meta (shape-only) inside a ``meta_build()`` block.
+_BUILD_META = [False]
+
+
+@contextlib.contextmanager
+def meta_build(enabled: bool = True) -> Iterator[None]:
+    """Construct modules with meta parameters (no numpy allocation/init).
+
+    Used to instantiate the full-size AlphaFold model (93M+ parameters) purely
+    for kernel-trace profiling.
+    """
+    _BUILD_META.append(enabled)
+    try:
+        yield
+    finally:
+        _BUILD_META.pop()
+
+
+def building_meta() -> bool:
+    return _BUILD_META[-1]
+
+
+class Parameter(Tensor):
+    """A trainable tensor (always ``requires_grad=True``)."""
+
+    def __init__(self, data: Optional[np.ndarray], shape=None,
+                 dtype: DType = dtypes.float32, name: Optional[str] = None) -> None:
+        super().__init__(data, shape=shape, dtype=dtype, requires_grad=True, name=name)
+
+
+def _init_array(shape: Sequence[int], init: str, rng) -> np.ndarray:
+    shape = tuple(shape)
+    if init == "zeros":
+        return np.zeros(shape, dtype=np.float32)
+    if init == "ones":
+        return np.ones(shape, dtype=np.float32)
+    fan_in = shape[0] if len(shape) >= 2 else max(shape[0], 1) if shape else 1
+    if len(shape) >= 2:
+        fan_in = shape[-2] if init != "lecun_out" else shape[-1]
+    if init in ("lecun", "lecun_out"):
+        scale = math.sqrt(1.0 / max(fan_in, 1))
+    elif init == "relu":
+        scale = math.sqrt(2.0 / max(fan_in, 1))
+    elif init == "gating":
+        return np.zeros(shape, dtype=np.float32)
+    elif init == "final":
+        return np.zeros(shape, dtype=np.float32)
+    elif init == "normal":
+        scale = 0.02
+    else:
+        raise ValueError(f"unknown init {init!r}")
+    return (rng.standard_normal(shape) * scale).astype(np.float32)
+
+
+def make_parameter(shape: Sequence[int], init: str = "lecun",
+                   dtype: DType = dtypes.float32, name: Optional[str] = None) -> Parameter:
+    """Create a parameter, meta or numeric depending on the build context."""
+    if building_meta():
+        return Parameter(None, shape=tuple(shape), dtype=dtype, name=name)
+    return Parameter(_init_array(shape, init, get_rng()), dtype=dtype, name=name)
+
+
+class Module:
+    """Base class for all model components."""
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self._buffers: "OrderedDict[str, Tensor]" = OrderedDict()
+        self.training = True
+        if getattr(self, "scope_name", None) is None:
+            object.__setattr__(self, "scope_name", None)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+            value.name = value.name or name
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+            if getattr(value, "scope_name", None) is None:
+                object.__setattr__(value, "scope_name", name)
+            if isinstance(value, ModuleList):
+                value._rename_children(name)
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: Tensor) -> None:
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, p in self._parameters.items():
+            yield (f"{prefix}{name}", p)
+        for mod_name, mod in self._modules.items():
+            yield from mod.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for mod_name, mod in self._modules.items():
+            yield from mod.named_modules(prefix=f"{prefix}{mod_name}.")
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Mode / dtype management
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for mod in self._modules.values():
+            mod.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def to_dtype(self, dtype: DType) -> "Module":
+        """Convert floating-point parameters in place (bf16 training mode)."""
+        for _, p in self.named_parameters():
+            if not p.dtype.is_floating:
+                continue
+            if not p.is_meta:
+                p._data = dtypes.quantize(p._data, dtype).astype(dtype.storage)
+            p.dtype = dtype
+        return self
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state mismatch: missing={sorted(missing)}, "
+                           f"unexpected={sorted(unexpected)}")
+        for name, p in own.items():
+            arr = state[name]
+            if tuple(arr.shape) != p.shape:
+                raise ValueError(f"{name}: shape {arr.shape} != {p.shape}")
+            p._data = arr.astype(p.dtype.storage).copy()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        scope_name = getattr(self, "scope_name", None) or type(self).__name__.lower()
+        with tracer.scope(scope_name):
+            return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(params={self.num_parameters()})"
+
+
+class ModuleList(Module):
+    """An indexable container of submodules."""
+
+    def __init__(self, modules: Sequence[Module] = ()) -> None:
+        super().__init__()
+        self._list: List[Module] = []
+        for m in modules:
+            self.append(m)
+
+    def append(self, module: Module) -> None:
+        index = len(self._list)
+        self._modules[str(index)] = module
+        prefix = getattr(self, "scope_name", None)
+        scope = f"{prefix}.{index}" if prefix else str(index)
+        object.__setattr__(module, "scope_name", scope)
+        self._list.append(module)
+
+    def _rename_children(self, list_name: str) -> None:
+        """Children scope as ``<list_name>.<i>`` once the list has a name."""
+        object.__setattr__(self, "scope_name", list_name)
+        for i, child in enumerate(self._list):
+            object.__setattr__(child, "scope_name", f"{list_name}.{i}")
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._list)
+
+    def __len__(self) -> int:
+        return len(self._list)
+
+    def __getitem__(self, i: int) -> Module:
+        return self._list[i]
+
+
+class Sequential(Module):
+    """Apply modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.blocks = ModuleList(modules)
+
+    def forward(self, x):
+        for block in self.blocks:
+            x = block(x)
+        return x

@@ -1,0 +1,110 @@
+"""Trace serialization: save/load kernel traces as (gzipped) JSON lines.
+
+Paper-scale traces are expensive to regenerate (~seconds of shape
+propagation over 100k+ ops); serializing them lets analyses run offline,
+diffs be archived next to results, and external tooling consume them.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+from typing import IO, Iterator, Union
+
+from .tracer import KernelCategory, KernelRecord, Trace
+
+FORMAT_VERSION = 1
+
+
+def _record_to_dict(record: KernelRecord) -> dict:
+    return {
+        "name": record.name,
+        "category": record.category.name,
+        "flops": record.flops,
+        "bytes": record.bytes,
+        "shape": list(record.shape),
+        "dtype": record.dtype,
+        "scope": record.scope,
+        "fused": record.fused,
+        "phase": record.phase,
+        "tunable": record.tunable,
+        "tags": record.tags,
+    }
+
+
+def _record_from_dict(data: dict) -> KernelRecord:
+    return KernelRecord(
+        name=data["name"],
+        category=KernelCategory[data["category"]],
+        flops=float(data["flops"]),
+        bytes=float(data["bytes"]),
+        shape=tuple(int(s) for s in data["shape"]),
+        dtype=data["dtype"],
+        scope=data["scope"],
+        fused=bool(data["fused"]),
+        phase=data["phase"],
+        tunable=data.get("tunable"),
+        tags=data.get("tags"),
+    )
+
+
+def dump_trace(trace: Trace, target: Union[str, IO[str]]) -> None:
+    """Write a trace as JSON lines; ``.gz`` paths are gzip-compressed.
+
+    First line is a header (format version, trace name, record count);
+    every following line is one kernel record.
+    """
+    own = isinstance(target, str)
+    if own:
+        handle: IO[str] = (gzip.open(target, "wt")
+                           if target.endswith(".gz") else open(target, "w"))
+    else:
+        handle = target
+    try:
+        header = {"version": FORMAT_VERSION, "name": trace.name,
+                  "records": len(trace.records)}
+        handle.write(json.dumps(header) + "\n")
+        for record in trace.records:
+            handle.write(json.dumps(_record_to_dict(record)) + "\n")
+    finally:
+        if own:
+            handle.close()
+
+
+def load_trace(source: Union[str, IO[str]]) -> Trace:
+    """Load a trace written by :func:`dump_trace`."""
+    own = isinstance(source, str)
+    if own:
+        handle: IO[str] = (gzip.open(source, "rt")
+                           if source.endswith(".gz") else open(source))
+    else:
+        handle = source
+    try:
+        header = json.loads(handle.readline())
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format version "
+                             f"{header.get('version')!r}")
+        trace = Trace(name=header.get("name", "trace"))
+        for line in handle:
+            line = line.strip()
+            if line:
+                trace.records.append(_record_from_dict(json.loads(line)))
+        if len(trace.records) != header.get("records", len(trace.records)):
+            raise ValueError(
+                f"truncated trace: header promised {header['records']} "
+                f"records, found {len(trace.records)}")
+        return trace
+    finally:
+        if own:
+            handle.close()
+
+
+def trace_to_string(trace: Trace) -> str:
+    buf = io.StringIO()
+    dump_trace(trace, buf)
+    return buf.getvalue()
+
+
+def trace_from_string(text: str) -> Trace:
+    return load_trace(io.StringIO(text))

@@ -1,0 +1,13 @@
+"""Hardware models: GPU specs, roofline costs, CUDA Graphs, CPU jitter."""
+
+from .cpu import CpuJitterConfig, CpuJitterModel
+from .cudagraph import CapturedGraph, CudaGraphCache, GraphCacheStats
+from .gpu import A100, GPUS, H100, GpuSpec, get_gpu
+from .roofline import CostModel, KernelCost
+
+__all__ = [
+    "CpuJitterConfig", "CpuJitterModel",
+    "CapturedGraph", "CudaGraphCache", "GraphCacheStats",
+    "A100", "GPUS", "H100", "GpuSpec", "get_gpu",
+    "CostModel", "KernelCost",
+]

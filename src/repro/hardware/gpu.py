@@ -1,0 +1,85 @@
+"""GPU specifications and launch-overhead constants.
+
+Peak numbers are the public dense-math specs for the two GPUs the paper
+evaluates (A100 SXM4 80GB, H100 SXM5 80GB).  Launch overheads are typical
+eager-mode PyTorch figures: several microseconds of CPU work per kernel
+launch (the "CPU overhead" that is 9.1% of Table 1 and the first barrier of
+Figure 3), ~2.5 us of device-side launch latency, and sub-microsecond replay
+cost per kernel once captured in a CUDA Graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Capability model of one GPU."""
+
+    name: str
+    arch: str
+    peak_tflops: Dict[str, float]   # dtype name -> dense TFLOP/s
+    mem_bw_gbps: float              # HBM bandwidth, GB/s
+    sms: int
+    hbm_gb: float
+    #: CPU-side cost per eager op: Python dispatch + autograd bookkeeping +
+    #: kernel launch (us).  PyTorch eager is ~10-20 us per op end to end.
+    cpu_launch_overhead_us: float = 12.0
+    #: Device-side launch latency floor per kernel (us).
+    gpu_launch_latency_us: float = 2.2
+    #: Per-kernel replay cost inside a captured CUDA Graph (us).
+    graph_replay_overhead_us: float = 0.25
+    #: NVLink per-GPU effective bandwidth for intra-node collectives (GB/s).
+    nvlink_bw_gbps: float = 200.0
+    #: InfiniBand per-GPU effective bandwidth for inter-node collectives (GB/s).
+    ib_bw_gbps: float = 45.0
+
+    def peak_flops(self, dtype: str) -> float:
+        """Peak FLOP/s for a dtype (falls back to fp32 for unknown names)."""
+        tf = self.peak_tflops.get(dtype, self.peak_tflops["fp32"])
+        return tf * 1e12
+
+    def membw(self) -> float:
+        return self.mem_bw_gbps * 1e9
+
+
+A100 = GpuSpec(
+    name="NVIDIA A100-SXM4-80GB",
+    arch="sm80",
+    peak_tflops={"fp32": 19.5, "tf32": 156.0, "bf16": 312.0, "fp16": 312.0},
+    mem_bw_gbps=2039.0,
+    sms=108,
+    hbm_gb=80.0,
+    nvlink_bw_gbps=200.0,
+    ib_bw_gbps=45.0,
+)
+
+H100 = GpuSpec(
+    name="NVIDIA H100-SXM5-80GB",
+    arch="sm90",
+    peak_tflops={"fp32": 66.9, "tf32": 494.7, "bf16": 989.4, "fp16": 989.4},
+    mem_bw_gbps=3352.0,
+    sms=132,
+    hbm_gb=80.0,
+    # H100 launch path is a bit faster but the CPU cost is host-bound.
+    cpu_launch_overhead_us=12.0,
+    gpu_launch_latency_us=2.0,
+    nvlink_bw_gbps=350.0,
+    ib_bw_gbps=45.0,
+)
+
+GPUS: Dict[str, GpuSpec] = {"A100": A100, "H100": H100}
+
+
+def get_gpu(name: str) -> GpuSpec:
+    try:
+        return GPUS[name.upper()]
+    except KeyError:
+        raise ValueError(f"unknown GPU {name!r}; choose from {sorted(GPUS)}") from None
+
+
+#: Math dtype used for GEMMs when the model dtype is fp32 (PyTorch defaults
+#: to TF32 tensor-core math on Ampere+, which the MLPerf reference uses).
+MATMUL_DTYPE_FOR_FP32 = "tf32"

@@ -1,0 +1,67 @@
+"""Chunked attention evaluation (OpenFold's long-sequence memory trick).
+
+Training uses fixed 256-residue crops, but evaluation runs full-length
+chains (CAMEO targets run past 700 residues), where the O(L^2) logits of a
+single attention call exceed memory.  OpenFold evaluates attention in
+query chunks; results are numerically identical to the unchunked call.
+The evaluation-side memory ceiling is part of why the paper caches the
+eval set in DRAM and sizes the async evaluation pool the way it does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..framework import functional as F
+from ..framework import ops
+from ..framework.tensor import Tensor
+from .attention import fused_attention
+
+
+def _slice_rows(t: Tensor, start: int, stop: int) -> Tensor:
+    """Slice the query (second-to-last) axis."""
+    index = tuple([slice(None)] * (t.ndim - 2) + [slice(start, stop),
+                                                  slice(None)])
+    return ops.getitem(t, index)
+
+
+def _slice_bias_rows(bias: Tensor, start: int, stop: int) -> Tensor:
+    """Slice a logits bias along its query axis (respecting broadcast dims)."""
+    if bias.shape[-2] == 1:
+        return bias  # broadcast over queries; nothing to slice
+    index = tuple([slice(None)] * (bias.ndim - 2) + [slice(start, stop),
+                                                     slice(None)])
+    return ops.getitem(bias, index)
+
+
+def chunked_attention(q: Tensor, k: Tensor, v: Tensor,
+                      biases: Sequence[Tensor] = (),
+                      chunk_size: int = 128,
+                      scale: Optional[float] = None,
+                      fused: bool = False) -> Tensor:
+    """Attention evaluated ``chunk_size`` queries at a time.
+
+    Peak intermediate memory drops from O(L_q x L_k) to
+    O(chunk_size x L_k); outputs are exactly the unchunked result (softmax
+    is row-wise, so query chunking is lossless).
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    l_q = q.shape[-2]
+    attend = fused_attention if fused else F.attention
+    if l_q <= chunk_size:
+        return attend(q, k, v, biases=list(biases), scale=scale)
+    chunks: List[Tensor] = []
+    for start in range(0, l_q, chunk_size):
+        stop = min(start + chunk_size, l_q)
+        q_chunk = _slice_rows(q, start, stop)
+        bias_chunks = [_slice_bias_rows(b, start, stop) for b in biases]
+        chunks.append(attend(q_chunk, k, v, biases=bias_chunks, scale=scale))
+    return ops.concat(chunks, axis=-2)
+
+
+def peak_logits_elements(l_q: int, l_k: int, heads: int,
+                         chunk_size: Optional[int] = None) -> int:
+    """Peak live logits-matrix elements with/without chunking (per batch)."""
+    rows = min(chunk_size, l_q) if chunk_size else l_q
+    return heads * rows * l_k

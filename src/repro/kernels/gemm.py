@@ -1,0 +1,52 @@
+"""GEMM batching for the projections in front of MHA.
+
+§3.3.1: "In most AlphaFold model's building blocks, the matrix-matrix
+multiplications prior to MHA do not fully leverage the potential
+parallelism.  Four linear layers [Q, K, V, gate] have no dependency on each
+other.  We bundled these linear layers into batch operations to improve the
+degree of parallelism."
+
+:func:`batched_linear` multiplies the input once against a pre-packed
+``(c_in, sum(c_out_i))`` weight and splits the result, replacing four
+launch-bound skinny GEMMs with one wide GEMM (paper: 1.03x step speedup).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..framework import ops
+from ..framework.tensor import Tensor
+
+
+def batched_linear(x: Tensor, packed_weight: Tensor,
+                   packed_bias: Optional[Tensor],
+                   splits: Sequence[int]) -> List[Tensor]:
+    """One wide GEMM + split, equivalent to N independent linear layers.
+
+    Args:
+        x: ``(..., c_in)`` input shared by every projection.
+        packed_weight: ``(c_in, sum(splits))`` — the N weights concatenated
+            along the output dimension (done once at module construction).
+        packed_bias: ``(sum(splits),)`` or None.
+        splits: output width of each projection.
+
+    Returns:
+        One tensor per projection, ``(..., splits[i])``.
+    """
+    out = ops.matmul(x, packed_weight, tunable="batched_gemm", name="batched_gemm")
+    if packed_bias is not None:
+        out = ops.add(out, ops.broadcast_to(packed_bias, out.shape))
+    return ops.split(out, list(splits), axis=-1)
+
+
+def separate_linears(x: Tensor, weights: Sequence[Tensor],
+                     biases: Sequence[Optional[Tensor]]) -> List[Tensor]:
+    """Reference path: N skinny GEMM launches (plus N bias adds)."""
+    outs: List[Tensor] = []
+    for w, b in zip(weights, biases):
+        y = ops.matmul(x, w)
+        if b is not None:
+            y = ops.add(y, ops.broadcast_to(b, y.shape))
+        outs.append(y)
+    return outs

@@ -1,0 +1,9 @@
+"""MLPerf HPC v3.0 OpenFold benchmark harness."""
+
+from .benchmark import MlperfRunConfig, MlperfRunResult, run_benchmark
+from .logging import MLLOG_PREFIX, MlLogEntry, MlLogger, parse_mllog_line
+
+__all__ = [
+    "MlperfRunConfig", "MlperfRunResult", "run_benchmark",
+    "MLLOG_PREFIX", "MlLogEntry", "MlLogger", "parse_mllog_line",
+]

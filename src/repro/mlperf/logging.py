@@ -1,0 +1,81 @@
+"""MLPerf-style structured result logging (the ``:::MLLOG`` line format).
+
+MLPerf HPC submissions emit machine-parseable log lines; the benchmark
+harness here produces the same shape so downstream tooling (and the tests)
+can parse runs the way MLPerf result checkers do.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+MLLOG_PREFIX = ":::MLLOG"
+
+
+@dataclass
+class MlLogEntry:
+    key: str
+    value: Any
+    event_type: str          # INTERVAL_START | INTERVAL_END | POINT_IN_TIME
+    time_ms: float
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def format(self) -> str:
+        payload = {
+            "namespace": "",
+            "time_ms": self.time_ms,
+            "event_type": self.event_type,
+            "key": self.key,
+            "value": self.value,
+            "metadata": self.metadata,
+        }
+        return f"{MLLOG_PREFIX} {json.dumps(payload, sort_keys=True)}"
+
+
+def parse_mllog_line(line: str) -> MlLogEntry:
+    if not line.startswith(MLLOG_PREFIX):
+        raise ValueError(f"not an MLLOG line: {line[:40]!r}")
+    payload = json.loads(line[len(MLLOG_PREFIX):].strip())
+    return MlLogEntry(key=payload["key"], value=payload["value"],
+                      event_type=payload["event_type"],
+                      time_ms=payload["time_ms"],
+                      metadata=payload.get("metadata", {}))
+
+
+class MlLogger:
+    """Collects MLLOG entries (and optionally prints them)."""
+
+    def __init__(self, echo: bool = False, clock=None) -> None:
+        self.entries: List[MlLogEntry] = []
+        self.echo = echo
+        self._clock = clock or (lambda: time.time() * 1000.0)
+
+    def _emit(self, key: str, value: Any, event_type: str,
+              metadata: Optional[Dict[str, Any]] = None) -> MlLogEntry:
+        entry = MlLogEntry(key=key, value=value, event_type=event_type,
+                           time_ms=self._clock(), metadata=metadata or {})
+        self.entries.append(entry)
+        if self.echo:  # pragma: no cover - console side effect
+            print(entry.format())
+        return entry
+
+    def event(self, key: str, value: Any = None,
+              metadata: Optional[Dict[str, Any]] = None) -> MlLogEntry:
+        return self._emit(key, value, "POINT_IN_TIME", metadata)
+
+    def start(self, key: str, metadata: Optional[Dict[str, Any]] = None
+              ) -> MlLogEntry:
+        return self._emit(key, None, "INTERVAL_START", metadata)
+
+    def end(self, key: str, metadata: Optional[Dict[str, Any]] = None
+            ) -> MlLogEntry:
+        return self._emit(key, None, "INTERVAL_END", metadata)
+
+    def lines(self) -> List[str]:
+        return [e.format() for e in self.entries]
+
+    def find(self, key: str) -> List[MlLogEntry]:
+        return [e for e in self.entries if e.key == key]

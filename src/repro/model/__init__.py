@@ -1,0 +1,42 @@
+"""The AlphaFold/OpenFold model on the traced mini-framework."""
+
+from .alphafold import AlphaFold
+from .config import AlphaFoldConfig, KernelPolicy
+from .embedders import ExtraMSAEmbedder, InputEmbedder, RecyclingEmbedder
+from .evoformer import (EvoformerBlock, EvoformerStack, ExtraMSAStack,
+                        MSAColumnAttention, MSARowAttentionWithPairBias)
+from .heads import DistogramHead, PerResidueLDDTHead
+from .loss import AlphaFoldLoss, distance_bins, fape_loss
+from .masked_msa import (MSA_CLASSES, MaskedMSAHead, apply_msa_masking,
+                         masked_msa_loss)
+from .metrics import (LDDT_CUTOFF, LDDT_THRESHOLDS, avg_lddt_ca, bin_lddt,
+                      distance_rmse, lddt_ca)
+from .outer_product import OuterProductMean
+from .predict import (Prediction, from_pdb, plddt_from_logits, predict,
+                      to_pdb, write_pdb)
+from .primitives import Attention, LayerNorm, Linear, Transition
+from .rigid import Rigid, frames_from_ca_np, quat_to_rot
+from .structure import (BackboneUpdate, InvariantPointAttention,
+                        StructureModule)
+from .template import TemplatePairStack
+from .triangle import TriangleAttention, TriangleMultiplication
+
+__all__ = [
+    "AlphaFold", "AlphaFoldConfig", "KernelPolicy",
+    "ExtraMSAEmbedder", "InputEmbedder", "RecyclingEmbedder",
+    "EvoformerBlock", "EvoformerStack", "ExtraMSAStack",
+    "MSAColumnAttention", "MSARowAttentionWithPairBias",
+    "DistogramHead", "PerResidueLDDTHead",
+    "AlphaFoldLoss", "distance_bins", "fape_loss",
+    "MSA_CLASSES", "MaskedMSAHead", "apply_msa_masking", "masked_msa_loss",
+    "Prediction", "from_pdb", "plddt_from_logits", "predict", "to_pdb",
+    "write_pdb",
+    "LDDT_CUTOFF", "LDDT_THRESHOLDS", "avg_lddt_ca", "bin_lddt",
+    "distance_rmse", "lddt_ca",
+    "OuterProductMean",
+    "Attention", "LayerNorm", "Linear", "Transition",
+    "Rigid", "frames_from_ca_np", "quat_to_rot",
+    "BackboneUpdate", "InvariantPointAttention", "StructureModule",
+    "TemplatePairStack",
+    "TriangleAttention", "TriangleMultiplication",
+]

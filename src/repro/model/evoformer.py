@@ -1,0 +1,168 @@
+"""The Evoformer block and stacks (Figure 2 of the paper).
+
+Nine submodules per block: MSA row attention with pair bias, MSA column
+attention, MSA transition, outer product mean, triangle multiplication
+(outgoing, incoming), triangle attention (starting, ending node), and pair
+transition.  The Evoformer stack accounts for ~72% of AlphaFold's step time;
+its MHA and LayerNorm patterns are what ScaleFold's Triton kernels target.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..framework import functional as F
+from ..framework import ops
+from ..framework.checkpoint import checkpoint
+from ..framework.module import Module, ModuleList
+from ..framework.tensor import Tensor
+from .config import AlphaFoldConfig, KernelPolicy
+from .outer_product import OuterProductMean
+from .primitives import Attention, LayerNorm, Linear, Transition, mask_bias
+from .triangle import TriangleAttention, TriangleMultiplication
+
+
+class MSARowAttentionWithPairBias(Module):
+    """Row-wise MSA self-attention, biased by the pair representation.
+
+    This is Figure 6 of the paper: LN -> four projection GEMMs -> MHA with
+    the pair bias added to the logits -> gate -> output projection.  The
+    pair-bias term is exactly what made stock FlashAttention inapplicable.
+    """
+
+    def __init__(self, c_m: int, c_z: int, c_hidden: int, n_heads: int,
+                 policy: KernelPolicy) -> None:
+        super().__init__()
+        self.layer_norm_m = LayerNorm(c_m, policy)
+        self.layer_norm_z = LayerNorm(c_z, policy)
+        self.linear_z = Linear(c_z, n_heads, bias=False, init="normal")
+        self.attention = Attention(c_m, c_m, c_hidden, n_heads, policy)
+
+    def forward(self, m: Tensor, z: Tensor,
+                msa_mask: Optional[Tensor] = None) -> Tensor:
+        m_ln = self.layer_norm_m(m)
+        pair_bias = ops.permute(self.linear_z(self.layer_norm_z(z)), (2, 0, 1))
+        pair_bias = ops.reshape(pair_bias, (1,) + pair_bias.shape)  # (1, H, N, N)
+        biases = [pair_bias]
+        if msa_mask is not None:
+            biases.insert(0, mask_bias(msa_mask))  # (S, 1, 1, N)
+        return self.attention(m_ln, m_ln, biases=biases)
+
+
+class MSAColumnAttention(Module):
+    """Column-wise MSA self-attention (per-residue, across sequences)."""
+
+    def __init__(self, c_m: int, c_hidden: int, n_heads: int,
+                 policy: KernelPolicy) -> None:
+        super().__init__()
+        self.layer_norm = LayerNorm(c_m, policy)
+        self.attention = Attention(c_m, c_m, c_hidden, n_heads, policy)
+
+    def forward(self, m: Tensor, msa_mask: Optional[Tensor] = None) -> Tensor:
+        m_t = ops.transpose(m, 0, 1)  # (N, S, c_m)
+        m_ln = self.layer_norm(m_t)
+        biases = []
+        if msa_mask is not None:
+            biases.append(mask_bias(ops.transpose(msa_mask, 0, 1)))
+        out = self.attention(m_ln, m_ln, biases=biases)
+        return ops.transpose(out, 0, 1)
+
+
+class EvoformerBlock(Module):
+    """One Evoformer block: the 9 submodules of Figure 2."""
+
+    def __init__(self, cfg: AlphaFoldConfig, c_m: Optional[int] = None,
+                 policy: Optional[KernelPolicy] = None) -> None:
+        super().__init__()
+        c_m = c_m if c_m is not None else cfg.c_m
+        policy = policy or cfg.kernel_policy
+        self.cfg = cfg
+        self.msa_row_attn = MSARowAttentionWithPairBias(
+            c_m, cfg.c_z, cfg.c_hidden_msa_att, cfg.n_head_msa, policy)
+        self.msa_col_attn = MSAColumnAttention(
+            c_m, cfg.c_hidden_msa_att, cfg.n_head_msa, policy)
+        self.msa_transition = Transition(c_m, cfg.transition_n, policy)
+        self.outer_product_mean = OuterProductMean(
+            c_m, cfg.c_z, cfg.c_hidden_opm, policy)
+        self.tri_mul_out = TriangleMultiplication(
+            cfg.c_z, cfg.c_hidden_mul, policy, outgoing=True)
+        self.tri_mul_in = TriangleMultiplication(
+            cfg.c_z, cfg.c_hidden_mul, policy, outgoing=False)
+        self.tri_attn_start = TriangleAttention(
+            cfg.c_z, cfg.c_hidden_pair_att, cfg.n_head_pair, policy, starting=True)
+        self.tri_attn_end = TriangleAttention(
+            cfg.c_z, cfg.c_hidden_pair_att, cfg.n_head_pair, policy, starting=False)
+        self.pair_transition = Transition(cfg.c_z, cfg.transition_n, policy)
+        self._row_dropout = cfg.msa_row_dropout
+        self._pair_dropout = cfg.pair_dropout
+
+    def forward(self, m: Tensor, z: Tensor,
+                msa_mask: Optional[Tensor] = None) -> Tuple[Tensor, Tensor]:
+        drow = lambda x: F.dropout(x, self._row_dropout, self.training,
+                                   shared_axes=(0,))
+        dpair_r = lambda x: F.dropout(x, self._pair_dropout, self.training,
+                                      shared_axes=(0,))
+        dpair_c = lambda x: F.dropout(x, self._pair_dropout, self.training,
+                                      shared_axes=(1,))
+        m = ops.add(m, drow(self.msa_row_attn(m, z, msa_mask)))
+        m = ops.add(m, self.msa_col_attn(m, msa_mask))
+        m = ops.add(m, self.msa_transition(m))
+        z = ops.add(z, self.outer_product_mean(m))
+        z = ops.add(z, dpair_r(self.tri_mul_out(z)))
+        z = ops.add(z, dpair_r(self.tri_mul_in(z)))
+        z = ops.add(z, dpair_r(self.tri_attn_start(z)))
+        z = ops.add(z, dpair_c(self.tri_attn_end(z)))
+        z = ops.add(z, self.pair_transition(z))
+        return m, z
+
+
+class EvoformerStack(Module):
+    """A stack of Evoformer blocks, with optional activation checkpointing.
+
+    Emits the single representation ``s`` from the first MSA row at the end
+    (feeding the Structure Module).
+    """
+
+    def __init__(self, cfg: AlphaFoldConfig, n_blocks: Optional[int] = None,
+                 c_m: Optional[int] = None, produce_single: bool = True,
+                 policy: Optional[KernelPolicy] = None) -> None:
+        super().__init__()
+        self.cfg = cfg
+        self.policy = policy or cfg.kernel_policy
+        c_m = c_m if c_m is not None else cfg.c_m
+        n_blocks = n_blocks if n_blocks is not None else cfg.evoformer_blocks
+        self.blocks = ModuleList([
+            EvoformerBlock(cfg, c_m=c_m, policy=self.policy)
+            for _ in range(n_blocks)
+        ])
+        self.linear_single = (Linear(c_m, cfg.c_s) if produce_single else None)
+
+    def forward(self, m: Tensor, z: Tensor,
+                msa_mask: Optional[Tensor] = None
+                ) -> Tuple[Tensor, Tensor, Optional[Tensor]]:
+        use_ckpt = (self.policy.activation_checkpointing
+                    and self.training)
+        for block in self.blocks:
+            if use_ckpt:
+                m, z = checkpoint(
+                    lambda m_, z_, _b=block: _b(m_, z_, msa_mask), m, z)
+            else:
+                m, z = block(m, z, msa_mask)
+        s = self.linear_single(m[0]) if self.linear_single is not None else None
+        return m, z, s
+
+
+class ExtraMSAStack(Module):
+    """The 4-block Evoformer variant over the (wide, narrow-channel) extra MSA."""
+
+    def __init__(self, cfg: AlphaFoldConfig,
+                 policy: Optional[KernelPolicy] = None) -> None:
+        super().__init__()
+        self.stack = EvoformerStack(
+            cfg, n_blocks=cfg.extra_msa_blocks, c_m=cfg.c_e,
+            produce_single=False, policy=policy)
+
+    def forward(self, a: Tensor, z: Tensor,
+                msa_mask: Optional[Tensor] = None) -> Tensor:
+        _, z, _ = self.stack(a, z, msa_mask)
+        return z

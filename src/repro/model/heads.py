@@ -1,0 +1,43 @@
+"""Auxiliary output heads: per-residue pLDDT and distogram."""
+
+from __future__ import annotations
+
+from ..framework import ops
+from ..framework.module import Module
+from ..framework.tensor import Tensor
+from .config import AlphaFoldConfig, KernelPolicy
+from .primitives import LayerNorm, Linear
+
+
+class PerResidueLDDTHead(Module):
+    """Predict binned per-residue lDDT-CA from the single representation.
+
+    The training metric the paper gates on (``avg_lddt_ca`` reaching 0.8 then
+    0.9) is the *true* lDDT of the predicted structure; this head is the
+    model's own confidence estimate (pLDDT), trained against the true value.
+    """
+
+    def __init__(self, cfg: AlphaFoldConfig, policy: KernelPolicy) -> None:
+        super().__init__()
+        self.layer_norm = LayerNorm(cfg.c_s, policy)
+        self.linear_1 = Linear(cfg.c_s, cfg.c_s, init="relu")
+        self.linear_2 = Linear(cfg.c_s, cfg.c_s, init="relu")
+        self.linear_3 = Linear(cfg.c_s, cfg.plddt_bins, init="final")
+
+    def forward(self, s: Tensor) -> Tensor:
+        x = self.layer_norm(s)
+        x = ops.relu(self.linear_1(x))
+        x = ops.relu(self.linear_2(x))
+        return self.linear_3(x)  # (N, plddt_bins)
+
+
+class DistogramHead(Module):
+    """Predict binned pairwise CA distances from the pair representation."""
+
+    def __init__(self, cfg: AlphaFoldConfig) -> None:
+        super().__init__()
+        self.linear = Linear(cfg.c_z, cfg.distogram_bins, init="final")
+
+    def forward(self, z: Tensor) -> Tensor:
+        logits = self.linear(z)  # (N, N, bins)
+        return ops.mul(ops.add(logits, ops.transpose(logits, 0, 1)), 0.5)

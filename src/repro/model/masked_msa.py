@@ -1,0 +1,89 @@
+"""Masked-MSA (BERT-style) auxiliary training task.
+
+AlphaFold masks ~15% of MSA positions and trains a head on the final MSA
+representation to reconstruct them — the self-supervision that teaches the
+Evoformer co-evolution statistics.  Implemented here: the masking transform
+over batches, the prediction head, and the masked cross-entropy loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..framework import functional as F
+from ..framework import ops
+from ..framework.module import Module
+from ..framework.tensor import Tensor
+from .config import AlphaFoldConfig
+
+#: 20 amino acids + unknown + gap + mask token.
+MSA_CLASSES = 23
+MASK_TOKEN = 22
+
+
+@dataclass
+class MaskedMsaBatch:
+    """Masking artifacts to attach to a training batch."""
+
+    true_classes: np.ndarray    # (S, N) int, the original residues
+    mask_positions: np.ndarray  # (S, N) float 0/1, 1 = masked
+
+
+def apply_msa_masking(msa_feat: np.ndarray, msa_aatype: np.ndarray,
+                      rate: float = 0.15,
+                      rng: Optional[np.random.Generator] = None
+                      ) -> Tuple[np.ndarray, MaskedMsaBatch]:
+    """Mask a fraction of MSA positions (zeroing their features).
+
+    Args:
+        msa_feat: (S, N, F) input features — masked positions are zeroed,
+            the standard "replace with mask token" treatment for dense
+            features.
+        msa_aatype: (S, N) original residue classes (the labels).
+        rate: masking probability per position.
+
+    Returns:
+        (masked features, labels + mask positions).
+    """
+    rng = rng or np.random.default_rng(0)
+    mask = (rng.random(msa_aatype.shape) < rate).astype(np.float32)
+    masked_feat = msa_feat * (1.0 - mask[..., None])
+    return masked_feat.astype(msa_feat.dtype), MaskedMsaBatch(
+        true_classes=msa_aatype.astype(np.int64), mask_positions=mask)
+
+
+class MaskedMSAHead(Module):
+    """Final MSA representation -> per-position residue-class logits."""
+
+    def __init__(self, cfg: AlphaFoldConfig) -> None:
+        super().__init__()
+        from .primitives import Linear
+
+        self.linear = Linear(cfg.c_m, MSA_CLASSES, init="final")
+
+    def forward(self, msa: Tensor) -> Tensor:
+        return self.linear(msa)  # (S, N, MSA_CLASSES)
+
+
+def masked_msa_loss(logits: Tensor, batch: Dict[str, Tensor]) -> Tensor:
+    """Cross-entropy at masked positions only.
+
+    Expects ``batch["msa_true_classes"]`` (S, N) int and
+    ``batch["msa_mask_positions"]`` (S, N) float.  Returns 0 when nothing
+    was masked.
+    """
+    true = batch["msa_true_classes"]
+    mask = batch["msa_mask_positions"]
+    if logits.is_meta or true.is_meta:
+        # Traced shape-only path: emit the same op structure.
+        target = Tensor(None, logits.shape, logits.dtype)
+    else:
+        target = ops.one_hot(true, MSA_CLASSES, dtype=logits.dtype)
+    logp = F.log_softmax(logits, axis=-1)
+    per_pos = ops.neg(ops.sum_(ops.mul(target, logp), axis=-1))  # (S, N)
+    masked = ops.mul(per_pos, mask)
+    denom = ops.add(ops.sum_(mask), 1e-8)
+    return ops.div(ops.sum_(masked), denom)

@@ -1,0 +1,50 @@
+"""Outer product mean: the MSA -> pair communication step."""
+
+from __future__ import annotations
+
+from ..framework import ops
+from ..framework.module import Module
+from ..framework.tensor import Tensor
+from .config import KernelPolicy
+from .primitives import LayerNorm, Linear
+
+
+class OuterProductMean(Module):
+    """out[i, j] = linear( mean_s  a[s, i, :] (x) b[s, j, :] ).
+
+    The (N*c, S) @ (S, N*c) contraction is one of the larger GEMMs in the
+    model, and the result is O(N^2 c^2) intermediate memory — another
+    contributor to Evoformer's activation pressure.
+    """
+
+    def __init__(self, c_m: int, c_z: int, c_hidden: int,
+                 policy: KernelPolicy) -> None:
+        super().__init__()
+        self.c_hidden = c_hidden
+        self.layer_norm = LayerNorm(c_m, policy)
+        self.linear_a = Linear(c_m, c_hidden)
+        self.linear_b = Linear(c_m, c_hidden)
+        self.linear_out = Linear(c_hidden * c_hidden, c_z, init="final")
+
+    def partial_outer(self, m: Tensor) -> Tensor:
+        """Sequence-summed outer product (N, N, c*c) — additive over
+        sequence shards, which is what DAP all-reduces."""
+        n_seq, n_res = m.shape[0], m.shape[1]
+        c = self.c_hidden
+        m_ln = self.layer_norm(m)
+        a = self.linear_a(m_ln)  # (S, N, c)
+        b = self.linear_b(m_ln)  # (S, N, c)
+        # outer[i, ci, j, cj] = sum_s a[s, i, ci] b[s, j, cj]
+        a_flat = ops.reshape(ops.permute(a, (1, 2, 0)), (n_res * c, n_seq))
+        b_flat = ops.reshape(b, (n_seq, n_res * c))
+        outer = ops.matmul(a_flat, b_flat)                     # (N*c, N*c)
+        outer = ops.reshape(outer, (n_res, c, n_res, c))
+        outer = ops.permute(outer, (0, 2, 1, 3))               # (N, N, c, c)
+        return ops.reshape(outer, (n_res, n_res, c * c))
+
+    def project(self, outer: Tensor, n_seq: int) -> Tensor:
+        """Mean-normalize and project the summed outer product to c_z."""
+        return ops.div(self.linear_out(outer), float(n_seq))
+
+    def forward(self, m: Tensor) -> Tensor:
+        return self.project(self.partial_outer(m), m.shape[0])

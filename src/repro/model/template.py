@@ -1,0 +1,73 @@
+"""Template pair stack: 2 Evoformer-style pair blocks per template (Fig. 1)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..framework import ops
+from ..framework.module import Module, ModuleList
+from ..framework.tensor import Tensor
+from .config import AlphaFoldConfig, KernelPolicy
+from .primitives import LayerNorm, Linear, Transition
+from .triangle import TriangleAttention, TriangleMultiplication
+
+
+class TemplatePairBlock(Module):
+    """Pair-only Evoformer block (no MSA track)."""
+
+    def __init__(self, cfg: AlphaFoldConfig, policy: KernelPolicy) -> None:
+        super().__init__()
+        c = cfg.c_t
+        self.tri_attn_start = TriangleAttention(
+            c, cfg.c_hidden_pair_att, cfg.n_head_pair, policy, starting=True)
+        self.tri_attn_end = TriangleAttention(
+            c, cfg.c_hidden_pair_att, cfg.n_head_pair, policy, starting=False)
+        self.tri_mul_out = TriangleMultiplication(
+            c, cfg.c_hidden_mul // 2, policy, outgoing=True)
+        self.tri_mul_in = TriangleMultiplication(
+            c, cfg.c_hidden_mul // 2, policy, outgoing=False)
+        self.pair_transition = Transition(c, cfg.transition_n // 2 or 1, policy)
+
+    def forward(self, t: Tensor) -> Tensor:
+        t = ops.add(t, self.tri_attn_start(t))
+        t = ops.add(t, self.tri_attn_end(t))
+        t = ops.add(t, self.tri_mul_out(t))
+        t = ops.add(t, self.tri_mul_in(t))
+        t = ops.add(t, self.pair_transition(t))
+        return t
+
+
+class TemplatePairStack(Module):
+    """Embed template pair features and merge them into z.
+
+    Each of the T templates runs through ``cfg.template_blocks`` pair blocks
+    (2 in the full model); the processed templates are averaged and projected
+    into the pair representation.  (The full AF2 uses template pointwise
+    attention for the merge; an average + linear preserves the compute shape
+    of the stack itself, which is what the performance model consumes.)
+    """
+
+    def __init__(self, cfg: AlphaFoldConfig,
+                 policy: Optional[KernelPolicy] = None) -> None:
+        super().__init__()
+        policy = policy or cfg.kernel_policy
+        self.cfg = cfg
+        self.linear_in = Linear(cfg.c_t, cfg.c_t)
+        self.blocks = ModuleList([
+            TemplatePairBlock(cfg, policy) for _ in range(cfg.template_blocks)
+        ])
+        self.layer_norm = LayerNorm(cfg.c_t, policy)
+        self.linear_out = Linear(cfg.c_t, cfg.c_z, init="final")
+
+    def forward(self, template_pair_feat: Tensor) -> Tensor:
+        """(T, N, N, c_t) template features -> (N, N, c_z) pair update."""
+        n_templ = template_pair_feat.shape[0]
+        processed = []
+        for i in range(n_templ):
+            t = self.linear_in(template_pair_feat[i])
+            for block in self.blocks:
+                t = block(t)
+            processed.append(self.layer_norm(t))
+        stacked = ops.stack(processed, axis=0)
+        merged = ops.mean(stacked, axis=0)
+        return self.linear_out(merged)

@@ -1,0 +1,83 @@
+"""Triangle attention and triangle multiplicative update (pair stack ops).
+
+These are the O(N^3) operators that make Evoformer's activation footprint so
+large (§2.2 "High Memory Consumption"): each triangle op touches every
+(i, j, k) residue triple.
+"""
+
+from __future__ import annotations
+
+from ..framework import functional as F
+from ..framework import ops
+from ..framework.module import Module
+from ..framework.tensor import Tensor
+from .config import KernelPolicy
+from .primitives import Attention, LayerNorm, Linear
+
+
+class TriangleAttention(Module):
+    """Triangle self-attention around the starting or ending node.
+
+    Starting node: row i's entries attend along k with a bias from z[j, k].
+    Ending node: the same computation on the transposed pair tensor.
+    """
+
+    def __init__(self, c_z: int, c_hidden: int, n_heads: int,
+                 policy: KernelPolicy, starting: bool = True) -> None:
+        super().__init__()
+        self.starting = starting
+        self.layer_norm = LayerNorm(c_z, policy)
+        self.linear_bias = Linear(c_z, n_heads, bias=False, init="normal")
+        self.attention = Attention(c_z, c_z, c_hidden, n_heads, policy)
+
+    def forward(self, z: Tensor) -> Tensor:
+        if not self.starting:
+            z = ops.transpose(z, 0, 1)
+        z_ln = self.layer_norm(z)
+        # (N, N, H) -> (H, N, N) -> (1, H, N, N) additive logit bias.
+        bias = ops.permute(self.linear_bias(z_ln), (2, 0, 1))
+        bias = ops.reshape(bias, (1,) + bias.shape)
+        out = self.attention(z_ln, z_ln, biases=[bias])
+        if not self.starting:
+            out = ops.transpose(out, 0, 1)
+        return out
+
+
+class TriangleMultiplication(Module):
+    """Triangle multiplicative update, outgoing or incoming edges.
+
+    Outgoing: out[i, j] = g(z) * linear(LN( sum_k a[i, k] * b[j, k] )).
+    Incoming: the sum runs over a[k, i] * b[k, j].
+    The k-contraction is one batched GEMM per channel — these show up as
+    math-bounded kernels in Table 1.
+    """
+
+    def __init__(self, c_z: int, c_hidden: int, policy: KernelPolicy,
+                 outgoing: bool = True) -> None:
+        super().__init__()
+        self.outgoing = outgoing
+        self.layer_norm_in = LayerNorm(c_z, policy)
+        self.linear_a = Linear(c_z, c_hidden)
+        self.linear_a_gate = Linear(c_z, c_hidden, init="gating")
+        self.linear_b = Linear(c_z, c_hidden)
+        self.linear_b_gate = Linear(c_z, c_hidden, init="gating")
+        self.layer_norm_out = LayerNorm(c_hidden, policy)
+        self.linear_out = Linear(c_hidden, c_z, init="final")
+        self.linear_gate = Linear(c_z, c_z, init="gating")
+
+    def forward(self, z: Tensor) -> Tensor:
+        z_ln = self.layer_norm_in(z)
+        a = F.sigmoid_gate(self.linear_a_gate(z_ln), self.linear_a(z_ln))
+        b = F.sigmoid_gate(self.linear_b_gate(z_ln), self.linear_b(z_ln))
+        # (N, N, C) -> (C, N, N) for a per-channel N x N GEMM.
+        a_c = ops.permute(a, (2, 0, 1))
+        b_c = ops.permute(b, (2, 0, 1))
+        if self.outgoing:
+            # out_c[i, j] = sum_k a_c[i, k] b_c[j, k]
+            prod = ops.matmul(a_c, ops.transpose(b_c, -1, -2))
+        else:
+            # out_c[i, j] = sum_k a_c[k, i] b_c[k, j]
+            prod = ops.matmul(ops.transpose(a_c, -1, -2), b_c)
+        prod = ops.permute(prod, (1, 2, 0))
+        update = self.linear_out(self.layer_norm_out(prod))
+        return F.sigmoid_gate(self.linear_gate(z_ln), update)

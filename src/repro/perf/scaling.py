@@ -1,0 +1,301 @@
+"""Distributed step-time scenarios: DAP scaling, barriers, and the
+optimization ladder (Figures 3, 7, 8 of the paper).
+
+:class:`Scenario` describes one training configuration (kernel policy, DAP
+degree, GPU, pipeline and host options); :func:`estimate_step_time` composes
+the kernel trace, roofline costs, DAP collectives, DDP all-reduce overlap,
+data-pipeline stalls and straggler imbalance into a wall-clock step estimate
+with a full additive breakdown.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..datapipe.prep_time import PrepTimeModel, prep_time_series
+from ..datapipe.samples import SyntheticProteinDataset
+from ..datapipe.sim_pipeline import StallModel, stall_model
+from ..distributed.collectives import collective_time
+from ..distributed.dap import DapStepTrace, partition_step
+from ..distributed.ddp import DdpConfig, ddp_cost
+from ..distributed.straggler import ImbalanceInputs, StragglerModel
+from ..distributed.topology import ClusterTopology
+from ..framework.dtypes import bfloat16
+from ..framework.tracer import KernelCategory
+from ..hardware.cpu import CpuJitterConfig
+from ..hardware.gpu import GpuSpec, get_gpu
+from ..hardware.roofline import CostModel
+from ..model.config import AlphaFoldConfig, KernelPolicy
+from .step_time import simulate_step
+from .torchcompile import apply_torch_compile
+from .trace_builder import StepTrace, build_step_trace
+
+
+@dataclass
+class Scenario:
+    """One training configuration to estimate."""
+
+    policy: KernelPolicy = field(default_factory=KernelPolicy.reference)
+    gpu: str = "H100"
+    dap_n: int = 1
+    dp_degree: int = 128           # data-parallel replicas (global bs 128)
+    cuda_graphs: bool = False
+    gc_disabled: bool = False
+    torch_compile: bool = False
+    nonblocking_pipeline: bool = False
+    data_workers: int = 8
+    data_queue_capacity: int = 16
+    n_recycle: int = 1
+    imbalance_enabled: bool = True
+    seed: int = 17
+
+    @property
+    def world_size(self) -> int:
+        return self.dp_degree * self.dap_n
+
+    def label(self) -> str:
+        bits = [self.gpu, f"DAP-{self.dap_n}"]
+        p = self.policy
+        for flag, name in ((p.batched_gemm, "gemm"), (p.fused_mha, "mha"),
+                           (p.fused_layernorm, "ln"), (p.fused_adam_swa, "adam"),
+                           (self.cuda_graphs, "graph"), (self.gc_disabled, "gc-off"),
+                           (self.torch_compile, "compile"),
+                           (self.nonblocking_pipeline, "nbpipe")):
+            if flag:
+                bits.append(name)
+        if p.dtype.name != "fp32":
+            bits.append(p.dtype.name)
+        if not p.activation_checkpointing:
+            bits.append("no-ckpt")
+        return "+".join(bits)
+
+
+@dataclass
+class StepEstimate:
+    """Additive wall-clock decomposition of one distributed training step."""
+
+    scenario_label: str
+    compute_s: float           # queue-simulated device+host compute
+    cpu_exposed_s: float       # host dispatch exposed inside compute_s
+    serial_compute_s: float    # device time in non-DAP-shardable scopes
+    parallel_compute_s: float  # device time in shardable scopes
+    dap_comm_s: float          # DAP all-to-all / all-gather (exposed)
+    ddp_exposed_s: float       # gradient all-reduce left over after overlap
+    imbalance_s: float         # waiting on the slowest synchronized rank
+    data_stall_mean_s: float   # per-rank average wait on data
+    total_s: float
+    kernel_count: int
+    stall: StallModel
+
+    def as_dict(self) -> Dict[str, float]:
+        return dataclasses.asdict(self)  # type: ignore[arg-type]
+
+
+# Shared straggler RNG cache keyed by seed so estimates are deterministic.
+_PREP_CACHE: Dict[int, np.ndarray] = {}
+
+
+def _prep_times(seed: int = 5, n: int = 1024) -> np.ndarray:
+    if seed not in _PREP_CACHE:
+        cfg = AlphaFoldConfig.full()
+        dataset = SyntheticProteinDataset(cfg, size=max(n, 1024))
+        _PREP_CACHE[seed] = prep_time_series(dataset, n=n, seed=seed)
+    return _PREP_CACHE[seed]
+
+
+def _split_serial_parallel(dap: DapStepTrace, cost: CostModel) -> (float, float):
+    from ..distributed.dap import is_shardable
+    serial = parallel = 0.0
+    for r in dap.records:
+        if r.category is KernelCategory.COMM:
+            continue
+        if r.tags and r.tags.get("hidden_by_comm"):
+            continue
+        t = cost.kernel_seconds(r)
+        if is_shardable(r):
+            parallel += t
+        else:
+            serial += t
+    return serial, parallel
+
+
+def estimate_step_time(scenario: Scenario,
+                       trace: Optional[StepTrace] = None,
+                       topo: Optional[ClusterTopology] = None) -> StepEstimate:
+    """Compose one scenario's expected step time."""
+    gpu = get_gpu(scenario.gpu)
+    topo = topo or ClusterTopology(gpu=gpu, n_gpus=scenario.world_size)
+    trace = trace or build_step_trace(scenario.policy,
+                                      n_recycle=scenario.n_recycle)
+    cfg = AlphaFoldConfig.full(scenario.policy)
+
+    dap = partition_step(trace, scenario.dap_n, cfg)
+    records = dap.records
+    if scenario.torch_compile:
+        records = apply_torch_compile(records)
+
+    cost = CostModel(gpu, autotune=True)
+    breakdown = simulate_step(records, gpu, cost,
+                              graphed=scenario.cuda_graphs)
+    serial_s, parallel_s = _split_serial_parallel(
+        DapStepTrace(records=records, comm_events=dap.comm_events,
+                     dap_n=dap.dap_n), cost)
+
+    # --- DAP collectives (exposed on the critical path) ---
+    dap_comm = sum(collective_time(ev, topo) for ev in dap.comm_events)
+
+    # --- DDP gradient all-reduce, overlapped with backward ---
+    itemsize = 2 if scenario.policy.dtype.name in ("bf16", "fp16") else 4
+    param_bytes = trace.n_params * itemsize
+    backward_s = breakdown.total_s * 0.55  # backward dominates a step
+    clip_s = 0.0
+    ddp = ddp_cost(param_bytes, scenario.dp_degree, topo, backward_s,
+                   DdpConfig(), clip_seconds=clip_s)
+
+    # --- data pipeline stalls ---
+    base_step = breakdown.total_s + dap_comm + ddp.exposed_comm_s
+    prep = _prep_times(seed=5, n=768)
+    stall = stall_model(prep, scenario.data_workers, max(base_step, 1e-3),
+                        blocking=not scenario.nonblocking_pipeline,
+                        queue_capacity=scenario.data_queue_capacity)
+
+    # --- imbalance across the synchronized world ---
+    imbalance = 0.0
+    data_stall_mean = stall.probability * stall.mean_stall_s
+    if scenario.imbalance_enabled and scenario.world_size > 1:
+        jitter = CpuJitterConfig(gc_enabled=not scenario.gc_disabled)
+        model = StragglerModel(jitter=jitter, seed=scenario.seed)
+        inputs = ImbalanceInputs(
+            eager_dispatch_s=breakdown.dispatch_total_s,
+            graphed=scenario.cuda_graphs,
+            data_stall_probability=stall.probability,
+            data_stall_mean_s=stall.mean_stall_s,
+        )
+        # Every rank must pass the same all-reduce: the slowest of the
+        # whole world gates the step.  (Sampling cost is bounded by capping
+        # the simulated group at 256 ranks; E[max] grows ~log beyond.)
+        group = min(scenario.world_size, 256)
+        delays = model.sample_rank_delays(inputs, group, n_steps=500)
+        imbalance = float(delays.max(axis=1).mean())
+
+    total = breakdown.total_s + dap_comm + ddp.exposed_comm_s + imbalance
+    return StepEstimate(
+        scenario_label=scenario.label(),
+        compute_s=breakdown.total_s,
+        cpu_exposed_s=breakdown.cpu_exposed_s,
+        serial_compute_s=serial_s,
+        parallel_compute_s=parallel_s,
+        dap_comm_s=dap_comm,
+        ddp_exposed_s=ddp.exposed_comm_s,
+        imbalance_s=imbalance,
+        data_stall_mean_s=data_stall_mean,
+        total_s=total,
+        kernel_count=breakdown.kernel_count,
+        stall=stall,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3: barrier decomposition
+# ----------------------------------------------------------------------
+@dataclass
+class BarrierBreakdown:
+    """Gap between actual DAP-n step time and the ideal DAP-1/n time."""
+
+    dap_n: int
+    actual_s: float
+    ideal_s: float
+    cpu_overhead_s: float
+    serial_modules_s: float
+    kernel_scalability_s: float
+    comm_overhead_s: float
+    imbalanced_comm_s: float
+
+    @property
+    def gap_s(self) -> float:
+        return self.actual_s - self.ideal_s
+
+    def shares(self) -> Dict[str, float]:
+        gap = max(self.gap_s, 1e-12)
+        return {
+            "cpu_overhead": self.cpu_overhead_s / gap,
+            "serial_modules": self.serial_modules_s / gap,
+            "kernel_scalability": self.kernel_scalability_s / gap,
+            "comm_overhead": self.comm_overhead_s / gap,
+            "imbalanced_comm": self.imbalanced_comm_s / gap,
+        }
+
+
+def barrier_breakdown(scenario: Scenario,
+                      base_estimate: Optional[StepEstimate] = None) -> BarrierBreakdown:
+    """Decompose why DAP-n falls short of linear scaling (paper Fig. 3).
+
+    Matches the paper's methodology: each factor is "the relative difference
+    between the actual time and the theoretically optimal time" with that
+    factor idealized away.
+    """
+    n = scenario.dap_n
+    est = estimate_step_time(scenario)
+    base = base_estimate or estimate_step_time(
+        dataclasses.replace(scenario, dap_n=1))
+    ideal = base.total_s / n
+    serial_gap = est.serial_compute_s - base.serial_compute_s / n
+    kernel_gap = est.parallel_compute_s - base.parallel_compute_s / n
+    cpu_gap = est.cpu_exposed_s - base.cpu_exposed_s / n
+    return BarrierBreakdown(
+        dap_n=n,
+        actual_s=est.total_s,
+        ideal_s=ideal,
+        cpu_overhead_s=max(cpu_gap, 0.0),
+        serial_modules_s=max(serial_gap, 0.0),
+        kernel_scalability_s=max(kernel_gap, 0.0),
+        comm_overhead_s=est.dap_comm_s + est.ddp_exposed_s,
+        imbalanced_comm_s=est.imbalance_s,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 8: the optimization ladder
+# ----------------------------------------------------------------------
+def optimization_ladder(gpu: str = "H100",
+                        dp_degree: int = 128) -> List[Scenario]:
+    """The step-by-step optimization sequence of Figure 8 (cumulative)."""
+    p = KernelPolicy.reference()
+    steps: List[Scenario] = []
+
+    def add(policy: KernelPolicy, **kw) -> None:
+        base = dict(gpu=gpu, dp_degree=dp_degree)
+        base.update(kw)
+        steps.append(Scenario(policy=policy, **base))
+
+    add(p)                                                     # reference
+    p = p.replace(batched_gemm=True)
+    add(p)                                                     # + GEMM batching
+    add(p, nonblocking_pipeline=True)                          # + dataloader
+    p = p.replace(dtype=bfloat16)
+    add(p, nonblocking_pipeline=True)                          # + bf16
+    p = p.replace(fused_mha=True)
+    add(p, nonblocking_pipeline=True)                          # + Triton MHA
+    p = p.replace(fused_layernorm=True)
+    add(p, nonblocking_pipeline=True)                          # + Triton LN
+    p = p.replace(fused_adam_swa=True, bucketed_clip=True)
+    add(p, nonblocking_pipeline=True)                          # + FusedAdam+SWA
+    p_dap = p.replace(activation_checkpointing=False)
+    add(p_dap, nonblocking_pipeline=True, dap_n=8,
+        dp_degree=dp_degree, cuda_graphs=True)                 # + DAP-8+graph+no-ckpt
+    add(p_dap, nonblocking_pipeline=True, dap_n=8,
+        cuda_graphs=True, gc_disabled=True)                    # + GC off
+    add(p_dap, nonblocking_pipeline=True, dap_n=8,
+        cuda_graphs=True, gc_disabled=True, torch_compile=True)  # + compile
+    return steps
+
+
+LADDER_LABELS = [
+    "reference", "+gemm_batching", "+nonblocking_dataloader", "+bf16",
+    "+triton_mha", "+triton_layernorm", "+fused_adam_swa",
+    "+dap8_cudagraph_nockpt", "+gc_disabled", "+torch_compile",
+]

@@ -1,0 +1,233 @@
+"""Time-to-train composition: Figures 9, 10, 11 and the headline numbers.
+
+* MLPerf HPC v3.0 OpenFold benchmark (Figure 10): resume from checkpoint,
+  train global-batch-256 to avg_lddt_ca 0.8 on 2080 H100s (2048 training +
+  32 evaluation).  Paper: 7.51 minutes with async evaluation (~2 min of
+  which is initialization/compilation), ~11 minutes without it; 6x faster
+  than the reference.
+* From-scratch pretraining (Figure 11): 5000 steps at bs128 on 1056 GPUs,
+  then bs256 on 2080 GPUs (Triton MHA disabled for convergence), 50-60k
+  steps total to 0.9 — under 10 hours, vs ~7 days for the baseline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..model.config import KernelPolicy
+from ..train.convergence import (MLPERF_CHECKPOINT_SAMPLES,
+                                 MLPERF_TARGET_LDDT, ConvergenceModel,
+                                 CurvePoint, TrainingPhase, simulate_curve)
+from ..train.evaluation import EvalConfig, EvalOverhead, evaluation_overhead
+from .scaling import Scenario, estimate_step_time
+
+#: Paper: "~2 minutes initialization and compilation overhead".
+INIT_SECONDS_SCALEFOLD = 120.0
+#: The eager reference still pays job launch + data pipeline warmup.
+INIT_SECONDS_REFERENCE = 60.0
+#: Synchronous evaluation pays a per-pass setup (SWA weight materialization,
+#: eval loader spin-up) on the training nodes.
+SYNC_EVAL_SETUP_SECONDS = 60.0
+
+
+@dataclass
+class TttPhase:
+    name: str
+    steps: float
+    step_seconds: float
+    batch_size: int
+    train_gpus: int
+
+    @property
+    def train_seconds(self) -> float:
+        return self.steps * self.step_seconds
+
+
+@dataclass
+class TttResult:
+    label: str
+    init_seconds: float
+    phases: List[TttPhase]
+    eval_overheads: List[EvalOverhead]
+    curve: List[CurvePoint] = field(default_factory=list)
+
+    @property
+    def train_seconds(self) -> float:
+        return sum(p.train_seconds for p in self.phases)
+
+    @property
+    def eval_blocked_seconds(self) -> float:
+        return sum(e.train_blocked_seconds for e in self.eval_overheads)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.init_seconds + self.train_seconds + self.eval_blocked_seconds
+
+    @property
+    def total_minutes(self) -> float:
+        return self.total_seconds / 60.0
+
+    @property
+    def total_hours(self) -> float:
+        return self.total_seconds / 3600.0
+
+    def breakdown(self) -> Dict[str, float]:
+        return {
+            "init_s": self.init_seconds,
+            "train_s": self.train_seconds,
+            "eval_blocked_s": self.eval_blocked_seconds,
+            "total_s": self.total_seconds,
+            "eval_fraction": (self.eval_blocked_seconds
+                              / max(self.total_seconds, 1e-9)),
+        }
+
+
+def _scalefold_scenario(dap_n: int, dp_degree: int, gpu: str = "H100",
+                        fused_mha: bool = True) -> Scenario:
+    policy = KernelPolicy.scalefold(checkpointing=dap_n < 8)
+    if not fused_mha:
+        policy = policy.replace(fused_mha=False)
+    return Scenario(policy=policy, gpu=gpu, dap_n=dap_n, dp_degree=dp_degree,
+                    cuda_graphs=dap_n > 1, gc_disabled=True,
+                    torch_compile=True, nonblocking_pipeline=True)
+
+
+def _reference_scenario(dp_degree: int, gpu: str = "H100") -> Scenario:
+    return Scenario(policy=KernelPolicy.reference(), gpu=gpu, dap_n=1,
+                    dp_degree=dp_degree)
+
+
+def mlperf_time_to_train(scalefold: bool = True, async_eval: bool = True,
+                         n_gpus: int = 2080,
+                         gpu: str = "H100",
+                         eval_config: Optional[EvalConfig] = None,
+                         convergence: Optional[ConvergenceModel] = None,
+                         step_seconds_override: Optional[float] = None
+                         ) -> TttResult:
+    """The MLPerf HPC OpenFold benchmark (Figure 10).
+
+    ``scalefold=False`` models the MLPerf reference submission: eager fp32
+    OpenFold on 256 GPUs (DP-256, global batch 256), synchronous evaluation.
+    """
+    model = convergence or ConvergenceModel()
+    eval_cfg = eval_config or EvalConfig()
+    batch = 256
+    if scalefold:
+        eval_gpus = eval_cfg.n_eval_gpus if async_eval else 0
+        train_gpus = n_gpus - eval_gpus
+        dap_n = max(train_gpus // batch, 1)
+        scenario = _scalefold_scenario(dap_n=dap_n, dp_degree=batch, gpu=gpu)
+        init = INIT_SECONDS_SCALEFOLD
+        label = f"ScaleFold-{n_gpus}x{gpu}" + ("-async" if async_eval else "-sync")
+    else:
+        train_gpus = batch
+        scenario = _reference_scenario(dp_degree=batch, gpu=gpu)
+        init = INIT_SECONDS_REFERENCE
+        async_eval = False
+        label = f"Reference-{train_gpus}x{gpu}"
+
+    step_s = (step_seconds_override if step_seconds_override is not None
+              else estimate_step_time(scenario).total_s)
+    steps = model.steps_to_reach(MLPERF_TARGET_LDDT, batch,
+                                 start_samples=MLPERF_CHECKPOINT_SAMPLES)
+    overhead = evaluation_overhead(eval_cfg, int(steps), step_s, train_gpus,
+                                   async_eval)
+    if not async_eval:
+        overhead = dataclasses.replace(
+            overhead,
+            train_blocked_seconds=overhead.train_blocked_seconds
+            + SYNC_EVAL_SETUP_SECONDS * overhead.n_evals)
+    phase = TttPhase("mlperf", steps, step_s, batch, train_gpus)
+    curve = simulate_curve(model, [TrainingPhase(batch, None, MLPERF_TARGET_LDDT)],
+                           eval_interval=eval_cfg.eval_every_steps,
+                           start_samples=MLPERF_CHECKPOINT_SAMPLES)
+    return TttResult(label=label, init_seconds=init, phases=[phase],
+                     eval_overheads=[overhead], curve=curve)
+
+
+def pretraining_time_to_train(scalefold: bool = True,
+                              gpu: Optional[str] = None,
+                              convergence: Optional[ConvergenceModel] = None,
+                              eval_config: Optional[EvalConfig] = None
+                              ) -> TttResult:
+    """From-scratch initial training (Figure 11).
+
+    ScaleFold: phase 1 = bs128, 5000 steps on 1056 H100s (1024 train as
+    DP-128 x DAP-8 + 32 eval); phase 2 = bs256 on 2080 H100s (DP-256 x
+    DAP-8, Triton MHA disabled per §4.2) until avg_lddt_ca 0.9.
+
+    Baseline: eager fp32 OpenFold, DP-only (128 then 256 A100s), sync eval —
+    the ~7-day regime the paper compares against.
+    """
+    model = convergence or ConvergenceModel()
+    eval_cfg = eval_config or EvalConfig()
+    phases: List[TttPhase] = []
+    overheads: List[EvalOverhead] = []
+
+    if scalefold:
+        gpu = gpu or "H100"
+        s1 = estimate_step_time(
+            _scalefold_scenario(dap_n=8, dp_degree=128, gpu=gpu)).total_s
+        s2 = estimate_step_time(
+            _scalefold_scenario(dap_n=8, dp_degree=256, gpu=gpu,
+                                fused_mha=False)).total_s
+        init = INIT_SECONDS_SCALEFOLD
+        async_eval = True
+        label = f"ScaleFold-pretrain-{gpu}"
+        train_gpus = (1024, 2048)
+    else:
+        gpu = gpu or "A100"
+        s1 = estimate_step_time(_reference_scenario(dp_degree=128, gpu=gpu)).total_s
+        s2 = estimate_step_time(_reference_scenario(dp_degree=256, gpu=gpu)).total_s
+        init = INIT_SECONDS_REFERENCE
+        async_eval = False
+        label = f"Baseline-pretrain-{gpu}"
+        train_gpus = (128, 256)
+
+    steps1 = 5000.0
+    samples1 = steps1 * 128
+    steps2 = model.steps_to_reach(0.9, 256, start_samples=samples1)
+    phases.append(TttPhase("phase1-bs128", steps1, s1, 128, train_gpus[0]))
+    phases.append(TttPhase("phase2-bs256", steps2, s2, 256, train_gpus[1]))
+    overheads.append(evaluation_overhead(eval_cfg, int(steps1), s1,
+                                         train_gpus[0], async_eval))
+    overheads.append(evaluation_overhead(eval_cfg, int(steps2), s2,
+                                         train_gpus[1], async_eval))
+    if not async_eval:
+        for i, ov in enumerate(overheads):
+            overheads[i] = dataclasses.replace(
+                ov, train_blocked_seconds=ov.train_blocked_seconds
+                + SYNC_EVAL_SETUP_SECONDS * ov.n_evals)
+
+    curve = simulate_curve(
+        model,
+        [TrainingPhase(128, int(steps1), None),
+         TrainingPhase(256, None, 0.9)],
+        eval_interval=eval_cfg.eval_every_steps)
+    return TttResult(label=label, init_seconds=init, phases=phases,
+                     eval_overheads=overheads, curve=curve)
+
+
+def curve_with_walltime(result: TttResult) -> List[Tuple[float, float]]:
+    """(hours, lddt) pairs for Figure 11's x-axis."""
+    out: List[Tuple[float, float]] = []
+    if not result.phases:
+        return out
+    phase_bounds: List[Tuple[float, float, int]] = []
+    acc_steps = 0.0
+    for p in result.phases:
+        phase_bounds.append((acc_steps, p.step_seconds, p.batch_size))
+        acc_steps += p.steps
+    eval_drag = (result.eval_blocked_seconds
+                 / max(sum(p.steps for p in result.phases), 1.0))
+    for point in result.curve:
+        seconds = result.init_seconds
+        remaining = float(point.step)
+        for (start, step_s, _bs), phase in zip(phase_bounds, result.phases):
+            in_phase = min(max(remaining - start, 0.0), phase.steps)
+            seconds += in_phase * step_s
+        seconds += point.step * eval_drag
+        out.append((seconds / 3600.0, point.lddt))
+    return out

@@ -1,0 +1,98 @@
+"""Build (and cache) paper-scale kernel traces for performance analysis.
+
+A *step trace* is the full kernel-launch sequence of one training step on
+one rank: forward (with recycling), backward (with checkpoint recompute when
+enabled), and the optimizer update.  Built by executing the real model in
+meta (shape-only) mode, so the trace is exactly what the numeric model would
+launch — not a hand-written approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..framework import dtypes
+from ..framework.module import meta_build
+from ..framework.tracer import Trace, phase, trace
+from ..datapipe.samples import meta_batch
+from ..model.alphafold import AlphaFold
+from ..model.config import AlphaFoldConfig, KernelPolicy
+from ..model.loss import AlphaFoldLoss
+from ..train.optimizer import emit_update_trace
+
+
+@dataclass
+class StepTrace:
+    """One rank's kernel trace for a single training step."""
+
+    trace: Trace
+    policy: KernelPolicy
+    n_recycle: int
+    n_params: int
+    param_shapes: List[Tuple[int, ...]]
+
+    @property
+    def n_kernels(self) -> int:
+        return len(self.trace)
+
+
+def _policy_key(policy: KernelPolicy, n_recycle: int,
+                include_optimizer: bool) -> Tuple:
+    return (policy.fused_layernorm, policy.fused_mha, policy.batched_gemm,
+            policy.fused_adam_swa, policy.bucketed_clip,
+            policy.activation_checkpointing, policy.dtype.name, n_recycle,
+            include_optimizer)
+
+
+_CACHE: Dict[Tuple, StepTrace] = {}
+
+
+def build_step_trace(policy: Optional[KernelPolicy] = None,
+                     n_recycle: int = 1,
+                     include_optimizer: bool = True,
+                     cfg: Optional[AlphaFoldConfig] = None,
+                     use_cache: bool = True) -> StepTrace:
+    """Trace one full-size training step under the given kernel policy.
+
+    Results are memoized per policy signature (building a trace costs a few
+    seconds of shape propagation over ~100k ops).
+    """
+    policy = policy or KernelPolicy.reference()
+    cfg = cfg or AlphaFoldConfig.full(policy)
+    if cfg.kernel_policy is not policy:
+        cfg = cfg.replace(kernel_policy=policy)
+    key = _policy_key(policy, n_recycle, include_optimizer)
+    cacheable = use_cache and cfg == AlphaFoldConfig.full(policy)
+    if cacheable and key in _CACHE:
+        return _CACHE[key]
+
+    with meta_build():
+        model = AlphaFold(cfg)
+    if policy.dtype is not dtypes.float32:
+        model.to_dtype(policy.dtype)
+    batch = meta_batch(cfg, dtype=policy.dtype)
+    loss_fn = AlphaFoldLoss(cfg)
+    param_shapes = [p.shape for p in model.parameters()]
+
+    with trace("step") as t:
+        with phase("forward"):
+            outputs = model(batch, n_recycle=n_recycle)
+            loss, _ = loss_fn(outputs, batch)
+        with phase("backward"):
+            loss.backward()
+        if include_optimizer:
+            with phase("update"):
+                emit_update_trace(param_shapes, fused=policy.fused_adam_swa,
+                                  bucketed_clip=policy.bucketed_clip)
+
+    result = StepTrace(trace=t, policy=policy, n_recycle=n_recycle,
+                       n_params=model.num_parameters(),
+                       param_shapes=param_shapes)
+    if cacheable:
+        _CACHE[key] = result
+    return result
+
+
+def clear_cache() -> None:
+    _CACHE.clear()

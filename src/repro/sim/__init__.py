@@ -1,0 +1,11 @@
+"""Discrete-event simulation: the engine and the cluster-level model."""
+
+from .cluster import (ClusterRunResult, ClusterSimConfig, EvalRecord,
+                      run_cluster_simulation)
+from .des import FifoQueue, Simulator
+
+__all__ = [
+    "ClusterRunResult", "ClusterSimConfig", "EvalRecord",
+    "run_cluster_simulation",
+    "FifoQueue", "Simulator",
+]

@@ -1,0 +1,183 @@
+"""Event-driven simulation of the whole training cluster.
+
+Cross-validates the closed-form time-to-train model
+(:mod:`repro.perf.time_to_train`) with an actual discrete-event run:
+
+* every training step, each synchronized rank draws its delay (CPU peaks,
+  GC, data stalls) and the gradient all-reduce completes at the slowest
+  rank — E[max] emerges from sampling instead of being assumed;
+* every ``eval_every_steps`` steps a checkpoint is snapshotted; the
+  evaluation pool (sync: the training ranks themselves; async: dedicated
+  GPUs) scores checkpoints SERIALLY, so a slow eval pass backs up the
+  queue — the paper's "evaluation time must be smaller than training time"
+  constraint appears as queue growth;
+* the run ends when an evaluation *completes* with avg_lddt_ca >= target:
+  async evaluation's tail latency is therefore part of the measured TTT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..distributed.straggler import ImbalanceInputs, StragglerModel
+from ..hardware.cpu import CpuJitterConfig
+from ..train.convergence import ConvergenceModel
+from ..train.evaluation import EvalConfig, eval_pass_seconds
+from .des import Simulator
+
+
+@dataclass
+class ClusterSimConfig:
+    """One simulated training job."""
+
+    step_seconds: float                 # compute+comm per step (no jitter)
+    n_sync_ranks: int = 256             # ranks the all-reduce synchronizes
+    global_batch: int = 256
+    start_samples: float = 0.0
+    target_lddt: float = 0.8
+    init_seconds: float = 120.0
+    eval: EvalConfig = field(default_factory=EvalConfig)
+    async_eval: bool = True
+    #: Synchronous evaluation pays a per-pass setup on the training nodes
+    #: (SWA weight materialization, loader spin-up) — matches the
+    #: closed-form model's SYNC_EVAL_SETUP_SECONDS.
+    sync_eval_setup_s: float = 60.0
+    n_train_gpus: int = 2048
+    graphed: bool = True
+    gc_disabled: bool = True
+    eager_dispatch_s: float = 0.05
+    data_stall_probability: float = 0.0
+    data_stall_mean_s: float = 0.0
+    max_steps: int = 20_000
+    seed: int = 0
+
+
+@dataclass
+class EvalRecord:
+    step: int
+    triggered_at: float
+    completed_at: float
+    lddt: float
+
+    @property
+    def queue_delay(self) -> float:
+        return self.completed_at - self.triggered_at
+
+
+@dataclass
+class ClusterRunResult:
+    total_seconds: float
+    steps: int
+    converged: bool
+    step_times: List[float]
+    evals: List[EvalRecord]
+
+    @property
+    def total_minutes(self) -> float:
+        return self.total_seconds / 60.0
+
+    @property
+    def mean_step_seconds(self) -> float:
+        return float(np.mean(self.step_times)) if self.step_times else 0.0
+
+    @property
+    def eval_backlog_grew(self) -> bool:
+        """Did evaluation fall behind training (the §3.4 bottleneck)?"""
+        if len(self.evals) < 2:
+            return False
+        delays = [e.queue_delay for e in self.evals]
+        return delays[-1] > 2.0 * delays[0] + 1e-9
+
+
+def run_cluster_simulation(config: ClusterSimConfig,
+                           convergence: Optional[ConvergenceModel] = None
+                           ) -> ClusterRunResult:
+    """Run the event-driven cluster model until the target lDDT is scored."""
+    model = convergence or ConvergenceModel()
+    rng = np.random.default_rng(config.seed)
+    sim = Simulator()
+
+    straggler = StragglerModel(
+        jitter=CpuJitterConfig(gc_enabled=not config.gc_disabled),
+        seed=config.seed)
+    inputs = ImbalanceInputs(
+        eager_dispatch_s=config.eager_dispatch_s,
+        graphed=config.graphed,
+        data_stall_probability=config.data_stall_probability,
+        data_stall_mean_s=config.data_stall_mean_s,
+    )
+    # Pre-draw per-(step, rank) delays in bulk (vectorized), consume per step.
+    sample_ranks = min(config.n_sync_ranks, 256)
+    delays = straggler.sample_rank_delays(inputs, sample_ranks,
+                                          config.max_steps)
+
+    eval_gpus = (config.eval.n_eval_gpus if config.async_eval
+                 else config.n_train_gpus)
+    eval_pass = eval_pass_seconds(config.eval, eval_gpus)
+    if not config.async_eval:
+        eval_pass += config.sync_eval_setup_s
+
+    state = {
+        "step": 0,
+        "samples": config.start_samples,
+        "eval_free_at": 0.0,
+        "converged_at": None,
+        "final_step": 0,
+    }
+    step_times: List[float] = []
+    evals: List[EvalRecord] = []
+
+    def do_step() -> None:
+        if state["converged_at"] is not None:
+            return
+        if state["step"] >= config.max_steps:
+            return
+        i = state["step"]
+        state["step"] += 1
+        state["samples"] += config.global_batch
+        step_wall = config.step_seconds + float(delays[i].max())
+        step_times.append(step_wall)
+
+        def after_step() -> None:
+            if state["step"] % config.eval.eval_every_steps == 0:
+                trigger_eval(state["step"], state["samples"])
+            if not config.async_eval:
+                # Synchronous: training waits for the eval pass it issued.
+                if state["step"] % config.eval.eval_every_steps == 0:
+                    sim.schedule(eval_pass, do_step)
+                    return
+            do_step()
+
+        sim.schedule(step_wall, after_step)
+
+    def trigger_eval(step: int, samples: float) -> None:
+        triggered = sim.now
+        start = max(triggered, state["eval_free_at"])
+        done = start + eval_pass
+        state["eval_free_at"] = done
+
+        def complete() -> None:
+            lddt = model.lddt_at(samples, config.global_batch, rng)
+            evals.append(EvalRecord(step=step, triggered_at=triggered,
+                                    completed_at=sim.now, lddt=lddt))
+            if lddt >= config.target_lddt and state["converged_at"] is None:
+                state["converged_at"] = sim.now
+                state["final_step"] = step
+
+        sim.schedule_at(done, complete)
+
+    sim.schedule_at(config.init_seconds, do_step)
+    sim.run()
+
+    converged = state["converged_at"] is not None
+    total = (state["converged_at"] if converged else sim.now)
+    return ClusterRunResult(
+        total_seconds=float(total),
+        steps=state["final_step"] if converged else state["step"],
+        converged=converged,
+        step_times=step_times,
+        evals=evals,
+    )

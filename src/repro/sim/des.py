@@ -1,0 +1,105 @@
+"""A small discrete-event simulation engine.
+
+Callback-style: schedule callables at future times; the simulator pops them
+in time order.  Used by the data-pipeline models (blocking vs non-blocking
+loaders, Figure 5) and the cluster training simulation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class Simulator:
+    """Event loop over simulated seconds."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._running = False
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        heapq.heappush(self._heap, (time, next(self._seq), callback))
+
+    def run(self, until: Optional[float] = None,
+            max_events: int = 10_000_000) -> None:
+        """Process events until the heap drains, ``until`` passes, or the
+        event budget is exhausted (runaway guard)."""
+        processed = 0
+        while self._heap:
+            if processed >= max_events:
+                raise RuntimeError(f"event budget exhausted at t={self.now}")
+            time, _seq, callback = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return
+            heapq.heappop(self._heap)
+            self.now = time
+            callback()
+            processed += 1
+        if until is not None:
+            self.now = max(self.now, until)
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+
+class FifoQueue:
+    """A simulated queue: items arrive via ``put``, consumers register
+    ``get`` callbacks that fire as soon as an item (per discipline) exists.
+
+    ``priority=True`` delivers the smallest item first (the non-blocking
+    loader's best-effort index ordering); ``in_order=True`` additionally
+    refuses to deliver item k before items 0..k-1 (the PyTorch DataLoader
+    discipline that causes Figure 5(i)'s stall).
+    """
+
+    def __init__(self, sim: Simulator, priority: bool = False,
+                 in_order: bool = False) -> None:
+        self.sim = sim
+        self.priority = priority
+        self.in_order = in_order
+        self._items: List[Any] = []
+        self._waiters: List[Callable[[Any], None]] = []
+        self._next_expected = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        self._items.append(item)
+        if self.priority or self.in_order:
+            self._items.sort()
+        self._dispatch()
+
+    def get(self, callback: Callable[[Any], None]) -> None:
+        self._waiters.append(callback)
+        self._dispatch()
+
+    def _deliverable(self) -> bool:
+        if not self._items:
+            return False
+        if self.in_order:
+            head = self._items[0]
+            index = head[0] if isinstance(head, tuple) else head
+            return index == self._next_expected
+        return True
+
+    def _dispatch(self) -> None:
+        while self._waiters and self._deliverable():
+            item = self._items.pop(0)
+            self._next_expected += 1
+            callback = self._waiters.pop(0)
+            callback(item)

@@ -1,0 +1,68 @@
+"""Structured per-step training logs (JSON lines).
+
+Real training runs live or die by their logs; the trainer emits one JSON
+object per optimizer step (loss parts, grad norm, LR, timing) that any
+downstream tool can parse.  The MLPerf harness has its own MLLOG format
+(:mod:`repro.mlperf.logging`); this is the day-to-day training log.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, IO, Iterator, List, Optional, Union
+
+
+class StepLogger:
+    """Append-only JSONL logger for training steps."""
+
+    def __init__(self, target: Union[str, IO[str], None] = None,
+                 clock=None) -> None:
+        self._own = isinstance(target, str)
+        self._handle: Optional[IO[str]] = (
+            open(target, "a") if self._own else target)
+        self._clock = clock or time.time
+        self.entries: List[Dict] = []  # in-memory mirror
+
+    def log(self, **fields) -> Dict:
+        entry = {"time": self._clock(), **fields}
+        self.entries.append(entry)
+        if self._handle is not None:
+            self._handle.write(json.dumps(entry) + "\n")
+            self._handle.flush()
+        return entry
+
+    def close(self) -> None:
+        if self._own and self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "StepLogger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_step_log(path: str) -> Iterator[Dict]:
+    """Parse a JSONL step log back into dicts."""
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def summarize_log(entries) -> Dict[str, float]:
+    """Quick aggregates over a step log (for tests and reports)."""
+    entries = list(entries)
+    if not entries:
+        return {"steps": 0}
+    losses = [e["loss"] for e in entries if "loss" in e]
+    return {
+        "steps": len(entries),
+        "first_loss": losses[0] if losses else float("nan"),
+        "last_loss": losses[-1] if losses else float("nan"),
+        "mean_grad_norm": (sum(e.get("grad_norm", 0.0) for e in entries)
+                           / len(entries)),
+    }

@@ -1,0 +1,88 @@
+"""Deeper assertions on experiment outputs (fast experiments + the ones
+that can reuse the session-scoped trace fixtures)."""
+
+import numpy as np
+import pytest
+
+from repro.core.experiments import (PAPER_LADDER_SPEEDUPS, run_fig4,
+                                    run_fig5, run_key_operations,
+                                    run_table1)
+
+
+class TestTable1Experiment:
+    @pytest.fixture(scope="class")
+    def result(self, reference_step_trace):
+        # the session fixture pre-warms the trace cache; run_table1 reuses it
+        return run_table1()
+
+    def test_paper_reference_embedded(self, result):
+        for row in result.rows:
+            assert "paper_pct" in row
+
+    def test_percentages_sum(self, result):
+        total = sum(r["runtime_pct"] for r in result.rows)
+        assert total == pytest.approx(100.0, abs=1.5)
+
+    def test_call_counts_scale(self, result):
+        rows = {r["kernel_type"]: r for r in result.rows}
+        total_calls = sum(r["calls"] for r in result.rows
+                          if isinstance(r["calls"], int))
+        assert total_calls > 120_000  # paper: >150k launched operators
+
+    def test_step_time_in_notes(self, result):
+        assert "6.76" in result.notes  # paper anchor stays visible
+
+
+class TestKeyOpsExperiment:
+    @pytest.fixture(scope="class")
+    def result(self, reference_step_trace, scalefold_step_trace):
+        return run_key_operations()
+
+    def test_five_operations(self, result):
+        assert {r["operation"] for r in result.rows} == {
+            "MHA", "LayerNorm", "WeightUpdate", "SWA", "GradClip"}
+
+    def test_shares_are_fractions_of_step(self, result):
+        total = sum(r["step_share_pct"] for r in result.rows)
+        assert 0 < total < 100
+
+
+class TestFig4Experiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4(n_samples=512)
+
+    def test_percentile_grid(self, result):
+        percentiles = [r["percentile"] for r in result.rows]
+        assert percentiles == sorted(percentiles)
+        assert 50 in percentiles and 99 in percentiles
+
+    def test_three_scales(self, result):
+        by_pct = {r["percentile"]: r["prep_seconds"] for r in result.rows}
+        assert by_pct[100] / by_pct[1] > 20
+
+
+class TestFig5Experiment:
+    def test_stall_arithmetic(self):
+        result = run_fig5()
+        rows = {r["pipeline"]: r for r in result.rows}
+        blocking = rows["blocking (PyTorch)"]
+        nonblocking = rows["non-blocking (ScaleFold)"]
+        # The paper's numbers exactly: 2s saved, stall 3s -> 1s.
+        assert blocking["total_s"] == pytest.approx(17.0)
+        assert nonblocking["total_s"] == pytest.approx(15.0)
+        assert blocking["stall_s"] == pytest.approx(3.0)
+        assert nonblocking["stall_s"] == pytest.approx(1.0)
+
+    def test_custom_step_time(self):
+        result = run_fig5(step_time_s=1.0)
+        assert len(result.rows) == 2
+
+
+class TestPaperConstants:
+    def test_ladder_speedups_match_paper_product(self):
+        """The embedded paper numbers multiply to the claimed ~6.2x."""
+        product = 1.0
+        for v in PAPER_LADDER_SPEEDUPS.values():
+            product *= v
+        assert product == pytest.approx(6.2, rel=0.30)

@@ -1,0 +1,58 @@
+"""Report generation: markdown rendering, sections, file output."""
+
+import pytest
+
+from repro.core.report import (REPORT_ORDER, _result_to_markdown,
+                               cross_validation_section, generate_report,
+                               memory_section, write_report)
+from repro.core.experiments import EXPERIMENTS, ExperimentResult
+
+
+class TestMarkdownRendering:
+    def test_result_table(self):
+        result = ExperimentResult("x", "Title", [{"a": 1, "b": 2.5}],
+                                  notes="note")
+        text = _result_to_markdown(result)
+        assert "## x: Title" in text
+        assert "| a | b |" in text
+        assert "| 1 | 2.500 |" in text
+        assert "> note" in text
+
+    def test_empty_rows(self):
+        text = _result_to_markdown(ExperimentResult("y", "T", []))
+        assert "## y: T" in text
+
+    def test_report_order_all_registered(self):
+        for experiment_id in REPORT_ORDER:
+            assert experiment_id in EXPERIMENTS
+
+
+class TestSections:
+    def test_memory_section_story(self):
+        text = memory_section()
+        # The §4.1 claim must be visible: no-ckpt fails at DAP-1 only.
+        lines = [l for l in text.splitlines() if "no ckpt" in l]
+        dap1 = [l for l in lines if "| 1 |" in l]
+        dap8 = [l for l in lines if "| 8 |" in l]
+        assert all("NO" in l for l in dap1)
+        assert all("yes" in l for l in dap8)
+
+    def test_cross_validation_section(self):
+        text = cross_validation_section()
+        assert "closed-form" in text
+        assert "ratio" in text
+
+
+class TestGenerate:
+    def test_subset_report(self):
+        text = generate_report(experiment_ids=["fig5"],
+                               include_memory=False,
+                               include_cross_check=False)
+        assert "fig5" in text
+        assert "memory" not in text
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "report.md"
+        text = write_report(str(path), experiment_ids=["fig5"],
+                            include_memory=False, include_cross_check=False)
+        assert path.read_text() == text

@@ -1,0 +1,106 @@
+"""Distributed sampler: partitioning, determinism, epoch shuffling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datapipe.sampler import DistributedSampler, coverage_check
+
+
+class TestPartitioning:
+    def test_ranks_disjoint_with_drop_last(self):
+        samplers = [DistributedSampler(100, rank=r, world_size=8,
+                                       drop_last=True) for r in range(8)]
+        shards = [set(s.epoch_indices(0)) for s in samplers]
+        union = set()
+        for shard in shards:
+            assert not (union & shard)
+            union |= shard
+        assert len(union) == 96  # 100 - ragged tail of 4
+
+    def test_full_coverage_without_drop_last(self):
+        samplers = [DistributedSampler(100, rank=r, world_size=8)
+                    for r in range(8)]
+        assert coverage_check(samplers, epoch=0)
+
+    def test_equal_counts_per_rank(self):
+        for drop_last in (True, False):
+            samplers = [DistributedSampler(103, rank=r, world_size=4,
+                                           drop_last=drop_last)
+                        for r in range(4)]
+            counts = {len(s.epoch_indices(0)) for s in samplers}
+            assert len(counts) == 1
+
+    def test_single_rank_sees_everything(self):
+        s = DistributedSampler(17, rank=0, world_size=1, shuffle=False)
+        assert s.epoch_indices(0) == list(range(17))
+
+    @given(st.integers(1, 200), st.integers(1, 16), st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_partition_property(self, size, world, drop_last):
+        samplers = [DistributedSampler(size, rank=r, world_size=world,
+                                       drop_last=drop_last)
+                    for r in range(world)]
+        assert coverage_check(samplers, epoch=3)
+
+
+class TestDeterminismAndShuffle:
+    def test_same_seed_same_order(self):
+        a = DistributedSampler(50, seed=7).epoch_indices(2)
+        b = DistributedSampler(50, seed=7).epoch_indices(2)
+        assert a == b
+
+    def test_epochs_differ(self):
+        s = DistributedSampler(50, seed=7)
+        assert s.epoch_indices(0) != s.epoch_indices(1)
+
+    def test_seeds_differ(self):
+        a = DistributedSampler(50, seed=1).epoch_indices(0)
+        b = DistributedSampler(50, seed=2).epoch_indices(0)
+        assert a != b
+
+    def test_no_shuffle_is_strided(self):
+        s = DistributedSampler(10, rank=1, world_size=2, shuffle=False)
+        assert s.epoch_indices(0) == [1, 3, 5, 7, 9]
+
+    def test_iter_epochs_chains(self):
+        s = DistributedSampler(10, rank=0, world_size=2, shuffle=False)
+        stream = list(s.iter_epochs(2))
+        assert len(stream) == 10
+        assert stream[:5] == stream[5:]  # unshuffled epochs repeat
+
+
+class TestValidation:
+    def test_bad_rank(self):
+        with pytest.raises(ValueError):
+            DistributedSampler(10, rank=4, world_size=4)
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            DistributedSampler(0)
+
+    def test_coverage_check_needs_all_ranks(self):
+        samplers = [DistributedSampler(10, rank=0, world_size=2)]
+        assert not coverage_check(samplers, 0)
+
+
+class TestLoaderIntegration:
+    def test_feeds_nonblocking_loader(self):
+        """Sampler indices flow through the non-blocking loader with
+        exactly-once delivery of this rank's shard."""
+        from repro.datapipe.loader import NonBlockingLoader, run_loader
+
+        class Identity:
+            def __len__(self):
+                return 40
+
+            def __getitem__(self, i):
+                return i
+
+        sampler = DistributedSampler(40, rank=1, world_size=4,
+                                     drop_last=True)
+        indices = sampler.epoch_indices(0)
+        order, _ = run_loader(NonBlockingLoader(Identity(), indices=indices,
+                                                num_workers=3))
+        assert sorted(order) == sorted(indices)

@@ -1,0 +1,140 @@
+"""Synthetic dataset and the batch-prep-time model (Figure 4's substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datapipe.prep_time import (PrepTimeModel, prep_time_series,
+                                      sorted_prep_times, tail_statistics)
+from repro.datapipe.samples import (ProteinSample, SyntheticProteinDataset,
+                                    make_batch, meta_batch,
+                                    synthetic_ca_trace)
+from repro.model.config import AlphaFoldConfig
+
+CFG = AlphaFoldConfig.tiny()
+
+
+class TestSyntheticDataset:
+    def test_deterministic_by_index(self):
+        ds = SyntheticProteinDataset(CFG, size=8)
+        a, b = ds[3], ds[3]
+        assert a.full_length == b.full_length
+        assert np.array_equal(a.ca_coords, b.ca_coords)
+        assert np.array_equal(a.features["msa_feat"], b.features["msa_feat"])
+
+    def test_different_indices_differ(self):
+        ds = SyntheticProteinDataset(CFG, size=8)
+        assert not np.array_equal(ds[0].ca_coords, ds[1].ca_coords)
+
+    def test_feature_shapes(self):
+        ds = SyntheticProteinDataset(CFG, size=2)
+        s = ds[0]
+        n = CFG.n_res
+        assert s.features["target_feat"].shape == (n, CFG.tf_dim)
+        assert s.features["msa_feat"].shape == (CFG.n_seq, n, CFG.msa_feat_dim)
+        assert s.features["template_pair_feat"].shape == (
+            CFG.n_templates, n, n, CFG.c_t)
+        assert s.ca_coords.shape == (n, 3)
+        assert s.true_rots.shape == (n, 3, 3)
+
+    def test_target_feat_is_one_hot(self):
+        s = SyntheticProteinDataset(CFG, size=1)[0]
+        assert np.allclose(s.features["target_feat"].sum(-1), 1.0)
+
+    def test_metadata_matches_full_sample(self):
+        ds = SyntheticProteinDataset(CFG, size=4)
+        meta = ds.sample_metadata(2)
+        full = ds[2]
+        assert meta.full_length == full.full_length
+        assert meta.msa_depth == full.msa_depth
+
+    def test_length_distribution_plausible(self):
+        ds = SyntheticProteinDataset(CFG, size=512)
+        lengths = [ds.sample_metadata(i).full_length for i in range(512)]
+        assert 50 <= min(lengths)
+        assert max(lengths) <= 2200
+        assert 150 < np.median(lengths) < 450
+
+    def test_msa_depth_heavy_tail(self):
+        ds = SyntheticProteinDataset(CFG, size=512)
+        depths = np.array([ds.sample_metadata(i).msa_depth
+                           for i in range(512)])
+        assert depths.max() / max(np.median(depths), 1) > 5
+
+    def test_ca_trace_spacing(self):
+        trace = synthetic_ca_trace(64, np.random.default_rng(0))
+        # 0.85 compaction factor scales the nominal 3.8A step
+        d = np.linalg.norm(np.diff(trace, axis=0), axis=1)
+        assert np.allclose(d, 3.8 * 0.85, atol=1e-3)
+
+
+class TestMakeBatch:
+    def test_numeric_batch(self):
+        s = SyntheticProteinDataset(CFG, size=1)[0]
+        batch = make_batch(s)
+        assert not batch["msa_feat"].is_meta
+        assert batch["residue_index"].dtype.name == "int64"
+        assert batch["ca_coords"].shape == (CFG.n_res, 3)
+
+    def test_meta_batch_from_sample(self):
+        s = SyntheticProteinDataset(CFG, size=1)[0]
+        batch = make_batch(s, meta=True)
+        assert all(t.is_meta for t in batch.values())
+
+    def test_meta_batch_from_config(self):
+        batch = meta_batch(CFG)
+        assert batch["msa_feat"].shape == (CFG.n_seq, CFG.n_res,
+                                           CFG.msa_feat_dim)
+        assert all(t.is_meta for t in batch.values())
+
+
+class TestPrepTimeModel:
+    def test_monotone_in_length(self):
+        m = PrepTimeModel()
+        assert m.mean_seconds(1000, 100) > m.mean_seconds(100, 100)
+
+    def test_monotone_in_msa_depth(self):
+        m = PrepTimeModel()
+        assert m.mean_seconds(200, 10000) > m.mean_seconds(200, 100)
+
+    def test_sample_positive(self):
+        m = PrepTimeModel()
+        rng = np.random.default_rng(0)
+        s = ProteinSample(index=0, full_length=300, msa_depth=500)
+        for _ in range(50):
+            assert m.sample_seconds(s, rng) > 0
+
+    def test_series_deterministic(self):
+        ds = SyntheticProteinDataset(AlphaFoldConfig.full(), size=256)
+        a = prep_time_series(ds, n=64, seed=5)
+        b = prep_time_series(ds, n=64, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_sorted_is_sorted(self):
+        ds = SyntheticProteinDataset(AlphaFoldConfig.full(), size=256)
+        times = sorted_prep_times(ds, n=128)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_figure4_shape(self):
+        """Fig 4: prep times 'range across three different scales' with a
+        heavy tail of slow batches (~10%)."""
+        ds = SyntheticProteinDataset(AlphaFoldConfig.full(), size=2048)
+        times = sorted_prep_times(ds, n=2048)
+        stats = tail_statistics(times, step_time_s=1.8)
+        assert stats["dynamic_range"] > 25
+        assert stats["p99"] > 5 * stats["p50"]
+        slow_fraction = float(np.mean(times > 3 * np.median(times)))
+        assert 0.03 < slow_fraction < 0.2
+
+    def test_tail_statistics_keys(self):
+        stats = tail_statistics([1.0, 2.0, 3.0], step_time_s=2.5)
+        assert stats["frac_slower_than_step"] == pytest.approx(1 / 3)
+        assert stats["max"] == 3.0
+
+    @given(st.integers(50, 2000), st.integers(1, 40000))
+    @settings(max_examples=30, deadline=None)
+    def test_mean_seconds_bounded(self, length, depth):
+        m = PrepTimeModel()
+        t = m.mean_seconds(length, depth)
+        assert 0 < t < 60

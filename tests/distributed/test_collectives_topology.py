@@ -1,0 +1,109 @@
+"""Collective cost models and cluster topology."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed.collectives import (CHUNK_HALF_SAT_BYTES, Collective,
+                                           CommEvent, collective_time,
+                                           hierarchical_all_reduce_time)
+from repro.distributed.topology import ClusterTopology, eos_cluster
+from repro.hardware import A100, H100
+
+TOPO = ClusterTopology(gpu=H100, n_gpus=64)
+
+
+class TestTopology:
+    def test_node_count(self):
+        assert ClusterTopology(gpu=H100, n_gpus=2080).n_nodes == 260
+        assert ClusterTopology(gpu=H100, n_gpus=9).n_nodes == 2
+
+    def test_intra_node_groups(self):
+        assert TOPO.group_is_intra_node(8)
+        assert not TOPO.group_is_intra_node(16)
+
+    def test_nvlink_faster_than_ib(self):
+        assert TOPO.group_bandwidth(8) > TOPO.group_bandwidth(16)
+
+    def test_latency_ordering(self):
+        assert TOPO.group_latency(8) < TOPO.group_latency(64)
+
+    def test_eos_cluster(self):
+        eos = eos_cluster(H100, 2080)
+        assert eos.n_gpus == 2080
+        assert eos.gpus_per_node == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterTopology(gpu=H100, n_gpus=0)
+
+
+class TestCollectiveTime:
+    def test_single_rank_free(self):
+        ev = CommEvent(Collective.ALL_REDUCE, 1e9, 1)
+        assert collective_time(ev, TOPO) == 0.0
+
+    def test_monotone_in_payload(self):
+        small = CommEvent(Collective.ALL_TO_ALL, 1e6, 8)
+        big = CommEvent(Collective.ALL_TO_ALL, 1e8, 8)
+        assert collective_time(big, TOPO) > collective_time(small, TOPO)
+
+    def test_allreduce_costs_two_passes(self):
+        ar = CommEvent(Collective.ALL_REDUCE, 1e8, 8)
+        ag = CommEvent(Collective.ALL_GATHER, 1e8, 8)
+        assert collective_time(ar, TOPO) > 1.5 * collective_time(ag, TOPO)
+
+    def test_small_message_inefficiency(self):
+        """DAP-8 all-to-alls move payload/p^2 per peer; tiny messages see a
+        bandwidth collapse (why DAP's scaling efficiency saturates)."""
+        payload = 16.8e6
+        t2 = collective_time(CommEvent(Collective.ALL_TO_ALL, payload, 2), TOPO)
+        t8 = collective_time(CommEvent(Collective.ALL_TO_ALL, payload, 8), TOPO)
+        # Ideal ring scaling would make t8 ~ (7/8)/(1/2) = 1.75x t2; the
+        # chunk-size penalty makes it far worse.
+        assert t8 > 2.5 * t2
+
+    def test_low_precision_halves_cost(self):
+        """§3.1: DAP comm overhead 'can be reduced by low precision'."""
+        fp32 = CommEvent(Collective.ALL_TO_ALL, 32e6, 4)
+        bf16 = CommEvent(Collective.ALL_TO_ALL, 16e6, 4)
+        assert collective_time(bf16, TOPO) < collective_time(fp32, TOPO)
+
+    def test_broadcast(self):
+        ev = CommEvent(Collective.BROADCAST, 1e8, 8)
+        assert collective_time(ev, TOPO) > 0
+
+    def test_scaled_event(self):
+        ev = CommEvent(Collective.ALL_GATHER, 1e8, 8)
+        assert ev.scaled(0.5).payload_bytes == 5e7
+
+    @given(st.integers(2, 64))
+    @settings(max_examples=20, deadline=None)
+    def test_nonnegative(self, p):
+        ev = CommEvent(Collective.ALL_TO_ALL, 1e7, p)
+        assert collective_time(ev, TOPO) > 0
+
+
+class TestHierarchicalAllReduce:
+    def test_single_gpu_free(self):
+        assert hierarchical_all_reduce_time(1e9, TOPO, 1) == 0.0
+
+    def test_intra_node_only(self):
+        t = hierarchical_all_reduce_time(375e6, TOPO, 8)
+        assert 0 < t < 0.1
+
+    def test_grows_with_scale_then_saturates(self):
+        """Ring all-reduce cost approaches the (P-1)/P asymptote."""
+        topo = ClusterTopology(gpu=H100, n_gpus=4096)
+        t64 = hierarchical_all_reduce_time(375e6, topo, 64)
+        t256 = hierarchical_all_reduce_time(375e6, topo, 256)
+        t2048 = hierarchical_all_reduce_time(375e6, topo, 2048)
+        assert t64 < t256 < t2048
+        assert t2048 < 2.0 * t64  # saturating, not linear
+
+    def test_a100_slower_than_h100(self):
+        t_a = hierarchical_all_reduce_time(
+            375e6, ClusterTopology(gpu=A100, n_gpus=64), 64)
+        t_h = hierarchical_all_reduce_time(
+            375e6, ClusterTopology(gpu=H100, n_gpus=64), 64)
+        assert t_a > t_h

@@ -1,0 +1,52 @@
+"""Finite-difference gradient checking helper for op tests."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.framework import Tensor
+from repro.framework import ops
+
+
+def numeric_grad(fn: Callable[[Sequence[np.ndarray]], float],
+                 arrays: Sequence[np.ndarray], index: int,
+                 eps: float = 1e-2) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn`` w.r.t. ``arrays[index]``."""
+    base = [a.copy() for a in arrays]
+    grad = np.zeros_like(base[index], dtype=np.float64)
+    flat = base[index].reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn(base)
+        flat[i] = orig - eps
+        down = fn(base)
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_gradients(op: Callable[..., Tensor], arrays: Sequence[np.ndarray],
+                    atol: float = 4e-3, rtol: float = 6e-2) -> None:
+    """Assert autograd gradients of ``mean(square(op(*xs)))`` match finite
+    differences for every input."""
+    tensors = [Tensor(a.astype(np.float32), requires_grad=True)
+               for a in arrays]
+    out = op(*tensors)
+    loss = ops.mean(ops.square(out))
+    loss.backward()
+
+    def scalar(arrs: Sequence[np.ndarray]) -> float:
+        ts = [Tensor(a.astype(np.float32)) for a in arrs]
+        return float(ops.mean(ops.square(op(*ts))).item())
+
+    for i, t in enumerate(tensors):
+        assert t.grad is not None, f"input {i} got no gradient"
+        expected = numeric_grad(scalar, list(arrays), i)
+        got = t.grad.numpy().astype(np.float64)
+        np.testing.assert_allclose(
+            got, expected, atol=atol, rtol=rtol,
+            err_msg=f"gradient mismatch for input {i} of {op}")

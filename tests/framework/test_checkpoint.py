@@ -1,0 +1,126 @@
+"""Activation checkpointing: gradient equivalence and recompute tracing."""
+
+import numpy as np
+import pytest
+
+from repro.framework import (Tensor, checkpoint, checkpoint_sequential,
+                             functional as F, no_grad, phase, trace)
+from repro.framework import ops
+
+RNG = np.random.default_rng(5)
+
+
+def arr(*shape):
+    return RNG.uniform(-1, 1, size=shape).astype(np.float32)
+
+
+def _clone(t: Tensor) -> Tensor:
+    return Tensor(t.numpy().copy(), requires_grad=t.requires_grad)
+
+
+class TestSingleOutput:
+    def test_values_match(self):
+        w = Tensor(arr(4, 4))
+        x = Tensor(arr(2, 4), requires_grad=True)
+        direct = ops.tanh(F.linear(x, w))
+        ckpt = checkpoint(lambda t: ops.tanh(F.linear(t, w)), x)
+        assert np.allclose(direct.numpy(), ckpt.numpy(), atol=1e-6)
+
+    def test_gradients_match(self):
+        w = Tensor(arr(4, 4), requires_grad=True)
+        x1 = Tensor(arr(2, 4), requires_grad=True)
+        x2 = _clone(x1)
+
+        ops.mean(ops.square(ops.tanh(F.linear(x1, w)))).backward()
+        g_direct, gw_direct = x1.grad.numpy().copy(), w.grad.numpy().copy()
+        w.grad = None
+
+        out = checkpoint(lambda t: ops.tanh(F.linear(t, w)), x2)
+        ops.mean(ops.square(out)).backward()
+        assert np.allclose(x2.grad.numpy(), g_direct, atol=1e-5)
+        assert np.allclose(w.grad.numpy(), gw_direct, atol=1e-5)
+
+    def test_no_grad_passthrough(self):
+        x = Tensor(arr(2, 4))
+        out = checkpoint(lambda t: ops.exp(t), x)
+        assert out.node is None
+
+
+class TestTupleOutput:
+    def test_tuple_gradients_match(self):
+        w = Tensor(arr(4, 4), requires_grad=True)
+
+        def block(m, z):
+            return F.linear(m, w), ops.mul(z, 2.0)
+
+        a1 = Tensor(arr(3, 4), requires_grad=True)
+        b1 = Tensor(arr(3, 4), requires_grad=True)
+        m, z = block(a1, b1)
+        (ops.mean(m) + ops.mean(z)).backward()
+        ga, gb, gw = (a1.grad.numpy().copy(), b1.grad.numpy().copy(),
+                      w.grad.numpy().copy())
+        w.grad = None
+
+        a2, b2 = _clone(a1), _clone(b1)
+        m2, z2 = checkpoint(block, a2, b2)
+        (ops.mean(m2) + ops.mean(z2)).backward()
+        assert np.allclose(a2.grad.numpy(), ga, atol=1e-5)
+        assert np.allclose(b2.grad.numpy(), gb, atol=1e-5)
+        assert np.allclose(w.grad.numpy(), gw, atol=1e-5)
+
+
+class TestRecomputeTracing:
+    def test_forward_kernels_reappear_in_backward(self):
+        """Checkpointing re-runs the forward during backward — the recompute
+        OpenFold pays and ScaleFold's DAP-8 eliminates (§4.1)."""
+        w = Tensor(arr(4, 4))
+        x = Tensor(arr(2, 4), requires_grad=True)
+        with trace() as t:
+            with phase("forward"):
+                out = checkpoint(lambda v: ops.tanh(F.linear(v, w)), x)
+                loss = ops.mean(out)
+            with phase("backward"):
+                loss.backward()
+        backward_tanh = [r for r in t.records
+                         if r.phase == "backward" and r.name == "tanh"]
+        assert backward_tanh, "recompute must re-launch tanh in backward"
+
+    def test_no_checkpoint_no_recompute(self):
+        w = Tensor(arr(4, 4))
+        x = Tensor(arr(2, 4), requires_grad=True)
+        with trace() as t:
+            with phase("forward"):
+                loss = ops.mean(ops.tanh(F.linear(x, w)))
+            with phase("backward"):
+                loss.backward()
+        assert not [r for r in t.records
+                    if r.phase == "backward" and r.name == "tanh"]
+
+
+class TestCheckpointSequential:
+    def test_matches_unchecked(self):
+        w1, w2 = Tensor(arr(4, 4), requires_grad=True), Tensor(arr(4, 4),
+                                                               requires_grad=True)
+
+        class Block:
+            def __init__(self, w):
+                self.w = w
+
+            def __call__(self, m, z):
+                return ops.tanh(F.linear(m, self.w)), ops.add(z, m)
+
+        blocks = [Block(w1), Block(w2)]
+        m1 = Tensor(arr(3, 4), requires_grad=True)
+        z1 = Tensor(arr(3, 4), requires_grad=True)
+        m_ref, z_ref = checkpoint_sequential(blocks, (m1, z1), enabled=False)
+        (ops.mean(m_ref) + ops.mean(z_ref)).backward()
+        gm = m1.grad.numpy().copy()
+        for w in (w1, w2):
+            w.grad = None
+
+        m2, z2 = _clone(m1), _clone(z1)
+        m_c, z_c = checkpoint_sequential(blocks, (m2, z2), enabled=True)
+        assert np.allclose(m_ref.numpy(), m_c.numpy(), atol=1e-6)
+        assert np.allclose(z_ref.numpy(), z_c.numpy(), atol=1e-6)
+        (ops.mean(m_c) + ops.mean(z_c)).backward()
+        assert np.allclose(m2.grad.numpy(), gm, atol=1e-5)

@@ -1,0 +1,136 @@
+"""Dtype system: promotion, quantization, and emulated-format properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.framework import dtypes
+from repro.framework.dtypes import (as_dtype, bfloat16, bool_, float16,
+                                    float32, float64, int32, int64, promote,
+                                    quantize, tfloat32)
+
+
+class TestDTypeBasics:
+    def test_itemsizes(self):
+        assert float32.itemsize == 4
+        assert bfloat16.itemsize == 2
+        assert float16.itemsize == 2
+        assert float64.itemsize == 8
+        assert bool_.itemsize == 1
+
+    def test_bf16_halves_traffic_vs_fp32(self):
+        # The whole point of §3.4: bf16 halves memory-bound kernel traffic.
+        assert bfloat16.itemsize * 2 == float32.itemsize
+
+    def test_is_floating(self):
+        assert float32.is_floating
+        assert bfloat16.is_floating
+        assert not int64.is_floating
+        assert not bool_.is_floating
+
+    def test_repr(self):
+        assert "bf16" in repr(bfloat16)
+
+    def test_max_value_ordering(self):
+        # bf16 keeps fp32's exponent range; fp16's range is tiny.
+        assert bfloat16.max_value > 1e38
+        assert float16.max_value == pytest.approx(65504.0)
+        assert float32.max_value > float16.max_value
+
+
+class TestAsDtype:
+    def test_by_name(self):
+        assert as_dtype("bf16") is bfloat16
+        assert as_dtype("fp32") is float32
+
+    def test_identity(self):
+        assert as_dtype(float32) is float32
+
+    def test_from_numpy(self):
+        assert as_dtype(np.float32) is float32
+        assert as_dtype(np.int64) is int64
+        assert as_dtype(np.bool_) is bool_
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown dtype"):
+            as_dtype("fp12")
+
+    def test_unsupported_numpy_raises(self):
+        with pytest.raises(ValueError):
+            as_dtype(np.complex64)
+
+
+class TestPromotion:
+    def test_widest_wins(self):
+        assert promote(bfloat16, float32) is float32
+        assert promote(float16, bfloat16) is bfloat16
+        assert promote(int64, float32) is float32
+        assert promote(bool_, int32) is int32
+
+    def test_single(self):
+        assert promote(float32) is float32
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            promote()
+
+
+class TestQuantize:
+    def test_fp32_passthrough_values(self):
+        x = np.array([1.5, -2.25, 0.0], dtype=np.float32)
+        assert np.array_equal(quantize(x, float32), x)
+
+    def test_bf16_drops_mantissa(self):
+        # 1.0 + 2^-10 is not representable in bf16 (7 mantissa bits).
+        x = np.array([1.0 + 2.0**-10], dtype=np.float32)
+        q = quantize(x, bfloat16)
+        assert q[0] == 1.0
+
+    def test_bf16_keeps_representable(self):
+        # 1.0 + 2^-7 is exactly representable.
+        x = np.array([1.0 + 2.0**-7], dtype=np.float32)
+        assert quantize(x, bfloat16)[0] == x[0]
+
+    def test_fp16_overflow_is_inf(self):
+        # §3.4: "Naive fp16 results in NaNs" — large activations overflow.
+        x = np.array([1e5], dtype=np.float32)
+        assert np.isinf(quantize(x, float16)[0])
+
+    def test_bf16_no_overflow_at_fp16_limit(self):
+        x = np.array([1e5], dtype=np.float32)
+        assert np.isfinite(quantize(x, bfloat16)[0])
+
+    def test_tf32_coarser_than_fp32(self):
+        x = np.array([1.0 + 2.0**-15], dtype=np.float32)
+        assert quantize(x, tfloat32)[0] == 1.0
+
+    def test_int_quantize_casts(self):
+        x = np.array([1.9, -1.9])
+        q = quantize(x, int64)
+        assert q.dtype == np.int64
+
+    @given(st.lists(st.floats(min_value=-2.0**90, max_value=2.0**90,
+                              allow_nan=False, width=32),
+                    min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_bf16_idempotent(self, values):
+        """Quantizing twice equals quantizing once (projection property)."""
+        x = np.array(values, dtype=np.float32)
+        once = quantize(x, bfloat16)
+        twice = quantize(once, bfloat16)
+        assert np.array_equal(once, twice)
+
+    @given(st.floats(min_value=2.0**-90, max_value=2.0**90, allow_nan=False,
+                     width=32))
+    @settings(max_examples=50, deadline=None)
+    def test_bf16_relative_error_bounded(self, value):
+        """bf16 rounding error is at most 2^-8 relative."""
+        x = np.array([value], dtype=np.float32)
+        q = quantize(x, bfloat16)
+        assert abs(q[0] - value) <= abs(value) * 2.0**-8
+
+    def test_bf16_preserves_sign(self):
+        x = np.array([-3.7, 3.7], dtype=np.float32)
+        q = quantize(x, bfloat16)
+        assert q[0] < 0 < q[1]

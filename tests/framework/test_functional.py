@@ -1,0 +1,184 @@
+"""Composite ops: softmax, layer norm, attention, dropout, losses."""
+
+import numpy as np
+import pytest
+
+from repro.framework import Tensor, float32, seed, trace
+from repro.framework import functional as F
+from repro.framework import ops
+
+from .gradcheck import check_gradients
+
+RNG = np.random.default_rng(23)
+
+
+def arr(*shape):
+    return RNG.uniform(-2, 2, size=shape).astype(np.float32)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        s = F.softmax(Tensor(arr(5, 7)), axis=-1).numpy()
+        assert np.allclose(s.sum(axis=-1), 1.0, atol=1e-5)
+
+    def test_matches_decomposed(self):
+        x = arr(4, 6)
+        a = F.softmax(Tensor(x)).numpy()
+        b = F.softmax_decomposed(Tensor(x)).numpy()
+        assert np.allclose(a, b, atol=1e-6)
+
+    def test_single_kernel_vs_five(self):
+        x = Tensor(arr(4, 6))
+        with trace() as t1:
+            F.softmax(x)
+        with trace() as t5:
+            F.softmax_decomposed(x)
+        assert len(t1) == 1
+        assert len(t5) == 5
+
+    def test_stable_for_large_logits(self):
+        x = Tensor(np.array([[1000.0, 1000.0]], np.float32))
+        s = F.softmax(x).numpy()
+        assert np.allclose(s, [[0.5, 0.5]])
+
+    def test_gradcheck(self):
+        check_gradients(lambda t: F.softmax(t, axis=-1), [arr(3, 5)])
+
+    def test_axis_argument(self):
+        x = arr(3, 4)
+        s0 = F.softmax(Tensor(x), axis=0).numpy()
+        assert np.allclose(s0.sum(axis=0), 1.0, atol=1e-5)
+
+    def test_log_softmax(self):
+        x = arr(3, 4)
+        got = F.log_softmax(Tensor(x)).numpy()
+        want = np.log(F.softmax(Tensor(x)).numpy() + 1e-12)
+        assert np.allclose(got, want, atol=1e-4)
+
+
+class TestLayerNorm:
+    def test_normalizes(self):
+        x = Tensor(arr(6, 8))
+        w = Tensor(np.ones(8, np.float32))
+        b = Tensor(np.zeros(8, np.float32))
+        y = F.layer_norm(x, w, b).numpy()
+        assert np.allclose(y.mean(axis=-1), 0.0, atol=1e-5)
+        assert np.allclose(y.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_affine(self):
+        x = Tensor(arr(4, 8))
+        w = Tensor(np.full(8, 2.0, np.float32))
+        b = Tensor(np.full(8, 1.0, np.float32))
+        y = F.layer_norm(x, w, b).numpy()
+        assert np.allclose(y.mean(axis=-1), 1.0, atol=1e-4)
+
+    def test_unfused_launches_many_kernels(self):
+        x = Tensor(arr(4, 8))
+        w, b = Tensor(np.ones(8, np.float32)), Tensor(np.zeros(8, np.float32))
+        with trace() as t:
+            F.layer_norm(x, w, b)
+        assert len(t) >= 7  # the fragmentation the fused kernel removes
+
+    def test_gradcheck(self):
+        w, b = arr(6), arr(6)
+        check_gradients(lambda x, wt, bt: F.layer_norm(x, wt, bt),
+                        [arr(5, 6), w, b])
+
+
+class TestLinear:
+    def test_matches_numpy(self):
+        x, w, b = arr(3, 4), arr(4, 5), arr(5)
+        got = F.linear(Tensor(x), Tensor(w), Tensor(b)).numpy()
+        assert np.allclose(got, x @ w + b, atol=1e-5)
+
+    def test_no_bias(self):
+        x, w = arr(3, 4), arr(4, 5)
+        got = F.linear(Tensor(x), Tensor(w)).numpy()
+        assert np.allclose(got, x @ w, atol=1e-5)
+
+
+class TestAttention:
+    def test_output_shape(self):
+        q = Tensor(arr(2, 3, 5, 8))
+        out = F.attention(q, q, q)
+        assert out.shape == (2, 3, 5, 8)
+
+    def test_uniform_when_logits_equal(self):
+        q = Tensor(np.zeros((1, 1, 3, 4), np.float32))
+        v = Tensor(arr(1, 1, 3, 4))
+        out = F.attention(q, q, v).numpy()
+        assert np.allclose(out, v.numpy().mean(axis=-2, keepdims=True),
+                           atol=1e-5)
+
+    def test_bias_shifts_attention(self):
+        q = Tensor(np.zeros((1, 1, 2, 4), np.float32))
+        v = Tensor(np.stack([np.ones((2, 4), np.float32) * i
+                             for i in range(1, 2)])[None])
+        v = Tensor(np.arange(8, dtype=np.float32).reshape(1, 1, 2, 4))
+        strong = np.array([[[[1e9, 0.0], [1e9, 0.0]]]], np.float32)
+        out = F.attention(q, q, v, biases=[Tensor(strong)]).numpy()
+        assert np.allclose(out[0, 0, 0], v.numpy()[0, 0, 0], atol=1e-4)
+
+    def test_mask_bias_blocks_position(self):
+        from repro.model.primitives import mask_bias
+
+        mask = Tensor(np.array([[1.0, 0.0]], np.float32))  # second masked
+        bias = mask_bias(mask)
+        assert bias.shape == (1, 1, 1, 2)
+        assert bias.numpy()[0, 0, 0, 1] <= -1e8
+
+    def test_gradcheck(self):
+        check_gradients(lambda q, k, v: F.attention(q, k, v),
+                        [arr(1, 2, 3, 4), arr(1, 2, 3, 4), arr(1, 2, 3, 4)])
+
+
+class TestDropout:
+    def test_eval_mode_identity(self):
+        x = Tensor(arr(10, 10))
+        out = F.dropout(x, 0.5, training=False)
+        assert out is x
+
+    def test_zero_rate_identity(self):
+        x = Tensor(arr(10, 10))
+        assert F.dropout(x, 0.0, training=True) is x
+
+    def test_preserves_mean(self):
+        seed(0)
+        x = Tensor(np.ones((200, 200), np.float32))
+        out = F.dropout(x, 0.25, training=True).numpy()
+        assert abs(out.mean() - 1.0) < 0.03
+
+    def test_shared_axes_broadcast_rows(self):
+        seed(0)
+        x = Tensor(np.ones((8, 16), np.float32))
+        out = F.dropout(x, 0.5, training=True, shared_axes=(0,)).numpy()
+        # The same mask applies to every row: columns are all-0 or all-kept.
+        col_means = out.mean(axis=0)
+        assert set(np.round(np.unique(col_means), 4)) <= {0.0, 2.0}
+
+
+class TestLosses:
+    def test_mse_zero_for_identical(self):
+        x = Tensor(arr(5))
+        assert F.mse_loss(x, Tensor(x.numpy().copy())).item() == 0.0
+
+    def test_cross_entropy_minimized_at_target(self):
+        target = np.zeros((2, 4), np.float32)
+        target[:, 1] = 1.0
+        good_logits = np.full((2, 4), -10.0, np.float32)
+        good_logits[:, 1] = 10.0
+        bad_logits = np.zeros((2, 4), np.float32)
+        good = F.cross_entropy(Tensor(good_logits), Tensor(target)).item()
+        bad = F.cross_entropy(Tensor(bad_logits), Tensor(target)).item()
+        assert good < bad
+
+    def test_cross_entropy_gradcheck(self):
+        target = np.abs(arr(3, 4))
+        target /= target.sum(-1, keepdims=True)
+        check_gradients(lambda t: F.cross_entropy(t, Tensor(target)),
+                        [arr(3, 4)])
+
+    def test_sigmoid_gate(self):
+        g = Tensor(np.full((3,), 100.0, np.float32))  # sigmoid -> 1
+        v = Tensor(arr(3))
+        assert np.allclose(F.sigmoid_gate(g, v).numpy(), v.numpy(), atol=1e-5)

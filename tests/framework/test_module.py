@@ -1,0 +1,179 @@
+"""Module system: registration, traversal, state, dtype moves, meta build."""
+
+import numpy as np
+import pytest
+
+from repro.framework import (Module, ModuleList, Parameter, Sequential,
+                             Tensor, bfloat16, float32, make_parameter,
+                             meta_build, trace)
+from repro.framework import functional as F
+from repro.framework import ops
+
+
+class TinyBlock(Module):
+    def __init__(self, width=4):
+        super().__init__()
+        self.weight = make_parameter((width, width))
+        self.bias = make_parameter((width,), init="zeros")
+
+    def forward(self, x):
+        return F.linear(x, self.weight, self.bias)
+
+
+class TinyNet(Module):
+    def __init__(self):
+        super().__init__()
+        self.embed = TinyBlock()
+        self.blocks = ModuleList([TinyBlock(), TinyBlock()])
+
+    def forward(self, x):
+        x = self.embed(x)
+        for b in self.blocks:
+            x = b(x)
+        return x
+
+
+class TestRegistration:
+    def test_parameters_discovered(self):
+        net = TinyNet()
+        names = [n for n, _ in net.named_parameters()]
+        assert "embed.weight" in names
+        assert "blocks.0.bias" in names
+        assert len(names) == 6
+
+    def test_num_parameters(self):
+        net = TinyNet()
+        assert net.num_parameters() == 3 * (16 + 4)
+
+    def test_named_modules(self):
+        net = TinyNet()
+        names = [n for n, _ in net.named_modules()]
+        assert "" in names and "embed" in names and "blocks.1" in names
+
+    def test_parameter_is_tensor_with_grad(self):
+        p = make_parameter((2, 2))
+        assert isinstance(p, Parameter)
+        assert p.requires_grad
+
+    def test_register_buffer(self):
+        m = TinyBlock()
+        m.register_buffer("mask", Tensor(np.ones(4, np.float32)))
+        assert "mask" in m._buffers
+        assert np.all(m.mask.numpy() == 1)
+
+
+class TestScopedTracing:
+    def test_scopes_follow_attribute_names(self):
+        net = TinyNet()
+        x = Tensor(np.ones((2, 4), np.float32))
+        with trace() as t:
+            net(x)
+        scopes = {r.scope for r in t.records}
+        assert "tinynet/embed" in scopes
+        assert "tinynet/blocks.0" in scopes
+        assert "tinynet/blocks.1" in scopes
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        net = TinyNet()
+        net.eval()
+        assert not net.training
+        assert not net.blocks[0].training
+        net.train()
+        assert net.blocks[1].training
+
+    def test_zero_grad(self):
+        net = TinyNet()
+        x = Tensor(np.ones((2, 4), np.float32))
+        ops.mean(net(x)).backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = TinyNet(), TinyNet()
+        b.load_state_dict(a.state_dict())
+        for (n1, p1), (n2, p2) in zip(a.named_parameters(),
+                                      b.named_parameters()):
+            assert n1 == n2
+            assert np.array_equal(p1.numpy(), p2.numpy())
+
+    def test_missing_key_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state.pop("embed.weight")
+        with pytest.raises(KeyError, match="missing"):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["embed.weight"] = np.zeros((2, 2), np.float32)
+        with pytest.raises(ValueError, match="shape"):
+            net.load_state_dict(state)
+
+
+class TestDtypeMove:
+    def test_to_bf16_quantizes_in_place(self):
+        net = TinyBlock()
+        net.to_dtype(bfloat16)
+        for p in net.parameters():
+            assert p.dtype is bfloat16
+        # values must be bf16-representable
+        from repro.framework.dtypes import quantize
+        w = net.weight.numpy()
+        assert np.array_equal(w, quantize(w, bfloat16))
+
+
+class TestMetaBuild:
+    def test_meta_parameters(self):
+        with meta_build():
+            net = TinyNet()
+        assert all(p.is_meta for p in net.parameters())
+        assert net.num_parameters() == 3 * (16 + 4)
+
+    def test_meta_forward_emits_kernels(self):
+        with meta_build():
+            net = TinyNet()
+        x = Tensor(None, (2, 4), float32)
+        with trace() as t:
+            out = net(x)
+        assert out.is_meta
+        assert len(t) > 0
+
+    def test_meta_flag_restored(self):
+        from repro.framework import building_meta
+        assert not building_meta()
+        with meta_build():
+            assert building_meta()
+        assert not building_meta()
+
+
+class TestInits:
+    @pytest.mark.parametrize("init", ["lecun", "relu", "normal"])
+    def test_random_inits_nonzero(self, init):
+        p = make_parameter((64, 64), init=init)
+        assert p.numpy().std() > 0
+
+    @pytest.mark.parametrize("init", ["zeros", "gating", "final"])
+    def test_zero_inits(self, init):
+        p = make_parameter((8, 8), init=init)
+        assert np.all(p.numpy() == 0)
+
+    def test_ones_init(self):
+        assert np.all(make_parameter((8,), init="ones").numpy() == 1)
+
+    def test_unknown_init_raises(self):
+        with pytest.raises(ValueError):
+            make_parameter((2,), init="bogus")
+
+
+class TestSequential:
+    def test_applies_in_order(self):
+        seq = Sequential(TinyBlock(), TinyBlock())
+        x = Tensor(np.ones((1, 4), np.float32))
+        out = seq(x)
+        assert out.shape == (1, 4)

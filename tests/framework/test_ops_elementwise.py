@@ -1,0 +1,230 @@
+"""Elementwise ops: values, gradients (vs finite differences), broadcasting,
+meta propagation, and kernel emission."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.framework import KernelCategory, Tensor, float32, trace
+from repro.framework import ops
+
+from .gradcheck import check_gradients
+
+RNG = np.random.default_rng(7)
+
+
+def arr(*shape, positive=False, lo=-2.0, hi=2.0):
+    a = RNG.uniform(lo, hi, size=shape).astype(np.float32)
+    if positive:
+        a = np.abs(a) + 0.5
+    return a
+
+
+UNARY_CASES = [
+    (ops.neg, {}, False),
+    (ops.exp, {}, False),
+    (ops.log, {}, True),
+    (ops.sqrt, {}, True),
+    (ops.rsqrt, {}, True),
+    (ops.square, {}, False),
+    (ops.reciprocal, {}, True),
+    (ops.sigmoid, {}, False),
+    (ops.tanh, {}, False),
+    (ops.gelu, {}, False),
+]
+
+
+class TestUnaryOps:
+    @pytest.mark.parametrize("op,kwargs,positive", UNARY_CASES,
+                             ids=[c[0].__name__ for c in UNARY_CASES])
+    def test_gradients(self, op, kwargs, positive):
+        check_gradients(lambda t: op(t, **kwargs), [arr(3, 4, positive=positive)])
+
+    def test_relu_values_and_grad(self):
+        x = np.array([-1.0, 0.5, 2.0], dtype=np.float32)
+        t = Tensor(x, requires_grad=True)
+        y = ops.relu(t)
+        assert np.array_equal(y.numpy(), [0.0, 0.5, 2.0])
+        ops.sum_(y).backward()
+        assert np.array_equal(t.grad.numpy(), [0.0, 1.0, 1.0])
+
+    def test_abs_and_sign(self):
+        x = np.array([-2.0, 3.0], dtype=np.float32)
+        assert np.array_equal(ops.abs_(Tensor(x)).numpy(), [2.0, 3.0])
+        assert np.array_equal(ops.sign(Tensor(x)).numpy(), [-1.0, 1.0])
+
+    def test_clamp(self):
+        x = Tensor(np.array([-5.0, 0.0, 5.0], dtype=np.float32),
+                   requires_grad=True)
+        y = ops.clamp(x, -1.0, 1.0)
+        assert np.array_equal(y.numpy(), [-1.0, 0.0, 1.0])
+        ops.sum_(y).backward()
+        assert np.array_equal(x.grad.numpy(), [0.0, 1.0, 0.0])
+
+    def test_clamp_gradcheck(self):
+        check_gradients(lambda t: ops.clamp(t, -0.5, 0.5), [arr(4, 3)])
+
+    def test_exp_matches_numpy(self):
+        x = arr(5)
+        assert np.allclose(ops.exp(Tensor(x)).numpy(), np.exp(x), atol=1e-6)
+
+    def test_gelu_matches_tanh_approx(self):
+        x = arr(16)
+        got = ops.gelu(Tensor(x)).numpy()
+        c = np.sqrt(2.0 / np.pi)
+        want = 0.5 * x * (1 + np.tanh(c * (x + 0.044715 * x**3)))
+        assert np.allclose(got, want, atol=1e-5)
+
+
+class TestBinaryOps:
+    @pytest.mark.parametrize("op,np_fn", [
+        (ops.add, np.add), (ops.sub, np.subtract), (ops.mul, np.multiply),
+        (ops.maximum, np.maximum), (ops.minimum, np.minimum),
+    ], ids=["add", "sub", "mul", "maximum", "minimum"])
+    def test_values(self, op, np_fn):
+        a, b = arr(3, 4), arr(3, 4)
+        assert np.allclose(op(Tensor(a), Tensor(b)).numpy(), np_fn(a, b),
+                           atol=1e-6)
+
+    @pytest.mark.parametrize("op", [ops.add, ops.sub, ops.mul, ops.div],
+                             ids=["add", "sub", "mul", "div"])
+    def test_gradients(self, op):
+        check_gradients(op, [arr(3, 4), arr(3, 4, positive=True)])
+
+    @pytest.mark.parametrize("op", [ops.add, ops.mul],
+                             ids=["add", "mul"])
+    def test_broadcast_gradients(self, op):
+        check_gradients(op, [arr(3, 4), arr(4)])
+        check_gradients(op, [arr(2, 1, 4), arr(3, 1)])
+
+    def test_maximum_gradient_goes_to_winner(self):
+        a = Tensor(np.array([1.0, 5.0], dtype=np.float32), requires_grad=True)
+        b = Tensor(np.array([2.0, 3.0], dtype=np.float32), requires_grad=True)
+        ops.sum_(ops.maximum(a, b)).backward()
+        assert np.array_equal(a.grad.numpy(), [0.0, 1.0])
+        assert np.array_equal(b.grad.numpy(), [1.0, 0.0])
+
+    def test_scalar_operand(self):
+        t = Tensor(arr(3))
+        assert np.allclose((t * 2.0).numpy(), t.numpy() * 2, atol=1e-6)
+        assert np.allclose((1.0 + t).numpy(), 1 + t.numpy(), atol=1e-6)
+
+    def test_pow(self):
+        check_gradients(lambda t: ops.pow_(t, 3.0), [arr(4, positive=True)])
+
+    def test_operator_sugar(self):
+        a, b = Tensor(arr(3)), Tensor(arr(3, positive=True))
+        assert np.allclose((a / b).numpy(), a.numpy() / b.numpy(), atol=1e-5)
+        assert np.allclose((-a).numpy(), -a.numpy())
+        assert np.allclose((a ** 2.0).numpy(), a.numpy() ** 2, atol=1e-5)
+
+
+class TestComparisons:
+    def test_values_and_dtype(self):
+        a, b = Tensor(arr(8)), Tensor(arr(8))
+        for op, np_fn in [(ops.eq, np.equal), (ops.ne, np.not_equal),
+                          (ops.gt, np.greater), (ops.lt, np.less),
+                          (ops.ge, np.greater_equal), (ops.le, np.less_equal)]:
+            out = op(a, b)
+            assert out.dtype.name == "bool"
+            assert np.array_equal(out.numpy(), np_fn(a.numpy(), b.numpy()))
+
+    def test_no_gradient(self):
+        a = Tensor(arr(3), requires_grad=True)
+        out = ops.gt(a, 0.0)
+        assert out.node is None
+
+
+class TestSelection:
+    def test_where(self):
+        cond = Tensor(np.array([True, False, True]))
+        a, b = Tensor(arr(3)), Tensor(arr(3))
+        out = ops.where(cond, a, b)
+        assert np.allclose(out.numpy(),
+                           np.where(cond.numpy(), a.numpy(), b.numpy()))
+
+    def test_where_gradients(self):
+        cond = np.array([True, False, True, False])
+
+        def op(a, b):
+            return ops.where(Tensor(cond), a, b)
+
+        check_gradients(op, [arr(4), arr(4)])
+
+    def test_masked_fill(self):
+        mask = Tensor(np.array([True, False]))
+        t = Tensor(arr(2), requires_grad=True)
+        out = ops.masked_fill(t, mask, -1e9)
+        assert out.numpy()[0] == -1e9
+        ops.sum_(out).backward()
+        assert np.array_equal(t.grad.numpy(), [0.0, 1.0])
+
+
+class TestMetaPropagation:
+    @pytest.mark.parametrize("op", [ops.add, ops.mul, ops.sub],
+                             ids=["add", "mul", "sub"])
+    def test_binary_meta(self, op):
+        a = Tensor(None, (3, 4), float32)
+        b = Tensor(arr(4))
+        out = op(a, b)
+        assert out.is_meta and out.shape == (3, 4)
+
+    def test_unary_meta(self):
+        out = ops.exp(Tensor(None, (2, 2), float32))
+        assert out.is_meta
+
+    def test_meta_broadcast_shape(self):
+        a = Tensor(None, (5, 1, 3), float32)
+        b = Tensor(None, (4, 1), float32)
+        assert ops.add(a, b).shape == (5, 4, 3)
+
+
+class TestKernelEmission:
+    def test_elementwise_emits_memory_bound(self):
+        with trace() as t:
+            ops.add(Tensor(arr(4)), Tensor(arr(4)))
+        assert len(t) == 1
+        assert t.records[0].category is KernelCategory.MEMORY
+
+    def test_bytes_account_inputs_and_output(self):
+        with trace() as t:
+            ops.add(Tensor(arr(100)), Tensor(arr(100)))
+        assert t.records[0].bytes == 3 * 100 * 4
+
+    def test_no_emission_outside_trace(self):
+        out = ops.add(Tensor(arr(4)), Tensor(arr(4)))  # must not raise
+        assert out.shape == (4,)
+
+    @given(hnp.array_shapes(min_dims=1, max_dims=3, max_side=5))
+    @settings(max_examples=30, deadline=None)
+    def test_flops_equal_output_size(self, shape):
+        with trace() as t:
+            ops.add(Tensor(np.zeros(shape, np.float32)),
+                    Tensor(np.zeros(shape, np.float32)))
+        assert t.records[0].flops == int(np.prod(shape))
+
+
+class TestHypothesisProperties:
+    @given(hnp.arrays(np.float32, hnp.array_shapes(max_dims=3, max_side=6),
+                      elements=st.floats(-128, 128, width=32)))
+    @settings(max_examples=50, deadline=None)
+    def test_add_commutes(self, a):
+        b = np.flip(a.copy())
+        x = ops.add(Tensor(a), Tensor(b.copy())).numpy()
+        y = ops.add(Tensor(b.copy()), Tensor(a)).numpy()
+        assert np.array_equal(x, y)
+
+    @given(hnp.arrays(np.float32, (4, 4),
+                      elements=st.floats(-64, 64, width=32)))
+    @settings(max_examples=50, deadline=None)
+    def test_neg_involution(self, a):
+        assert np.array_equal(ops.neg(ops.neg(Tensor(a))).numpy(), a)
+
+    @given(hnp.arrays(np.float32, (8,),
+                      elements=st.floats(0.125, 100, width=32)))
+    @settings(max_examples=50, deadline=None)
+    def test_log_exp_roundtrip(self, a):
+        got = ops.exp(ops.log(Tensor(a))).numpy()
+        assert np.allclose(got, a, rtol=1e-4)

@@ -1,0 +1,112 @@
+"""Reductions: sum/mean/amax/amin over axes, keepdims, gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.framework import Tensor, float32
+from repro.framework import ops
+
+from .gradcheck import check_gradients
+
+RNG = np.random.default_rng(11)
+
+
+def arr(*shape):
+    return RNG.uniform(-2, 2, size=shape).astype(np.float32)
+
+
+class TestValues:
+    @pytest.mark.parametrize("axis,keepdims", [
+        (None, False), (0, False), (1, False), (-1, True), ((0, 2), False),
+        ((1, 2), True),
+    ])
+    def test_sum(self, axis, keepdims):
+        x = arr(2, 3, 4)
+        got = ops.sum_(Tensor(x), axis=axis, keepdims=keepdims).numpy()
+        axes = axis if axis is None or isinstance(axis, tuple) else (axis,)
+        want = np.sum(x, axis=axes, keepdims=keepdims)
+        assert np.allclose(got, want, atol=1e-5)
+        assert got.shape == want.shape
+
+    @pytest.mark.parametrize("op,np_fn", [
+        (ops.mean, np.mean), (ops.amax, np.max), (ops.amin, np.min),
+    ], ids=["mean", "amax", "amin"])
+    def test_other_reductions(self, op, np_fn):
+        x = arr(3, 5)
+        assert np.allclose(op(Tensor(x), axis=1).numpy(),
+                           np_fn(x, axis=1), atol=1e-5)
+
+    def test_full_reduce_scalar(self):
+        x = arr(4, 4)
+        out = ops.sum_(Tensor(x))
+        assert out.shape == ()
+        assert out.item() == pytest.approx(x.sum(), abs=1e-4)
+
+
+class TestGradients:
+    @pytest.mark.parametrize("axis,keepdims", [
+        (None, False), (0, False), (-1, True), ((0, 1), False),
+    ])
+    def test_sum_grad(self, axis, keepdims):
+        check_gradients(lambda t: ops.sum_(t, axis=axis, keepdims=keepdims),
+                        [arr(3, 4)])
+
+    @pytest.mark.parametrize("axis", [None, 0, 1])
+    def test_mean_grad(self, axis):
+        check_gradients(lambda t: ops.mean(t, axis=axis), [arr(3, 4)])
+
+    def test_amax_grad_routes_to_argmax(self):
+        x = Tensor(np.array([[1.0, 5.0, 2.0]], dtype=np.float32),
+                   requires_grad=True)
+        ops.sum_(ops.amax(x, axis=-1)).backward()
+        assert np.array_equal(x.grad.numpy(), [[0.0, 1.0, 0.0]])
+
+    def test_amax_grad_splits_ties(self):
+        x = Tensor(np.array([[3.0, 3.0]], dtype=np.float32),
+                   requires_grad=True)
+        ops.sum_(ops.amax(x, axis=-1)).backward()
+        assert np.allclose(x.grad.numpy(), [[0.5, 0.5]])
+
+    def test_amin_grad(self):
+        check_gradients(lambda t: ops.amin(t, axis=-1),
+                        [np.array([[1.0, 4.0], [9.0, 2.0]], np.float32)])
+
+
+class TestMeta:
+    def test_sum_meta_shape(self):
+        t = Tensor(None, (3, 4, 5), float32)
+        assert ops.sum_(t, axis=1).shape == (3, 5)
+        assert ops.sum_(t, axis=1, keepdims=True).shape == (3, 1, 5)
+        assert ops.mean(t).shape == ()
+
+    def test_amax_meta(self):
+        t = Tensor(None, (2, 6), float32)
+        assert ops.amax(t, axis=-1, keepdims=True).shape == (2, 1)
+
+
+class TestProperties:
+    @given(hnp.arrays(np.float32, hnp.array_shapes(min_dims=1, max_dims=3,
+                                                   max_side=5),
+                      elements=st.floats(-64, 64, width=32)))
+    @settings(max_examples=40, deadline=None)
+    def test_sum_matches_numpy(self, x):
+        got = ops.sum_(Tensor(x)).item()
+        assert got == pytest.approx(float(x.sum()), abs=1e-2, rel=1e-4)
+
+    @given(hnp.arrays(np.float32, (4, 4),
+                      elements=st.floats(-64, 64, width=32)))
+    @settings(max_examples=40, deadline=None)
+    def test_mean_between_min_max(self, x):
+        m = ops.mean(Tensor(x)).item()
+        assert x.min() - 1e-4 <= m <= x.max() + 1e-4
+
+    @given(hnp.arrays(np.float32, (3, 5),
+                      elements=st.floats(-64, 64, width=32)))
+    @settings(max_examples=40, deadline=None)
+    def test_amax_ge_amin(self, x):
+        hi = ops.amax(Tensor(x), axis=-1).numpy()
+        lo = ops.amin(Tensor(x), axis=-1).numpy()
+        assert np.all(hi >= lo)

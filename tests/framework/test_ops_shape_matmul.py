@@ -1,0 +1,197 @@
+"""Matmul (batched), shape ops, indexing ops: values, grads, kernel classes."""
+
+import numpy as np
+import pytest
+
+from repro.framework import KernelCategory, Tensor, float32, int64, trace
+from repro.framework import ops
+
+from .gradcheck import check_gradients
+
+RNG = np.random.default_rng(13)
+
+
+def arr(*shape):
+    return RNG.uniform(-1, 1, size=shape).astype(np.float32)
+
+
+class TestMatmul:
+    def test_2d(self):
+        a, b = arr(3, 4), arr(4, 5)
+        assert np.allclose(ops.matmul(Tensor(a), Tensor(b)).numpy(), a @ b,
+                           atol=1e-5)
+
+    def test_batched(self):
+        a, b = arr(2, 3, 4), arr(2, 4, 5)
+        got = ops.matmul(Tensor(a), Tensor(b)).numpy()
+        assert np.allclose(got, a @ b, atol=1e-5)
+
+    def test_broadcast_batch(self):
+        a, b = arr(5, 1, 3, 4), arr(2, 4, 6)
+        got = ops.matmul(Tensor(a), Tensor(b))
+        assert got.shape == (5, 2, 3, 6)
+        assert np.allclose(got.numpy(), a @ b, atol=1e-5)
+
+    def test_gradients(self):
+        check_gradients(ops.matmul, [arr(3, 4), arr(4, 2)])
+
+    def test_batched_gradients(self):
+        check_gradients(ops.matmul, [arr(2, 3, 4), arr(2, 4, 2)])
+
+    def test_broadcast_batch_gradients(self):
+        check_gradients(ops.matmul, [arr(2, 3, 4), arr(4, 2)])
+
+    def test_inner_dim_mismatch_raises(self):
+        with pytest.raises(ValueError, match="inner-dim"):
+            ops.matmul(Tensor(arr(3, 4)), Tensor(arr(5, 6)))
+
+    def test_category_math_and_flops(self):
+        with trace() as t:
+            ops.matmul(Tensor(arr(8, 16)), Tensor(arr(16, 4)))
+        r = t.records[0]
+        assert r.category is KernelCategory.MATH
+        assert r.flops == 2 * 8 * 4 * 16
+
+    def test_meta(self):
+        a = Tensor(None, (7, 3, 4), float32)
+        b = Tensor(None, (4, 5), float32)
+        assert ops.matmul(a, b).shape == (7, 3, 5)
+
+
+class TestShapeOps:
+    def test_reshape_values_and_infer(self):
+        x = arr(2, 6)
+        t = ops.reshape(Tensor(x), (3, -1))
+        assert t.shape == (3, 4)
+        assert np.array_equal(t.numpy(), x.reshape(3, 4))
+
+    def test_reshape_bad_size(self):
+        with pytest.raises(ValueError):
+            ops.reshape(Tensor(arr(4)), (3,))
+
+    def test_reshape_is_free(self):
+        with trace() as t:
+            ops.reshape(Tensor(arr(4, 4)), (16,))
+        assert len(t) == 0  # views launch nothing
+
+    def test_reshape_gradients(self):
+        check_gradients(lambda t: ops.reshape(t, (8,)), [arr(2, 4)])
+
+    def test_permute(self):
+        x = arr(2, 3, 4)
+        t = ops.permute(Tensor(x), (2, 0, 1))
+        assert t.shape == (4, 2, 3)
+        assert np.array_equal(t.numpy(), np.transpose(x, (2, 0, 1)))
+
+    def test_permute_emits_memory_op(self):
+        with trace() as t:
+            ops.permute(Tensor(arr(2, 3)), (1, 0))
+        assert t.records[0].category is KernelCategory.MEMORY_OP
+
+    def test_permute_gradients(self):
+        check_gradients(lambda t: ops.permute(t, (1, 2, 0)), [arr(2, 3, 4)])
+
+    def test_transpose_default_last_two(self):
+        x = arr(2, 3, 4)
+        assert ops.transpose(Tensor(x)).shape == (2, 4, 3)
+
+    def test_broadcast_to(self):
+        t = ops.broadcast_to(Tensor(arr(1, 4)), (3, 4))
+        assert t.shape == (3, 4)
+
+    def test_broadcast_gradients(self):
+        check_gradients(lambda t: ops.broadcast_to(t, (5, 3)), [arr(3)])
+
+    def test_concat_and_split_roundtrip(self):
+        a, b = arr(2, 3), arr(4, 3)
+        cat = ops.concat([Tensor(a), Tensor(b)], axis=0)
+        assert cat.shape == (6, 3)
+        parts = ops.split(cat, [2, 4], axis=0)
+        assert np.array_equal(parts[0].numpy(), a)
+        assert np.array_equal(parts[1].numpy(), b)
+
+    def test_concat_gradients(self):
+        check_gradients(lambda a, b: ops.concat([a, b], axis=-1),
+                        [arr(3, 2), arr(3, 5)])
+
+    def test_split_bad_sizes(self):
+        with pytest.raises(ValueError):
+            ops.split(Tensor(arr(5)), [2, 2])
+
+    def test_stack(self):
+        a, b = arr(3), arr(3)
+        s = ops.stack([Tensor(a), Tensor(b)], axis=0)
+        assert s.shape == (2, 3)
+        assert np.array_equal(s.numpy(), np.stack([a, b]))
+
+    def test_pad(self):
+        x = arr(2, 3)
+        p = ops.pad(Tensor(x), [(1, 1), (0, 2)], value=7.0)
+        assert p.shape == (4, 5)
+        assert p.numpy()[0, 0] == 7.0
+        assert np.array_equal(p.numpy()[1:3, :3], x)
+
+    def test_pad_gradients(self):
+        check_gradients(lambda t: ops.pad(t, [(1, 0), (0, 1)]), [arr(2, 2)])
+
+    def test_getitem_slice(self):
+        x = arr(4, 6)
+        t = Tensor(x, requires_grad=True)
+        s = t[1:3, ::2]
+        assert np.array_equal(s.numpy(), x[1:3, ::2])
+        ops.sum_(s).backward()
+        expected = np.zeros_like(x)
+        expected[1:3, ::2] = 1.0
+        assert np.array_equal(t.grad.numpy(), expected)
+
+    def test_getitem_int_index(self):
+        x = arr(4, 6)
+        assert Tensor(x)[2].shape == (6,)
+
+
+class TestIndexedOps:
+    def test_gather(self):
+        x = arr(4, 5)
+        idx = np.array([[0, 2, 4], [1, 1, 3], [0, 0, 0], [4, 3, 2]])
+        got = ops.gather(Tensor(x), 1, Tensor(idx)).numpy()
+        assert np.array_equal(got, np.take_along_axis(x, idx, axis=1))
+
+    def test_gather_grad_scatter_adds(self):
+        x = Tensor(np.zeros((1, 3), np.float32), requires_grad=True)
+        idx = Tensor(np.array([[1, 1]], dtype=np.int64))
+        out = ops.gather(x, 1, idx)
+        ops.sum_(out).backward()
+        # Both gathered copies of column 1 contribute.
+        assert np.array_equal(x.grad.numpy(), [[0.0, 2.0, 0.0]])
+
+    def test_one_hot(self):
+        idx = Tensor(np.array([0, 2, 1], dtype=np.int64))
+        oh = ops.one_hot(idx, 3).numpy()
+        assert np.array_equal(oh, np.eye(3, dtype=np.float32)[[0, 2, 1]])
+
+    def test_one_hot_meta(self):
+        idx = Tensor(None, (7,), int64)
+        assert ops.one_hot(idx, 4).shape == (7, 4)
+
+    def test_cast(self):
+        t = Tensor(arr(4))
+        c = ops.cast(t, int64)
+        assert c.dtype is int64
+
+    def test_cast_grad_flows_back(self):
+        # Finite differences are meaningless across quantization plateaus;
+        # check the straight-through-style chain rule directly instead.
+        from repro.framework import bfloat16
+        t = Tensor(arr(6), requires_grad=True)
+        ops.sum_(ops.cast(t, bfloat16)).backward()
+        assert t.grad is not None
+        assert t.grad.dtype is t.dtype
+        assert np.allclose(t.grad.numpy(), 1.0)
+
+    def test_bernoulli_mask_scaling(self):
+        from repro.framework import seed
+        seed(3)
+        m = ops.bernoulli_mask((100000,), keep_prob=0.8).numpy()
+        # Inverted dropout: mean approx 1, values in {0, 1/0.8}.
+        assert set(np.round(np.unique(m), 4)) <= {0.0, round(1 / 0.8, 4)}
+        assert abs(m.mean() - 1.0) < 0.02

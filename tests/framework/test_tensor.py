@@ -1,0 +1,125 @@
+"""Tensor construction, meta tensors, and basic properties."""
+
+import numpy as np
+import pytest
+
+from repro.framework import (Tensor, arange, as_tensor, bfloat16, float32,
+                             full, int64, ones, rand, randn, seed, zeros)
+
+
+class TestConstruction:
+    def test_from_numpy(self):
+        t = Tensor(np.ones((2, 3), dtype=np.float32))
+        assert t.shape == (2, 3)
+        assert t.dtype is float32
+        assert not t.is_meta
+
+    def test_meta_requires_shape_and_dtype(self):
+        with pytest.raises(ValueError):
+            Tensor(None)
+        t = Tensor(None, shape=(4, 5), dtype=float32)
+        assert t.is_meta
+        assert t.shape == (4, 5)
+
+    def test_meta_data_access_raises(self):
+        t = Tensor(None, shape=(2,), dtype=float32)
+        with pytest.raises(RuntimeError, match="meta"):
+            t.numpy()
+
+    def test_dtype_coercion_storage(self):
+        t = Tensor(np.ones((2,), dtype=np.float64), dtype=float32)
+        assert t.data.dtype == np.float32
+
+    def test_size_and_nbytes(self):
+        t = zeros((3, 4), dtype=bfloat16)
+        assert t.size == 12
+        assert t.nbytes == 24  # bf16 = 2 bytes/elem on device
+
+    def test_ndim(self):
+        assert zeros((2, 3, 4)).ndim == 3
+        assert zeros(()).ndim == 0
+
+    def test_len(self):
+        assert len(zeros((5, 2))) == 5
+        with pytest.raises(TypeError):
+            len(zeros(()))
+
+    def test_item(self):
+        assert Tensor(np.array(3.5, dtype=np.float32)).item() == 3.5
+        with pytest.raises(ValueError):
+            zeros((2,)).item()
+
+
+class TestConstructors:
+    def test_zeros_ones_full(self):
+        assert np.all(zeros((2, 2)).numpy() == 0)
+        assert np.all(ones((2, 2)).numpy() == 1)
+        assert np.all(full((2, 2), 7.0).numpy() == 7)
+
+    def test_meta_constructors(self):
+        for fn in (zeros, ones):
+            t = fn((3, 3), meta=True)
+            assert t.is_meta and t.shape == (3, 3)
+
+    def test_randn_determinism(self):
+        seed(42)
+        a = randn((4, 4)).numpy().copy()
+        seed(42)
+        b = randn((4, 4)).numpy().copy()
+        assert np.array_equal(a, b)
+
+    def test_randn_std(self):
+        seed(1)
+        x = randn((10000,), std=2.0).numpy()
+        assert 1.8 < x.std() < 2.2
+
+    def test_randn_bf16_quantized(self):
+        x = randn((100,), dtype=bfloat16)
+        from repro.framework.dtypes import quantize
+        assert np.array_equal(x.numpy(), quantize(x.numpy(), bfloat16))
+
+    def test_rand_range(self):
+        x = rand((1000,)).numpy()
+        assert x.min() >= 0.0 and x.max() < 1.0
+
+    def test_arange(self):
+        assert np.array_equal(arange(5).numpy(), np.arange(5))
+        assert arange(5).dtype is int64
+
+
+class TestAsTensor:
+    def test_scalar_float(self):
+        t = as_tensor(2.5)
+        assert t.shape == () and t.dtype is float32
+
+    def test_passthrough(self):
+        t = zeros((2,))
+        assert as_tensor(t) is t
+
+    def test_array(self):
+        t = as_tensor(np.ones((3,), dtype=np.float32))
+        assert t.shape == (3,)
+
+
+class TestDetachCopy:
+    def test_detach_severs_grad(self):
+        t = randn((2, 2), requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.node is None
+        assert np.array_equal(d.numpy(), t.numpy())
+
+    def test_detach_meta(self):
+        t = Tensor(None, (2, 2), float32, requires_grad=True)
+        d = t.detach()
+        assert d.is_meta and not d.requires_grad
+
+    def test_copy_inplace(self):
+        a = zeros((2, 2))
+        b = ones((2, 2))
+        a.copy_(b)
+        assert np.all(a.numpy() == 1)
+
+    def test_copy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Tensor(None, (2,), float32).copy_(Tensor(None, (3,), float32))

@@ -1,0 +1,143 @@
+"""Kernel tracer: scopes, phases, queries, thread-locality."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.framework import (KernelCategory, Tensor, Trace, current_trace,
+                             emit, trace)
+from repro.framework import ops, tracer
+
+
+def _launch():
+    return ops.add(Tensor(np.ones(4, np.float32)),
+                   Tensor(np.ones(4, np.float32)))
+
+
+class TestActivation:
+    def test_no_active_trace_by_default(self):
+        assert current_trace() is None
+
+    def test_context_manager(self):
+        with trace("t") as t:
+            assert current_trace() is t
+            _launch()
+        assert current_trace() is None
+        assert len(t) == 1
+
+    def test_nested_traces_inner_wins(self):
+        with trace("outer") as outer:
+            _launch()
+            with trace("inner") as inner:
+                _launch()
+            _launch()
+        assert len(outer) == 2
+        assert len(inner) == 1
+
+    def test_emit_into_existing(self):
+        t = Trace("mine")
+        with trace(into=t):
+            _launch()
+        assert len(t) == 1
+
+    def test_emit_returns_none_without_trace(self):
+        assert emit("x", KernelCategory.MEMORY, 0, 0, (1,), "fp32") is None
+
+
+class TestScopesAndPhases:
+    def test_scope_nesting(self):
+        with trace() as t:
+            with tracer.scope("a"):
+                with tracer.scope("b"):
+                    _launch()
+            _launch()
+        assert t.records[0].scope == "a/b"
+        assert t.records[1].scope == ""
+
+    def test_phase_default_forward(self):
+        with trace() as t:
+            _launch()
+        assert t.records[0].phase == "forward"
+
+    def test_phase_stack(self):
+        with trace() as t:
+            with tracer.phase("update"):
+                _launch()
+        assert t.records[0].phase == "update"
+
+    def test_absolute_scope_replaces(self):
+        with trace() as t:
+            with tracer.scope("outer"):
+                with tracer.absolute_scope("x/y"):
+                    _launch()
+                _launch()
+        assert t.records[0].scope == "x/y"
+        assert t.records[1].scope == "outer"
+
+    def test_absolute_scope_no_trace_ok(self):
+        with tracer.absolute_scope("a/b"):
+            pass  # must not raise
+
+
+class TestQueries:
+    def _sample_trace(self):
+        with trace() as t:
+            with tracer.scope("evoformer"):
+                ops.matmul(Tensor(np.ones((4, 4), np.float32)),
+                           Tensor(np.ones((4, 4), np.float32)))
+            _launch()
+        return t
+
+    def test_by_category(self):
+        t = self._sample_trace()
+        cats = t.by_category()
+        assert cats[KernelCategory.MATH].calls == 1
+        assert cats[KernelCategory.MEMORY].calls == 1
+
+    def test_by_name(self):
+        t = self._sample_trace()
+        names = t.by_name()
+        assert names["matmul"].calls == 1
+        assert names["add"].calls == 1
+
+    def test_in_scope(self):
+        t = self._sample_trace()
+        assert len(t.in_scope("evoformer")) == 1
+        assert len(t.in_scope("evo")) == 0  # prefix must be a path component
+
+    def test_filter(self):
+        t = self._sample_trace()
+        assert len(t.filter(lambda r: r.flops > 0)) == 2
+
+    def test_totals(self):
+        t = self._sample_trace()
+        assert t.total_flops() == 2 * 4 * 4 * 4 + 4
+        assert t.total_bytes() > 0
+
+    def test_record_scaled(self):
+        t = self._sample_trace()
+        r = t.records[0]
+        half = r.scaled(0.5)
+        assert half.flops == r.flops / 2
+        assert half.bytes == r.bytes / 2
+        assert half.name == r.name
+
+
+class TestThreadLocality:
+    def test_worker_thread_does_not_pollute(self):
+        """The non-blocking loader's worker threads must not emit into the
+        main thread's trace."""
+        results = {}
+
+        def worker():
+            results["worker_trace"] = current_trace()
+            _launch()  # no active trace in this thread
+
+        with trace() as t:
+            th = threading.Thread(target=worker)
+            th.start()
+            th.join()
+            _launch()
+        assert results["worker_trace"] is None
+        assert len(t) == 1

@@ -1,0 +1,195 @@
+"""GPU specs, roofline cost model, CUDA Graph cache, CPU jitter."""
+
+import numpy as np
+import pytest
+
+from repro.framework.tracer import KernelCategory, KernelRecord
+from repro.hardware import (A100, H100, CostModel, CpuJitterConfig,
+                            CpuJitterModel, CudaGraphCache, get_gpu)
+
+
+def record(name="k", category=KernelCategory.MEMORY, flops=0.0, bytes_=1e6,
+           shape=(1024, 256), dtype="fp32", tunable=None, fused=False):
+    return KernelRecord(name=name, category=category, flops=flops,
+                        bytes=bytes_, shape=shape, dtype=dtype, scope="",
+                        fused=fused, phase="forward", tunable=tunable,
+                        tags=None)
+
+
+class TestGpuSpecs:
+    def test_lookup(self):
+        assert get_gpu("a100") is A100
+        assert get_gpu("H100") is H100
+        with pytest.raises(ValueError):
+            get_gpu("V100")
+
+    def test_h100_outclasses_a100(self):
+        assert H100.mem_bw_gbps > A100.mem_bw_gbps
+        assert H100.peak_flops("bf16") > A100.peak_flops("bf16")
+
+    def test_bf16_doubles_tf32(self):
+        for gpu in (A100, H100):
+            assert gpu.peak_flops("bf16") == pytest.approx(
+                2 * gpu.peak_flops("tf32"), rel=0.01)
+
+    def test_unknown_dtype_falls_back_to_fp32(self):
+        assert A100.peak_flops("int64") == A100.peak_flops("fp32")
+
+
+class TestCostModel:
+    def test_latency_floor(self):
+        cm = CostModel(H100)
+        tiny = record(bytes_=16.0)
+        cost = cm.kernel_cost(tiny)
+        assert cost.seconds == pytest.approx(
+            H100.gpu_launch_latency_us * 1e-6)
+        assert cost.limiter == "latency"
+
+    def test_memory_bound_kernel(self):
+        cm = CostModel(H100)
+        big = record(bytes_=1e9)
+        cost = cm.kernel_cost(big)
+        assert cost.limiter == "memory"
+        # within (bw, bw * max_eff) of the ideal streaming time
+        ideal = 1e9 / H100.membw()
+        assert ideal < cost.seconds < 10 * ideal
+
+    def test_math_bound_kernel(self):
+        cm = CostModel(H100)
+        gemm = record(category=KernelCategory.MATH, flops=1e12, bytes_=1e6)
+        cost = cm.kernel_cost(gemm)
+        assert cost.limiter == "math"
+
+    def test_fp32_matmul_uses_tf32_peak(self):
+        cm = CostModel(A100)
+        gemm32 = record(category=KernelCategory.MATH, flops=1e12,
+                        bytes_=1e6, dtype="fp32")
+        gemm16 = record(category=KernelCategory.MATH, flops=1e12,
+                        bytes_=1e6, dtype="bf16")
+        assert cm.kernel_seconds(gemm16) < cm.kernel_seconds(gemm32)
+
+    def test_saturation_small_kernels_less_efficient(self):
+        """Poor kernel scalability (§3.1): 1/8 the bytes takes MORE than
+        1/8 the time."""
+        cm = CostModel(H100)
+        full = cm.kernel_seconds(record(bytes_=32e6))
+        eighth = cm.kernel_seconds(record(bytes_=4e6))
+        assert eighth > full / 8
+
+    def test_comm_records_rejected(self):
+        cm = CostModel(H100)
+        with pytest.raises(ValueError):
+            cm.kernel_cost(record(category=KernelCategory.COMM))
+
+    def test_h100_faster_than_a100(self):
+        r = record(bytes_=1e8)
+        assert CostModel(H100).kernel_seconds(r) < \
+            CostModel(A100).kernel_seconds(r)
+
+    def test_theoretical_is_lower_bound(self):
+        cm = CostModel(A100)
+        r = record(bytes_=1e8, flops=1e9)
+        assert cm.theoretical_seconds(r.flops, r.bytes) < cm.kernel_seconds(r)
+
+    def test_trace_gpu_seconds_sums(self):
+        cm = CostModel(H100)
+        records = [record(bytes_=1e7) for _ in range(5)]
+        total = cm.trace_gpu_seconds(records)
+        assert total == pytest.approx(5 * cm.kernel_seconds(records[0]))
+
+    def test_tunable_kernel_uses_autotuner(self):
+        cm = CostModel(H100, autotune=True)
+        r = record(bytes_=32e6, tunable="fused_layernorm", fused=True)
+        cm.kernel_seconds(r)
+        assert len(cm.autotuner) == 1
+
+    def test_autotune_disabled_uses_default(self):
+        cm = CostModel(H100, autotune=False)
+        r = record(bytes_=32e6, tunable="fused_layernorm", fused=True)
+        cm.kernel_seconds(r)
+        assert len(cm.autotuner) == 0
+
+    def test_tuned_dap_workload_degrades_gracefully(self):
+        """Fused-kernel efficiency drops sub-linearly as DAP shrinks work."""
+        cm = CostModel(H100, autotune=True)
+        full = cm.kernel_seconds(record(bytes_=64e6, shape=(32768, 256),
+                                        tunable="fused_layernorm"))
+        eighth = cm.kernel_seconds(record(bytes_=8e6, shape=(4096, 256),
+                                          tunable="fused_layernorm"))
+        assert full / 8 < eighth < full
+
+
+class TestCudaGraphCache:
+    def test_miss_then_hit(self):
+        cache = CudaGraphCache(H100)
+        assert cache.lookup(3) is None
+        cache.capture(3, n_kernels=1000)
+        assert cache.lookup(3) is not None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_keyed_by_recycling_count(self):
+        """§3.2: different recycling iteration counts are different graphs."""
+        cache = CudaGraphCache(H100)
+        for n_recycle in (0, 1, 2, 3):
+            assert cache.lookup(n_recycle) is None
+            cache.capture(n_recycle, n_kernels=1000 * (n_recycle + 1))
+        assert len(cache) == 4
+        assert all(cache.lookup(k) for k in (0, 1, 2, 3))
+
+    def test_eviction_at_capacity(self):
+        cache = CudaGraphCache(H100, max_graphs=2)
+        cache.capture("a", 10)
+        cache.capture("b", 10)
+        cache.capture("c", 10)
+        assert len(cache) == 2
+        assert cache.lookup("a") is None  # oldest evicted
+
+    def test_replay_cheaper_than_eager(self):
+        cache = CudaGraphCache(H100)
+        n = 150_000
+        assert cache.replay_cpu_seconds(n) < 0.1 * cache.eager_cpu_seconds(n)
+
+    def test_capture_costs_more_than_one_eager_pass(self):
+        cache = CudaGraphCache(H100)
+        assert cache.capture_seconds(1000) > cache.eager_cpu_seconds(1000)
+
+    def test_cpu_peak_inflates_eager_only(self):
+        cache = CudaGraphCache(H100)
+        assert cache.eager_cpu_seconds(1000, cpu_slowdown=3.0) == \
+            pytest.approx(3 * cache.eager_cpu_seconds(1000))
+
+    def test_hit_rate(self):
+        cache = CudaGraphCache(H100)
+        cache.lookup("x")
+        cache.capture("x", 1)
+        cache.lookup("x")
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+
+class TestCpuJitter:
+    def test_slowdown_at_least_one(self):
+        model = CpuJitterModel(CpuJitterConfig(), seed=0)
+        for _ in range(200):
+            assert model.dispatch_slowdown() >= 1.0
+
+    def test_peaks_occur_at_configured_rate(self):
+        cfg = CpuJitterConfig(peak_probability=0.5)
+        model = CpuJitterModel(cfg, seed=1)
+        slowdowns = [model.dispatch_slowdown() for _ in range(2000)]
+        peaked = np.mean([s > 1.0 for s in slowdowns])
+        assert 0.4 < peaked < 0.6
+
+    def test_gc_pause_rate(self):
+        cfg = CpuJitterConfig(gc_period_steps=4.0)
+        model = CpuJitterModel(cfg, seed=2)
+        pauses = [model.gc_pause() for _ in range(2000)]
+        assert 0.15 < np.mean([p > 0 for p in pauses]) < 0.35
+
+    def test_gc_disabled(self):
+        model = CpuJitterModel(CpuJitterConfig(gc_enabled=False), seed=3)
+        assert all(model.gc_pause() == 0.0 for _ in range(100))
+
+    def test_graphed_step_has_no_dispatch_overhead(self):
+        model = CpuJitterModel(CpuJitterConfig(), seed=4)
+        assert model.step_host_overhead(1.0, graphed=True) == 0.0

@@ -1,0 +1,124 @@
+"""Integration: numeric-vs-meta trace agreement, reference-vs-fused training,
+and the full kernel-count story across policies."""
+
+import numpy as np
+import pytest
+
+from repro.datapipe.samples import SyntheticProteinDataset, make_batch
+from repro.framework import Tensor, meta_build, phase, seed, trace
+from repro.framework import ops
+from repro.model.alphafold import AlphaFold
+from repro.model.config import AlphaFoldConfig, KernelPolicy
+from repro.model.loss import AlphaFoldLoss
+from repro.train.optimizer import OptimizerConfig
+from repro.train.trainer import Trainer
+
+
+class TestNumericMetaAgreement:
+    def test_same_kernel_sequence(self):
+        """Meta (shape-only) execution must launch the same kernels as
+        numeric execution — otherwise paper-scale profiling is fiction."""
+        cfg = AlphaFoldConfig.tiny()
+        seed(0)
+        numeric_model = AlphaFold(cfg)
+        numeric_model.eval()
+        with meta_build():
+            meta_model = AlphaFold(cfg)
+        meta_model.eval()
+
+        ds = SyntheticProteinDataset(cfg, size=1)
+        numeric_batch = make_batch(ds[0])
+        meta_batch_ = make_batch(ds[0], meta=True)
+
+        from repro.framework import no_grad
+
+        with no_grad():
+            with trace() as t_num:
+                numeric_model(numeric_batch, n_recycle=0)
+            with trace() as t_meta:
+                meta_model(meta_batch_, n_recycle=0)
+        num_names = [r.name for r in t_num.records]
+        meta_names = [r.name for r in t_meta.records]
+        assert num_names == meta_names
+        num_shapes = [r.shape for r in t_num.records]
+        meta_shapes = [r.shape for r in t_meta.records]
+        assert num_shapes == meta_shapes
+
+    def test_same_flops_and_bytes(self):
+        cfg = AlphaFoldConfig.tiny()
+        seed(0)
+        numeric_model = AlphaFold(cfg)
+        numeric_model.eval()
+        with meta_build():
+            meta_model = AlphaFold(cfg)
+        meta_model.eval()
+        ds = SyntheticProteinDataset(cfg, size=1)
+        from repro.framework import no_grad
+
+        with no_grad():
+            with trace() as t_num:
+                numeric_model(make_batch(ds[0]), n_recycle=0)
+            with trace() as t_meta:
+                meta_model(make_batch(ds[0], meta=True), n_recycle=0)
+        assert t_num.total_flops() == pytest.approx(t_meta.total_flops())
+        assert t_num.total_bytes() == pytest.approx(t_meta.total_bytes())
+
+
+class TestReferenceVsFusedTraining:
+    def test_both_policies_learn(self):
+        """Reference and ScaleFold kernel paths both reduce the loss on the
+        same data — the end-to-end 'optimizations preserve training' check."""
+        results = {}
+        for name, policy in (
+            ("reference", KernelPolicy.reference()),
+            ("scalefold", KernelPolicy.scalefold(checkpointing=False)
+             .replace(dtype=KernelPolicy.reference().dtype)),
+        ):
+            cfg = AlphaFoldConfig.tiny(policy)
+            trainer = Trainer(
+                cfg, OptimizerConfig(fused=policy.fused_adam_swa,
+                                     bucketed_clip=policy.bucketed_clip),
+                rng_seed=3)
+            dataset = SyntheticProteinDataset(cfg, size=2)
+            results[name] = trainer.fit(dataset, steps=5)
+        for name, result in results.items():
+            assert result.losses[-1] < result.losses[0], name
+
+    def test_fused_policy_uses_far_fewer_update_kernels(self):
+        policy = KernelPolicy.scalefold(checkpointing=False).replace(
+            dtype=KernelPolicy.reference().dtype)
+        cfg_f = AlphaFoldConfig.tiny(policy)
+        cfg_r = AlphaFoldConfig.tiny()
+        counts = {}
+        for key, cfg, opt_cfg in (
+            ("ref", cfg_r, OptimizerConfig()),
+            ("fused", cfg_f, OptimizerConfig(fused=True, bucketed_clip=True)),
+        ):
+            trainer = Trainer(cfg, opt_cfg, rng_seed=0)
+            ds = SyntheticProteinDataset(cfg, size=1)
+            batch = make_batch(ds[0])
+            with trace() as t:
+                with phase("step"):
+                    trainer.train_step(batch)
+            counts[key] = sum(1 for r in t.records
+                              if r.name.startswith(("adam_", "swa_", "clip_",
+                                                    "fused_adam", "bucket_")))
+        assert counts["fused"] < 0.05 * counts["ref"]
+
+
+class TestBf16EndToEnd:
+    def test_bf16_training_is_finite(self):
+        from repro.framework import bfloat16
+
+        policy = KernelPolicy.scalefold(checkpointing=False)
+        assert policy.dtype is bfloat16
+        cfg = AlphaFoldConfig.tiny(policy)
+        trainer = Trainer(cfg, OptimizerConfig(fused=True,
+                                               bucketed_clip=True),
+                          rng_seed=1)
+        trainer.model.to_dtype(bfloat16)
+        ds = SyntheticProteinDataset(cfg, size=1)
+        batch = make_batch(ds[0], dtype=bfloat16)
+        rec = trainer.train_step(batch)
+        assert np.isfinite(rec.loss)
+        assert np.isfinite(rec.grad_norm)

@@ -1,0 +1,44 @@
+"""Smoke-run the cheap example scripts — examples must never rot.
+
+(The cluster-scale examples — quickstart, scaling_analysis, mlperf,
+pretrain — are exercised through the same library calls by the benchmark
+suite; running them here too would double multi-minute simulations.)
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "kernel_fusion_demo.py",
+    "numeric_dap.py",
+    "memory_analysis.py",
+    "predict_structure.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script, tmp_path):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example missing: {script}"
+    args = [sys.executable, str(path)]
+    if script == "predict_structure.py":
+        args.append(str(tmp_path / "out.pdb"))
+    result = subprocess.run(args, capture_output=True, text=True,
+                            timeout=300, cwd=str(tmp_path))
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_all_examples_exist():
+    expected = {"quickstart.py", "kernel_fusion_demo.py",
+                "nonblocking_dataloader.py", "numeric_dap.py",
+                "scaling_analysis.py", "mlperf_benchmark.py",
+                "pretrain_from_scratch.py", "memory_analysis.py",
+                "predict_structure.py"}
+    present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert expected <= present, expected - present

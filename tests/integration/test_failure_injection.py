@@ -1,0 +1,173 @@
+"""Failure injection: the system must fail loudly and recover cleanly."""
+
+import numpy as np
+import pytest
+
+from repro.datapipe.loader import BlockingLoader, NonBlockingLoader
+from repro.framework import Tensor, randn, seed, trace
+from repro.framework import ops
+from repro.model.config import AlphaFoldConfig
+from repro.train.optimizer import AlphaFoldOptimizer, OptimizerConfig
+
+
+class FlakyDataset:
+    """Dataset whose __getitem__ raises for selected indices."""
+
+    def __init__(self, n, bad_indices):
+        self.n = n
+        self.bad = set(bad_indices)
+
+    def __len__(self):
+        return self.n
+
+    def __getitem__(self, i):
+        if i in self.bad:
+            raise RuntimeError(f"corrupt sample {i}")
+        return i
+
+
+class TestLoaderFailures:
+    def test_blocking_loader_propagates_worker_error(self):
+        loader = BlockingLoader(FlakyDataset(10, {3}), num_workers=2)
+        with pytest.raises(RuntimeError, match="corrupt sample 3"):
+            list(loader)
+
+    def test_blocking_loader_delivers_up_to_failure(self):
+        loader = BlockingLoader(FlakyDataset(10, {5}), num_workers=2,
+                                prefetch=2)
+        seen = []
+        with pytest.raises(RuntimeError):
+            for idx, _ in loader:
+                seen.append(idx)
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_nonblocking_loader_error_does_not_hang(self):
+        """A crashed worker must not deadlock the priority queue; the
+        healthy samples still arrive."""
+        loader = NonBlockingLoader(FlakyDataset(8, {2}), num_workers=2,
+                                   prefetch=8)
+        delivered = []
+        with pytest.raises(Exception):
+            for idx, _ in loader:
+                delivered.append(idx)
+        # Everything except the corrupt sample was produced by workers.
+        assert 2 not in delivered
+
+
+class TestOptimizerEdgeCases:
+    class _Param:
+        pass
+
+    def _quadratic(self):
+        from repro.framework import Module, make_parameter
+
+        class Quadratic(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = make_parameter((4,), init="ones")
+
+            def forward(self):
+                return ops.mean(ops.square(self.w))
+
+        return Quadratic()
+
+    def test_huge_gradients_are_clipped_not_exploding(self):
+        model = self._quadratic()
+        model.w._data = np.full(4, 1e4, np.float32)
+        opt = AlphaFoldOptimizer(model, OptimizerConfig(max_grad_norm=0.1),
+                                 lr=0.1)
+        model.zero_grad()
+        model().backward()
+        before = model.w.numpy().copy()
+        stats = opt.step()
+        delta = np.abs(model.w.numpy() - before).max()
+        assert stats["clip_coef"] < 1e-3
+        assert delta < 1.0  # clip bounded the update
+        assert np.all(np.isfinite(model.w.numpy()))
+
+    def test_nan_gradients_surface_in_grad_norm(self):
+        """The grad-norm statistic is the NaN tripwire real training
+        monitors (§3.4's fp16 NaNs are caught exactly this way)."""
+        model = self._quadratic()
+        opt = AlphaFoldOptimizer(model, OptimizerConfig())
+        model.zero_grad()
+        model().backward()
+        model.w.grad._data[0] = np.nan
+        stats = opt.step()
+        assert np.isnan(stats["grad_norm"])
+
+    def test_zero_parameters_module(self):
+        from repro.framework import Module
+
+        class Empty(Module):
+            def forward(self):  # pragma: no cover - never called
+                return None
+
+        opt = AlphaFoldOptimizer(Empty())
+        stats = opt.step()  # no parameters: a no-op step
+        assert stats["grad_norm"] == 0.0
+
+
+class TestModelInputValidation:
+    def test_missing_feature_key_raises(self, tiny_cfg):
+        from repro.model.alphafold import AlphaFold
+
+        model = AlphaFold(tiny_cfg)
+        with pytest.raises(KeyError):
+            model({}, n_recycle=0)
+
+    def test_different_crop_size_is_fine(self, tiny_cfg):
+        """The architecture is crop-size agnostic (layers are channel-
+        based), so a different n_res must run, not crash."""
+        from repro.datapipe.samples import SyntheticProteinDataset, make_batch
+        from repro.model.alphafold import AlphaFold
+
+        other = AlphaFoldConfig.tiny().replace(n_res=12)
+        batch = make_batch(SyntheticProteinDataset(other, size=1)[0])
+        model = AlphaFold(tiny_cfg)  # built with n_res=8 in its config
+        out = model(batch, n_recycle=0)
+        assert out["positions"].shape == (12, 3)
+
+    def test_wrong_feature_width_fails_fast(self, tiny_cfg):
+        """Channel-dimension errors must raise, not mis-broadcast."""
+        from repro.datapipe.samples import SyntheticProteinDataset, make_batch
+        from repro.model.alphafold import AlphaFold
+
+        batch = make_batch(SyntheticProteinDataset(tiny_cfg, size=1)[0])
+        bad = Tensor(np.zeros((tiny_cfg.n_seq, tiny_cfg.n_res,
+                               tiny_cfg.msa_feat_dim + 3), np.float32))
+        batch["msa_feat"] = bad
+        model = AlphaFold(tiny_cfg)
+        with pytest.raises((ValueError, RuntimeError)):
+            model(batch, n_recycle=0)
+
+
+class TestSimulationGuards:
+    def test_des_runaway_guard(self):
+        from repro.sim.des import Simulator
+
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(1e-9, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(RuntimeError, match="budget"):
+            sim.run(max_events=1000)
+
+    def test_cluster_sim_nonconvergence_bounded(self):
+        from repro.sim.cluster import ClusterSimConfig, run_cluster_simulation
+
+        result = run_cluster_simulation(ClusterSimConfig(
+            step_seconds=0.1, target_lddt=0.999, max_steps=300))
+        assert not result.converged
+        assert result.steps == 300  # bounded, no infinite loop
+
+    def test_divergent_batch_size_never_converges(self):
+        """bs>256 (the §2.2 cap) must terminate via max_steps."""
+        from repro.sim.cluster import ClusterSimConfig, run_cluster_simulation
+
+        result = run_cluster_simulation(ClusterSimConfig(
+            step_seconds=0.1, global_batch=512, target_lddt=0.9,
+            max_steps=400))
+        assert not result.converged

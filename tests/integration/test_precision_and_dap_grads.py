@@ -1,0 +1,108 @@
+"""§3.4's precision story, mechanistically, and DAP gradient equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.numeric_dap import DapEvoformerBlock
+from repro.framework import (Tensor, bfloat16, float16, float32, randn, seed)
+from repro.framework import functional as F
+from repro.framework import ops
+from repro.framework.dtypes import quantize
+from repro.model.config import AlphaFoldConfig
+from repro.model.evoformer import EvoformerBlock
+from repro.model.primitives import mask_bias
+
+
+class TestFp16VsBf16:
+    """'AMP with autocasting to fp16 converges, but ... Naive fp16 results
+    in NaNs. We added full bfloat16 support' (§3.4).
+
+    The mechanism: AlphaFold adds -1e9 mask biases to attention logits.
+    fp16's range tops out at 65504, so the bias overflows to -inf; a fully
+    masked row then computes softmax(-inf - (-inf)) = NaN.  bf16 keeps
+    fp32's exponent range, so -1e9 stays finite and softmax stays stable.
+    """
+
+    def _masked_logits(self, dtype):
+        mask = Tensor(np.array([[0.0, 0.0, 0.0]], np.float32))  # fully masked
+        bias = ops.cast(mask_bias(mask), dtype)
+        logits = ops.cast(Tensor(np.zeros((1, 1, 1, 3), np.float32)), dtype)
+        return ops.add(logits, ops.broadcast_to(bias, (1, 1, 1, 3)))
+
+    def test_fp16_mask_bias_overflows_to_inf(self):
+        assert np.isinf(quantize(np.array([-1e9], np.float32),
+                                 float16)).all()
+
+    def test_bf16_mask_bias_stays_finite(self):
+        assert np.isfinite(quantize(np.array([-1e9], np.float32),
+                                    bfloat16)).all()
+
+    def test_fp16_fully_masked_softmax_is_nan(self):
+        probs = F.softmax(self._masked_logits(float16), axis=-1)
+        assert np.isnan(probs.numpy()).any()
+
+    def test_bf16_fully_masked_softmax_is_finite(self):
+        probs = F.softmax(self._masked_logits(bfloat16), axis=-1)
+        assert np.all(np.isfinite(probs.numpy()))
+        assert np.allclose(probs.numpy().sum(-1), 1.0, atol=1e-2)
+
+    def test_bf16_matches_fp32_within_precision(self):
+        seed(4)
+        x = randn((8, 16))
+        w = Tensor(np.ones(16, np.float32))
+        b = Tensor(np.zeros(16, np.float32))
+        full = F.layer_norm(x, w, b).numpy()
+        low = F.layer_norm(ops.cast(x, bfloat16), ops.cast(w, bfloat16),
+                           ops.cast(b, bfloat16)).numpy()
+        assert np.allclose(full, low, atol=0.05)
+
+
+class TestDapGradientEquivalence:
+    """DAP must not change gradients: the sharded forward (with simulated
+    collectives) backpropagates to the same parameter gradients as the
+    unsharded block."""
+
+    def _setup(self):
+        seed(21)
+        cfg = AlphaFoldConfig.tiny()
+        block = EvoformerBlock(cfg)
+        block.eval()  # dropout masks are not synchronized across ranks
+        m = randn((4, 8, cfg.c_m))
+        z = randn((8, 8, cfg.c_z))
+        return block, m, z
+
+    def _loss(self, m_out, z_out):
+        return ops.add(ops.mean(ops.square(m_out)),
+                       ops.mean(ops.square(z_out)))
+
+    def test_parameter_gradients_match(self):
+        block, m, z = self._setup()
+
+        self._loss(*block(m, z)).backward()
+        reference = {name: p.grad.numpy().copy()
+                     for name, p in block.named_parameters()
+                     if p.grad is not None}
+        block.zero_grad()
+
+        dap = DapEvoformerBlock(block, 2)
+        self._loss(*dap.forward_gathered(m, z)).backward()
+        for name, p in block.named_parameters():
+            if name not in reference:
+                continue
+            assert p.grad is not None, name
+            assert np.allclose(p.grad.numpy(), reference[name], atol=2e-4), \
+                (name, np.abs(p.grad.numpy() - reference[name]).max())
+
+    def test_input_gradients_match(self):
+        block, m, z = self._setup()
+        m1 = Tensor(m.numpy().copy(), requires_grad=True)
+        z1 = Tensor(z.numpy().copy(), requires_grad=True)
+        self._loss(*block(m1, z1)).backward()
+        block.zero_grad()
+
+        m2 = Tensor(m.numpy().copy(), requires_grad=True)
+        z2 = Tensor(z.numpy().copy(), requires_grad=True)
+        self._loss(*DapEvoformerBlock(block, 2).forward_gathered(m2, z2)
+                   ).backward()
+        assert np.allclose(m1.grad.numpy(), m2.grad.numpy(), atol=2e-4)
+        assert np.allclose(z1.grad.numpy(), z2.grad.numpy(), atol=2e-4)

@@ -1,0 +1,198 @@
+"""Gradient clipping (bucketed vs reference), GEMM batching, autotuner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.framework import Tensor, trace
+from repro.framework import ops
+from repro.hardware import H100, CostModel
+from repro.framework.tracer import KernelCategory, KernelRecord
+from repro.kernels.autotune import (CONFIG_SPACES, DEFAULT_CONFIG, Autotuner,
+                                    KernelConfig)
+from repro.kernels.gemm import batched_linear, separate_linears
+from repro.kernels.gradclip import (bucketed_grad_norm, clip_coefficient,
+                                    pack_buckets, reference_apply_clip,
+                                    reference_grad_norm, unpack_buckets)
+
+RNG = np.random.default_rng(61)
+
+
+def grads(shapes=((100,), (50, 4), (7,), (32, 8))):
+    return [RNG.standard_normal(s).astype(np.float32) * 3 for s in shapes]
+
+
+class TestGradNorm:
+    def test_reference_matches_numpy(self):
+        gs = grads()
+        want = np.sqrt(sum(float((g.astype(np.float64)**2).sum()) for g in gs))
+        assert reference_grad_norm(gs) == pytest.approx(want, rel=1e-6)
+
+    def test_bucketed_matches_reference(self):
+        gs = grads()
+        buckets = pack_buckets(gs, bucket_bytes=512)
+        assert bucketed_grad_norm(buckets) == pytest.approx(
+            reference_grad_norm(gs), rel=1e-6)
+
+    def test_bucket_count_reduction(self):
+        """Thousands of per-tensor launches -> tens of per-bucket launches."""
+        gs = [np.ones(100, np.float32) for _ in range(200)]
+        buckets = pack_buckets(gs, bucket_bytes=100 * 4 * 50)
+        with trace() as t_ref:
+            reference_grad_norm(gs)
+        with trace() as t_bkt:
+            bucketed_grad_norm(buckets)
+        assert len(t_bkt) < len(t_ref) / 10
+
+    def test_bucketed_records_hidden_by_comm(self):
+        buckets = pack_buckets(grads(), bucket_bytes=1024)
+        with trace() as t:
+            bucketed_grad_norm(buckets, hidden_by_comm=True)
+        assert all(r.tags and r.tags.get("hidden_by_comm") for r in t.records)
+
+    @given(st.lists(st.integers(1, 200), min_size=1, max_size=20),
+           st.integers(64, 4096))
+    @settings(max_examples=30, deadline=None)
+    def test_pack_unpack_roundtrip(self, sizes, bucket_bytes):
+        rng = np.random.default_rng(0)
+        gs = [rng.standard_normal(n).astype(np.float32) for n in sizes]
+        originals = [g.copy() for g in gs]
+        buckets = pack_buckets(gs, bucket_bytes=bucket_bytes)
+        assert sum(b.size for b in buckets) == sum(g.size for g in gs)
+        for g in gs:
+            g[...] = 0.0
+        unpack_buckets(buckets, gs, bucket_bytes=bucket_bytes)
+        for g, orig in zip(gs, originals):
+            assert np.array_equal(g, orig)
+
+
+class TestClipCoefficient:
+    def test_no_clip_below_threshold(self):
+        assert clip_coefficient(0.5, max_norm=1.0) == 1.0
+
+    def test_clip_above_threshold(self):
+        coef = clip_coefficient(10.0, max_norm=1.0)
+        assert coef == pytest.approx(0.1, rel=1e-3)
+
+    def test_disabled(self):
+        assert clip_coefficient(100.0, max_norm=0.0) == 1.0
+
+    def test_apply_scales_in_place(self):
+        gs = grads()
+        norms_before = [np.abs(g).max() for g in gs]
+        reference_apply_clip(gs, 0.5)
+        for g, n in zip(gs, norms_before):
+            assert np.abs(g).max() == pytest.approx(n * 0.5, rel=1e-5)
+
+    def test_apply_noop_when_coef_one(self):
+        gs = grads()
+        with trace() as t:
+            reference_apply_clip(gs, 1.0)
+        assert len(t) == 0
+
+
+class TestGemmBatching:
+    def test_batched_equals_separate(self):
+        x = Tensor(RNG.standard_normal((5, 12)).astype(np.float32))
+        ws = [Tensor(RNG.standard_normal((12, 8)).astype(np.float32))
+              for _ in range(4)]
+        bs = [Tensor(RNG.standard_normal(8).astype(np.float32))
+              for _ in range(4)]
+        packed_w = Tensor(np.concatenate([w.numpy() for w in ws], axis=1))
+        packed_b = Tensor(np.concatenate([b.numpy() for b in bs]))
+        sep = separate_linears(x, ws, bs)
+        bat = batched_linear(x, packed_w, packed_b, [8] * 4)
+        for a, b in zip(sep, bat):
+            assert np.allclose(a.numpy(), b.numpy(), atol=1e-5)
+
+    def test_one_math_launch_instead_of_four(self):
+        x = Tensor(RNG.standard_normal((5, 12)).astype(np.float32))
+        ws = [Tensor(RNG.standard_normal((12, 8)).astype(np.float32))
+              for _ in range(4)]
+        packed_w = Tensor(np.concatenate([w.numpy() for w in ws], axis=1))
+        with trace() as t_sep:
+            separate_linears(x, ws, [None] * 4)
+        with trace() as t_bat:
+            batched_linear(x, packed_w, None, [8] * 4)
+        math = lambda t: sum(r.category is KernelCategory.MATH for r in t)
+        assert math(t_sep) == 4
+        assert math(t_bat) == 1
+
+    def test_batched_gradients(self):
+        x = Tensor(RNG.standard_normal((5, 12)).astype(np.float32),
+                   requires_grad=True)
+        packed = Tensor(RNG.standard_normal((12, 16)).astype(np.float32),
+                        requires_grad=True)
+        outs = batched_linear(x, packed, None, [8, 8])
+        ops.mean(ops.square(outs[0])).backward()
+        assert x.grad is not None and packed.grad is not None
+
+
+class TestAutotuner:
+    def _record(self, shape, bytes_=1e6, flops=0.0,
+                tunable="fused_layernorm"):
+        return KernelRecord(name="k", category=KernelCategory.MEMORY,
+                            flops=flops, bytes=bytes_, shape=shape,
+                            dtype="fp32", scope="", fused=True, phase="forward",
+                            tunable=tunable, tags=None)
+
+    def test_config_spaces_nonempty(self):
+        for family, space in CONFIG_SPACES.items():
+            assert space, family
+
+    def test_tuned_never_worse_than_default(self):
+        cm = CostModel(H100, autotune=True)
+        for shape in [(32768, 256), (4096, 256), (128, 128)]:
+            r = self._record(shape, bytes_=np.prod(shape) * 8)
+            tuned = cm.kernel_seconds(r)
+            default = cm.config_cost(r, DEFAULT_CONFIG)
+            assert tuned <= default * 1.0001
+
+    def test_cache_hit(self):
+        tuner = Autotuner()
+        calls = {"n": 0}
+
+        def time_fn(cfg):
+            calls["n"] += 1
+            return 1.0
+
+        tuner.tune("fused_layernorm", (100, 256), "sm90", time_fn)
+        first = calls["n"]
+        tuner.tune("fused_layernorm", (100, 256), "sm90", time_fn)
+        assert calls["n"] == first  # second call served from cache
+
+    def test_bucketing_groups_nearby_sizes(self):
+        tuner = Autotuner()
+        k1 = tuner.cache_key("f", (100, 256), "sm90")
+        k2 = tuner.cache_key("f", (120, 256), "sm90")
+        k3 = tuner.cache_key("f", (300, 256), "sm90")
+        assert k1 == k2
+        assert k1 != k3
+
+    def test_arch_separates_cache(self):
+        tuner = Autotuner()
+        assert (tuner.cache_key("f", (64, 64), "sm80")
+                != tuner.cache_key("f", (64, 64), "sm90"))
+
+    def test_unknown_family_falls_back(self):
+        tuner = Autotuner()
+        result = tuner.tune("nonexistent", (8, 8), "sm90", lambda cfg: 2.0)
+        assert result.config == DEFAULT_CONFIG
+
+    def test_workload_size_changes_chosen_config(self):
+        """§3.3.2: tuning matters most at DAP-scaled-down sizes — small
+        problems pick fewer rows per CTA to keep enough CTAs in flight,
+        large problems batch more rows per CTA."""
+        cm = CostModel(H100, autotune=True)
+        big = self._record((32768, 256), bytes_=32768 * 256 * 4)
+        small = self._record((1024, 256), bytes_=1024 * 256 * 4)
+        cm.kernel_seconds(big)
+        cm.kernel_seconds(small)
+        cfgs = cm.autotuner.cached_configs()
+        small_cfg = cfgs[cm.autotuner.cache_key(
+            "fused_layernorm", (1024, 256), "sm90")]
+        big_cfg = cfgs[cm.autotuner.cache_key(
+            "fused_layernorm", (32768, 256), "sm90")]
+        assert small_cfg.rows_per_cta <= big_cfg.rows_per_cta
+        assert big_cfg.rows_per_cta > 1  # large problems batch rows per CTA

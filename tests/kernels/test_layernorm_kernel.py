@@ -1,0 +1,160 @@
+"""Fused LayerNorm kernel: numerics vs the unfused composite, the two-step
+backward reduction, single-pass statistics, launch counts, meta mode."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.framework import Tensor, bfloat16, float32, trace
+from repro.framework import functional as F
+from repro.framework import ops
+from repro.kernels.layernorm import (fused_layer_norm, single_pass_stats,
+                                     two_step_grad_reduction)
+
+RNG = np.random.default_rng(31)
+
+
+def arr(*shape, scale=1.0):
+    return (RNG.uniform(-2, 2, size=shape) * scale).astype(np.float32)
+
+
+def _setup(shape=(6, 8, 16), requires_grad=True):
+    x = Tensor(arr(*shape), requires_grad=requires_grad)
+    w = Tensor(arr(shape[-1]) + 1.0, requires_grad=requires_grad)
+    b = Tensor(arr(shape[-1]), requires_grad=requires_grad)
+    return x, w, b
+
+
+class TestForwardEquivalence:
+    def test_matches_unfused(self):
+        x, w, b = _setup()
+        fused = fused_layer_norm(x, w, b).numpy()
+        unfused = F.layer_norm(x.detach(), w.detach(), b.detach()).numpy()
+        assert np.allclose(fused, unfused, atol=1e-5)
+
+    @pytest.mark.parametrize("hidden", [1, 2, 128, 256])
+    def test_alphafold_typical_widths(self, hidden):
+        """The paper calls out AlphaFold's small LN widths (128, 256)."""
+        x, w, b = _setup(shape=(4, hidden))
+        fused = fused_layer_norm(x, w, b).numpy()
+        unfused = F.layer_norm(x.detach(), w.detach(), b.detach()).numpy()
+        assert np.allclose(fused, unfused, atol=1e-5)
+
+    def test_large_magnitude_stability(self):
+        x, w, b = _setup()
+        x = Tensor(x.numpy() * 1e3 + 1e4, requires_grad=True)
+        out = fused_layer_norm(x, w, b).numpy()
+        assert np.all(np.isfinite(out))
+
+    @given(hnp.arrays(np.float32, (5, 12),
+                      elements=st.floats(-50, 50, width=32)))
+    @settings(max_examples=40, deadline=None)
+    def test_property_equivalence(self, xv):
+        w = Tensor(np.ones(12, np.float32))
+        b = Tensor(np.zeros(12, np.float32))
+        fused = fused_layer_norm(Tensor(xv), w, b).numpy()
+        unfused = F.layer_norm(Tensor(xv), w, b).numpy()
+        # Degenerate constant rows diverge by fp32 mean-subtraction residue
+        # scaled by 1/sqrt(eps); 2e-3 covers it.
+        assert np.allclose(fused, unfused, atol=2e-3)
+
+
+class TestBackwardEquivalence:
+    def test_gradients_match_unfused(self):
+        x1, w1, b1 = _setup()
+        loss = ops.mean(ops.square(F.layer_norm(x1, w1, b1)))
+        loss.backward()
+
+        x2 = Tensor(x1.numpy().copy(), requires_grad=True)
+        w2 = Tensor(w1.numpy().copy(), requires_grad=True)
+        b2 = Tensor(b1.numpy().copy(), requires_grad=True)
+        loss2 = ops.mean(ops.square(fused_layer_norm(x2, w2, b2)))
+        loss2.backward()
+
+        assert np.allclose(x1.grad.numpy(), x2.grad.numpy(), atol=1e-4)
+        assert np.allclose(w1.grad.numpy(), w2.grad.numpy(), atol=1e-4)
+        assert np.allclose(b1.grad.numpy(), b2.grad.numpy(), atol=1e-4)
+
+    def test_3d_input_gradients(self):
+        x, w, b = _setup(shape=(2, 3, 8))
+        ops.mean(ops.square(fused_layer_norm(x, w, b))).backward()
+        assert x.grad.shape == (2, 3, 8)
+        assert w.grad.shape == (8,)
+
+
+class TestLaunchCounts:
+    def test_fused_forward_is_one_launch(self):
+        x, w, b = _setup(requires_grad=False)
+        with trace() as t:
+            fused_layer_norm(x, w, b)
+        assert len(t) == 1
+        assert t.records[0].fused
+        assert t.records[0].tunable == "fused_layernorm"
+
+    def test_fused_backward_is_two_launches(self):
+        """§3.3.1: dx in one kernel, dw/db via the two-step reduction."""
+        x, w, b = _setup()
+        with trace() as t:
+            loss = ops.mean(fused_layer_norm(x, w, b))
+            loss.backward()
+        names = [r.name for r in t.records if "layernorm_bwd" in r.name]
+        assert names == ["fused_layernorm_bwd_dx", "fused_layernorm_bwd_dwdb"]
+
+    def test_fused_moves_fewer_bytes_than_unfused(self):
+        x, w, b = _setup(shape=(64, 256), requires_grad=False)
+        with trace() as t_f:
+            fused_layer_norm(x, w, b)
+        with trace() as t_u:
+            F.layer_norm(x, w, b)
+        assert t_f.total_bytes() < 0.5 * t_u.total_bytes()
+
+    def test_dwdb_record_reports_reduction_domain(self):
+        # The autotuner keys off the (rows, hidden) work domain, not the
+        # tiny weight-vector output shape.
+        x, w, b = _setup(shape=(32, 16))
+        with trace() as t:
+            ops.mean(fused_layer_norm(x, w, b)).backward()
+        dwdb = [r for r in t.records if r.name == "fused_layernorm_bwd_dwdb"]
+        assert dwdb[0].shape == (32, 16)
+
+
+class TestHelpers:
+    def test_single_pass_stats(self):
+        x = arr(10, 64)
+        mean, var = single_pass_stats(x)
+        assert np.allclose(mean[..., 0], x.mean(-1), atol=1e-5)
+        assert np.allclose(var[..., 0], x.var(-1), atol=1e-4)
+
+    def test_single_pass_stats_nonnegative_var(self):
+        x = np.full((4, 16), 1e4, np.float32)  # catastrophic cancellation bait
+        _, var = single_pass_stats(x)
+        assert np.all(var >= 0)
+
+    @pytest.mark.parametrize("rows,chunk", [(64, 32), (65, 32), (31, 32), (1, 8)])
+    def test_two_step_reduction_matches_direct(self, rows, chunk):
+        src = arr(rows, 16)
+        got = two_step_grad_reduction(src, chunk=chunk)
+        assert np.allclose(got, src.sum(axis=0), atol=1e-4)
+
+
+class TestMetaAndDtype:
+    def test_meta_forward_backward(self):
+        x = Tensor(None, (8, 16), float32, requires_grad=True)
+        w = Tensor(None, (16,), float32, requires_grad=True)
+        b = Tensor(None, (16,), float32, requires_grad=True)
+        out = fused_layer_norm(x, w, b)
+        assert out.is_meta
+        ops.mean(out).backward()
+        assert x.grad.is_meta and x.grad.shape == (8, 16)
+        assert w.grad.shape == (16,)
+
+    def test_bf16_output_quantized(self):
+        from repro.framework.dtypes import quantize
+        x = Tensor(quantize(arr(4, 16), bfloat16), dtype=bfloat16)
+        w = Tensor(np.ones(16, np.float32), dtype=bfloat16)
+        b = Tensor(np.zeros(16, np.float32), dtype=bfloat16)
+        out = fused_layer_norm(x, w, b)
+        assert out.dtype is bfloat16
+        assert np.array_equal(out.numpy(), quantize(out.numpy(), bfloat16))

@@ -1,0 +1,102 @@
+"""MLPerf logging format and the benchmark harness."""
+
+import json
+
+import pytest
+
+from repro.mlperf.benchmark import (MlperfRunConfig, MlperfRunResult,
+                                    run_benchmark)
+from repro.mlperf.logging import (MLLOG_PREFIX, MlLogger, parse_mllog_line)
+
+
+class TestMlLogger:
+    def test_event_roundtrip(self):
+        logger = MlLogger()
+        logger.event("global_batch_size", 256, metadata={"note": "x"})
+        line = logger.lines()[0]
+        assert line.startswith(MLLOG_PREFIX)
+        entry = parse_mllog_line(line)
+        assert entry.key == "global_batch_size"
+        assert entry.value == 256
+        assert entry.metadata == {"note": "x"}
+
+    def test_line_is_valid_json_payload(self):
+        logger = MlLogger()
+        logger.start("run_start")
+        payload = json.loads(logger.lines()[0][len(MLLOG_PREFIX):])
+        assert payload["event_type"] == "INTERVAL_START"
+
+    def test_interval_types(self):
+        logger = MlLogger()
+        logger.start("init")
+        logger.end("init")
+        types = [e.event_type for e in logger.entries]
+        assert types == ["INTERVAL_START", "INTERVAL_END"]
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_mllog_line("not a log line")
+
+    def test_find(self):
+        logger = MlLogger()
+        logger.event("eval_accuracy", 0.7)
+        logger.event("eval_accuracy", 0.8)
+        logger.event("other", 1)
+        assert len(logger.find("eval_accuracy")) == 2
+
+    def test_custom_clock(self):
+        clock = {"t": 0.0}
+        logger = MlLogger(clock=lambda: clock["t"])
+        logger.event("a")
+        clock["t"] = 5000.0
+        logger.event("b")
+        assert logger.entries[0].time_ms == 0.0
+        assert logger.entries[1].time_ms == 5000.0
+
+
+class TestBenchmark:
+    @pytest.fixture(scope="class")
+    def scalefold_run(self):
+        return run_benchmark(MlperfRunConfig(scalefold=True, async_eval=True))
+
+    def test_converges(self, scalefold_run):
+        assert scalefold_run.converged
+        assert scalefold_run.final_lddt >= 0.8
+
+    def test_time_near_paper(self, scalefold_run):
+        """Paper: 7.51 minutes (we accept 4-11)."""
+        assert 4.0 < scalefold_run.time_to_train_minutes < 11.0
+
+    def test_mllog_keys_present(self, scalefold_run):
+        keys = {e.key for e in scalefold_run.logger.entries}
+        for required in ("submission_benchmark", "global_batch_size",
+                         "init_start", "init_stop", "run_start", "run_stop",
+                         "eval_accuracy", "status"):
+            assert required in keys, required
+
+    def test_eval_accuracy_monotone_trend(self, scalefold_run):
+        accs = [e.value for e in scalefold_run.logger.find("eval_accuracy")]
+        assert accs[-1] == max(accs) or accs[-1] >= 0.8
+
+    def test_sync_eval_slower(self, scalefold_run):
+        sync = run_benchmark(MlperfRunConfig(scalefold=True,
+                                             async_eval=False))
+        assert sync.time_to_train_minutes > \
+            scalefold_run.time_to_train_minutes
+
+    def test_reference_much_slower(self, scalefold_run):
+        ref = run_benchmark(MlperfRunConfig(scalefold=False, n_gpus=256))
+        assert ref.time_to_train_minutes > \
+            3 * scalefold_run.time_to_train_minutes
+
+    def test_seed_changes_exact_trajectory(self):
+        a = run_benchmark(MlperfRunConfig(seed=1))
+        b = run_benchmark(MlperfRunConfig(seed=2))
+        accs_a = [e.value for e in a.logger.find("eval_accuracy")]
+        accs_b = [e.value for e in b.logger.find("eval_accuracy")]
+        assert accs_a != accs_b  # noise differs
+
+    def test_summary_dict(self, scalefold_run):
+        s = scalefold_run.summary()
+        assert s["converged"] == 1.0
+        assert s["steps"] > 0

@@ -1,0 +1,157 @@
+"""Full AlphaFold model: recycling, gradients, meta mode, configurations."""
+
+import numpy as np
+import pytest
+
+from repro.framework import Tensor, meta_build, no_grad, trace
+from repro.framework import ops
+from repro.datapipe.samples import (SyntheticProteinDataset, make_batch,
+                                    meta_batch)
+from repro.model.alphafold import AlphaFold
+from repro.model.config import AlphaFoldConfig, KernelPolicy
+from repro.model.loss import AlphaFoldLoss
+
+
+@pytest.fixture
+def tiny_batch(tiny_cfg):
+    return make_batch(SyntheticProteinDataset(tiny_cfg, size=1)[0],
+                      mask_msa=True)
+
+
+class TestForward:
+    def test_output_shapes(self, tiny_cfg, tiny_batch):
+        model = AlphaFold(tiny_cfg)
+        out = model(tiny_batch, n_recycle=0)
+        n, s = tiny_cfg.n_res, tiny_cfg.n_seq
+        assert out["msa"].shape == (s, n, tiny_cfg.c_m)
+        assert out["pair"].shape == (n, n, tiny_cfg.c_z)
+        assert out["single"].shape == (n, tiny_cfg.c_s)
+        assert out["positions"].shape == (n, 3)
+        assert out["plddt_logits"].shape == (n, tiny_cfg.plddt_bins)
+        assert out["distogram_logits"].shape == (n, n, tiny_cfg.distogram_bins)
+
+    def test_recycling_changes_output(self, tiny_cfg, tiny_batch):
+        model = AlphaFold(tiny_cfg)
+        model.eval()
+        with no_grad():
+            out0 = model(tiny_batch, n_recycle=0)["pair"].numpy()
+            out1 = model(tiny_batch, n_recycle=1)["pair"].numpy()
+        assert not np.allclose(out0, out1, atol=1e-5)
+
+    def test_recycling_multiplies_forward_kernels(self, tiny_cfg, tiny_batch):
+        model = AlphaFold(tiny_cfg)
+        model.eval()
+        with no_grad():
+            with trace() as t0:
+                model(tiny_batch, n_recycle=0)
+            with trace() as t2:
+                model(tiny_batch, n_recycle=2)
+        assert len(t2) > 2.5 * len(t0)
+
+    def test_default_recycle_from_config(self, tiny_cfg, tiny_batch):
+        model = AlphaFold(tiny_cfg)
+        model.eval()
+        with no_grad():
+            out = model(tiny_batch)  # uses cfg.max_recycling_iters = 1
+        assert out["positions"].shape == (tiny_cfg.n_res, 3)
+
+
+class TestBackward:
+    def test_all_parameters_receive_gradients(self, tiny_cfg, tiny_batch):
+        model = AlphaFold(tiny_cfg)
+        loss_fn = AlphaFoldLoss(tiny_cfg)
+        out = model(tiny_batch, n_recycle=1)
+        loss, _ = loss_fn(out, tiny_batch)
+        loss.backward()
+        missing = [name for name, p in model.named_parameters()
+                   if p.grad is None]
+        assert not missing, f"parameters without gradients: {missing[:10]}"
+
+    def test_gradients_finite(self, tiny_cfg, tiny_batch):
+        model = AlphaFold(tiny_cfg)
+        loss_fn = AlphaFoldLoss(tiny_cfg)
+        loss, _ = loss_fn(model(tiny_batch, n_recycle=1), tiny_batch)
+        loss.backward()
+        for name, p in model.named_parameters():
+            assert p.grad is not None, name
+            assert np.all(np.isfinite(p.grad.numpy())), name
+
+    def test_recycling_embedder_unused_without_recycling(self, tiny_cfg,
+                                                         tiny_batch):
+        model = AlphaFold(tiny_cfg)
+        loss_fn = AlphaFoldLoss(tiny_cfg)
+        loss, _ = loss_fn(model(tiny_batch, n_recycle=0), tiny_batch)
+        loss.backward()
+        for name, p in model.named_parameters():
+            if name.startswith("recycling_embedder"):
+                assert p.grad is None, name
+            else:
+                assert p.grad is not None, name
+
+
+class TestPolicies:
+    def test_fused_policy_runs(self, tiny_batch):
+        cfg = AlphaFoldConfig.tiny(KernelPolicy.scalefold(checkpointing=False)
+                                   .replace(dtype=KernelPolicy.reference().dtype))
+        model = AlphaFold(cfg)
+        loss_fn = AlphaFoldLoss(cfg)
+        loss, parts = loss_fn(model(tiny_batch, n_recycle=0), tiny_batch)
+        loss.backward()
+        assert np.isfinite(parts["total"])
+
+    def test_fused_policy_launches_fewer_kernels(self, tiny_cfg, tiny_batch):
+        ref_model = AlphaFold(tiny_cfg)
+        fused_cfg = AlphaFoldConfig.tiny(
+            KernelPolicy.scalefold(checkpointing=False)
+            .replace(dtype=KernelPolicy.reference().dtype))
+        fused_model = AlphaFold(fused_cfg)
+        ref_model.eval(), fused_model.eval()
+        with no_grad():
+            with trace() as t_ref:
+                ref_model(tiny_batch, n_recycle=0)
+            with trace() as t_fused:
+                fused_model(tiny_batch, n_recycle=0)
+        assert len(t_fused) < 0.75 * len(t_ref)
+
+    def test_bf16_policy(self, tiny_batch):
+        from repro.framework import bfloat16
+        cfg = AlphaFoldConfig.tiny(
+            KernelPolicy.reference().replace(dtype=bfloat16))
+        model = AlphaFold(cfg).to_dtype(bfloat16)
+        batch = {k: (ops.cast(v, bfloat16) if v.dtype.is_floating else v)
+                 for k, v in tiny_batch.items()}
+        with no_grad():
+            out = model(batch, n_recycle=0)
+        assert out["pair"].dtype is bfloat16
+        assert np.all(np.isfinite(out["positions"].numpy()))
+
+
+class TestMetaMode:
+    def test_full_size_shapes(self):
+        cfg = AlphaFoldConfig.full()
+        with meta_build():
+            model = AlphaFold(cfg)
+        batch = meta_batch(cfg)
+        out = model(batch, n_recycle=0)
+        assert out["positions"].is_meta
+        assert out["positions"].shape == (cfg.n_res, 3)
+        assert out["pair"].shape == (cfg.n_res, cfg.n_res, cfg.c_z)
+
+    def test_parameter_count_near_paper(self):
+        """Paper §2.2: 'The AlphaFold model has only 97M parameters'."""
+        with meta_build():
+            model = AlphaFold(AlphaFoldConfig.full())
+        params = model.num_parameters()
+        assert 85e6 < params < 105e6
+
+    def test_thousands_of_gradient_tensors(self):
+        """Paper §3.3.1: 'over four thousand gradient tensors'."""
+        with meta_build():
+            model = AlphaFold(AlphaFoldConfig.full())
+        assert len(model.parameters()) > 4000
+
+    def test_evoformer_depth_matches_paper(self):
+        cfg = AlphaFoldConfig.full()
+        assert cfg.evoformer_blocks == 48
+        assert cfg.extra_msa_blocks == 4
+        assert cfg.template_blocks == 2

@@ -1,0 +1,237 @@
+"""Evoformer submodules: shapes, reference-einsum equivalence, grad flow."""
+
+import numpy as np
+import pytest
+
+from repro.framework import Tensor, no_grad, randn, seed
+from repro.framework import ops
+from repro.model.config import AlphaFoldConfig, KernelPolicy
+from repro.model.evoformer import (EvoformerBlock, EvoformerStack,
+                                   ExtraMSAStack, MSAColumnAttention,
+                                   MSARowAttentionWithPairBias)
+from repro.model.outer_product import OuterProductMean
+from repro.model.triangle import TriangleAttention, TriangleMultiplication
+
+POLICY = KernelPolicy.reference()
+CFG = AlphaFoldConfig.tiny()
+S, N = 4, 8
+
+
+def _randomize_final(linear):
+    """'final'-init layers start at zero; give them values so equivalence
+    tests are non-trivial."""
+    rng = np.random.default_rng(17)
+    linear.weight._data = (rng.standard_normal(linear.weight.shape) * 0.2
+                           ).astype(np.float32)
+    if linear.bias is not None:
+        linear.bias._data = (rng.standard_normal(linear.bias.shape) * 0.1
+                             ).astype(np.float32)
+
+
+@pytest.fixture
+def m():
+    return randn((S, N, CFG.c_m))
+
+
+@pytest.fixture
+def z():
+    return randn((N, N, CFG.c_z))
+
+
+class TestMSARowAttention:
+    def test_shape(self, m, z):
+        mod = MSARowAttentionWithPairBias(CFG.c_m, CFG.c_z,
+                                          CFG.c_hidden_msa_att,
+                                          CFG.n_head_msa, POLICY)
+        assert mod(m, z).shape == m.shape
+
+    def test_pair_bias_matters(self, m, z):
+        mod = MSARowAttentionWithPairBias(CFG.c_m, CFG.c_z,
+                                          CFG.c_hidden_msa_att,
+                                          CFG.n_head_msa, POLICY)
+        # make bias projection and output head non-zero so z influences out
+        mod.linear_z.weight._data = (np.random.default_rng(0)
+                                     .standard_normal(
+                                         mod.linear_z.weight.shape)
+                                     .astype(np.float32))
+        _randomize_final(mod.attention.linear_o)
+        with no_grad():
+            out1 = mod(m, z).numpy()
+            out2 = mod(m, ops.mul(z, 3.0)).numpy()
+        assert not np.allclose(out1, out2, atol=1e-5)
+
+    def test_mask_blocks_positions(self, m, z):
+        mod = MSARowAttentionWithPairBias(CFG.c_m, CFG.c_z,
+                                          CFG.c_hidden_msa_att,
+                                          CFG.n_head_msa, POLICY)
+        mask = Tensor(np.ones((S, N), np.float32))
+        with no_grad():
+            out = mod(m, z, msa_mask=mask)
+        assert out.shape == m.shape
+
+
+class TestMSAColumnAttention:
+    def test_shape(self, m):
+        mod = MSAColumnAttention(CFG.c_m, CFG.c_hidden_msa_att,
+                                 CFG.n_head_msa, POLICY)
+        assert mod(m).shape == m.shape
+
+    def test_columns_independent(self, m):
+        """Column attention mixes sequences within a column only: changing
+        column j must not change outputs at other columns."""
+        mod = MSAColumnAttention(CFG.c_m, CFG.c_hidden_msa_att,
+                                 CFG.n_head_msa, POLICY)
+        _randomize_final(mod.attention.linear_o)
+        with no_grad():
+            base = mod(m).numpy()
+            m2 = m.numpy().copy()
+            # random perturbation (a constant would be removed by LayerNorm)
+            m2[:, 0, :] += np.random.default_rng(5).standard_normal(
+                m2[:, 0, :].shape).astype(np.float32)
+            out2 = mod(Tensor(m2)).numpy()
+        assert not np.allclose(base[:, 0], out2[:, 0], atol=1e-4)
+        assert np.allclose(base[:, 1:], out2[:, 1:], atol=1e-4)
+
+
+class TestOuterProductMean:
+    def test_matches_einsum(self, m):
+        mod = OuterProductMean(CFG.c_m, CFG.c_z, CFG.c_hidden_opm, POLICY)
+        _randomize_final(mod.linear_out)
+        with no_grad():
+            got = mod(m).numpy()
+            m_ln = mod.layer_norm(m)
+            a = mod.linear_a(m_ln).numpy()
+            b = mod.linear_b(m_ln).numpy()
+            outer = np.einsum("sic,sjd->ijcd", a, b)
+            flat = outer.reshape(N, N, -1)
+            want = (flat @ mod.linear_out.weight.numpy()
+                    + mod.linear_out.bias.numpy()) / S
+        assert np.allclose(got, want, atol=1e-4)
+
+    def test_partial_outer_additive_over_shards(self, m):
+        """The property DAP's all-reduce relies on."""
+        mod = OuterProductMean(CFG.c_m, CFG.c_z, CFG.c_hidden_opm, POLICY)
+        with no_grad():
+            full = mod.partial_outer(m).numpy()
+            half1 = mod.partial_outer(m[0:2]).numpy()
+            half2 = mod.partial_outer(m[2:4]).numpy()
+        assert np.allclose(full, half1 + half2, atol=1e-4)
+
+
+class TestTriangleMultiplication:
+    @pytest.mark.parametrize("outgoing", [True, False])
+    def test_matches_einsum(self, z, outgoing):
+        mod = TriangleMultiplication(CFG.c_z, CFG.c_hidden_mul, POLICY,
+                                     outgoing=outgoing)
+        _randomize_final(mod.linear_out)
+        with no_grad():
+            got = mod(z).numpy()
+            z_ln = mod.layer_norm_in(z)
+            import repro.framework.functional as F
+            a = F.sigmoid_gate(mod.linear_a_gate(z_ln), mod.linear_a(z_ln)).numpy()
+            b = F.sigmoid_gate(mod.linear_b_gate(z_ln), mod.linear_b(z_ln)).numpy()
+            eq = "ikc,jkc->ijc" if outgoing else "kic,kjc->ijc"
+            prod = np.einsum(eq, a, b)
+            normed = F.layer_norm(Tensor(prod.astype(np.float32)),
+                                  mod.layer_norm_out.weight,
+                                  mod.layer_norm_out.bias).numpy()
+            update = normed @ mod.linear_out.weight.numpy() + mod.linear_out.bias.numpy()
+            gate = 1 / (1 + np.exp(-(z_ln.numpy() @ mod.linear_gate.weight.numpy()
+                                     + mod.linear_gate.bias.numpy())))
+            want = gate * update
+        assert np.allclose(got, want, atol=1e-4)
+
+    def test_grads_flow(self, z):
+        mod = TriangleMultiplication(CFG.c_z, CFG.c_hidden_mul, POLICY)
+        z2 = Tensor(z.numpy().copy(), requires_grad=True)
+        ops.mean(ops.square(mod(z2))).backward()
+        assert z2.grad is not None
+        assert all(p.grad is not None for p in mod.parameters())
+
+
+class TestTriangleAttention:
+    @pytest.mark.parametrize("starting", [True, False])
+    def test_shape(self, z, starting):
+        mod = TriangleAttention(CFG.c_z, CFG.c_hidden_pair_att,
+                                CFG.n_head_pair, POLICY, starting=starting)
+        assert mod(z).shape == z.shape
+
+    def test_ending_equals_starting_on_transpose(self, z):
+        seed(0)
+        start = TriangleAttention(CFG.c_z, CFG.c_hidden_pair_att,
+                                  CFG.n_head_pair, POLICY, starting=True)
+        end = TriangleAttention(CFG.c_z, CFG.c_hidden_pair_att,
+                                CFG.n_head_pair, POLICY, starting=False)
+        end.load_state_dict(start.state_dict())
+        with no_grad():
+            a = start(ops.transpose(z, 0, 1)).numpy()
+            b = end(z).numpy()
+        assert np.allclose(np.swapaxes(a, 0, 1), b, atol=1e-5)
+
+
+class TestEvoformerBlock:
+    def test_shapes_preserved(self, m, z):
+        block = EvoformerBlock(CFG)
+        block.eval()
+        with no_grad():
+            m2, z2 = block(m, z)
+        assert m2.shape == m.shape and z2.shape == z.shape
+
+    def test_has_nine_submodules(self):
+        block = EvoformerBlock(CFG)
+        assert len(block._modules) == 9  # Figure 2 of the paper
+
+    def test_grads_flow_through_both_tracks(self, m, z):
+        block = EvoformerBlock(CFG)
+        m2 = Tensor(m.numpy().copy(), requires_grad=True)
+        z2 = Tensor(z.numpy().copy(), requires_grad=True)
+        m_out, z_out = block(m2, z2)
+        (ops.mean(ops.square(m_out)) + ops.mean(ops.square(z_out))).backward()
+        assert m2.grad is not None and z2.grad is not None
+
+    def test_dropout_only_in_training(self, m, z):
+        block = EvoformerBlock(CFG)
+        block.eval()
+        with no_grad():
+            a = block(m, z)[0].numpy()
+            b = block(m, z)[0].numpy()
+        assert np.array_equal(a, b)  # eval is deterministic
+
+
+class TestEvoformerStack:
+    def test_produces_single_representation(self, m, z):
+        stack = EvoformerStack(CFG)
+        stack.eval()
+        with no_grad():
+            m2, z2, s = stack(m, z)
+        assert s.shape == (N, CFG.c_s)
+
+    def test_checkpointing_matches_direct(self, m, z):
+        seed(7)
+        stack = EvoformerStack(CFG)  # reference policy: ckpt on
+        m1 = Tensor(m.numpy().copy(), requires_grad=True)
+        z1 = Tensor(z.numpy().copy(), requires_grad=True)
+        stack.eval()  # disables dropout AND checkpointing (training-only)
+        with no_grad():
+            m_ref, z_ref, _ = stack(m1, z1)
+        stack.train()
+        # zero dropout for determinism, keep checkpointing
+        for block in stack.blocks:
+            block._row_dropout = 0.0
+            block._pair_dropout = 0.0
+        m2 = Tensor(m.numpy().copy(), requires_grad=True)
+        z2 = Tensor(z.numpy().copy(), requires_grad=True)
+        m_ck, z_ck, s = stack(m2, z2)
+        assert np.allclose(m_ref.numpy(), m_ck.numpy(), atol=1e-5)
+        assert np.allclose(z_ref.numpy(), z_ck.numpy(), atol=1e-5)
+        ops.mean(ops.square(s)).backward()
+        assert m2.grad is not None and z2.grad is not None
+
+    def test_extra_msa_stack_updates_pair_only(self):
+        stack = ExtraMSAStack(CFG)
+        stack.eval()
+        a = randn((CFG.n_extra_seq, N, CFG.c_e))
+        z = randn((N, N, CFG.c_z))
+        with no_grad():
+            z2 = stack(a, z)
+        assert z2.shape == z.shape

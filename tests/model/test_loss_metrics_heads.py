@@ -1,0 +1,177 @@
+"""lDDT metric, FAPE and auxiliary losses, output heads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.framework import Tensor, no_grad, randn
+from repro.framework import ops
+from repro.model.config import AlphaFoldConfig, KernelPolicy
+from repro.model.heads import DistogramHead, PerResidueLDDTHead
+from repro.model.loss import AlphaFoldLoss, distance_bins, fape_loss
+from repro.model.metrics import (avg_lddt_ca, bin_lddt, distance_rmse,
+                                 lddt_ca)
+from repro.model.rigid import Rigid, frames_from_ca_np
+
+CFG = AlphaFoldConfig.tiny()
+
+
+def chain(n=12, seed=0):
+    rng = np.random.default_rng(seed)
+    steps = rng.standard_normal((n, 3)) * 2 + np.array([3.0, 0, 0])
+    return np.cumsum(steps, axis=0).astype(np.float64)
+
+
+class TestLddtCa:
+    def test_perfect_prediction_scores_one(self):
+        c = chain()
+        assert lddt_ca(c, c) == pytest.approx(1.0)
+
+    def test_random_prediction_scores_low(self):
+        true = chain(seed=1)
+        pred = np.random.default_rng(2).standard_normal(true.shape) * 30
+        assert lddt_ca(pred, true) < 0.3
+
+    def test_monotone_in_noise(self):
+        true = chain(seed=3)
+        rng = np.random.default_rng(4)
+        noise = rng.standard_normal(true.shape)
+        scores = [lddt_ca(true + noise * s, true) for s in (0.1, 1.0, 4.0)]
+        assert scores[0] > scores[1] > scores[2]
+
+    def test_invariant_to_rigid_motion(self):
+        """lDDT is superposition-free: global rotation leaves it unchanged."""
+        true = chain(seed=5)
+        pred = true + np.random.default_rng(6).standard_normal(true.shape) * 0.5
+        theta = 0.7
+        rot = np.array([[np.cos(theta), -np.sin(theta), 0],
+                        [np.sin(theta), np.cos(theta), 0], [0, 0, 1]])
+        moved = pred @ rot.T + np.array([10.0, -5.0, 2.0])
+        assert lddt_ca(moved, true) == pytest.approx(lddt_ca(pred, true),
+                                                     abs=1e-9)
+
+    def test_per_residue_shape_and_range(self):
+        true = chain()
+        pred = true + 0.5
+        per_res = lddt_ca(pred, true, per_residue=True)
+        assert per_res.shape == (12,)
+        assert np.all((0 <= per_res) & (per_res <= 1))
+
+    def test_bad_shapes_raise(self):
+        with pytest.raises(ValueError):
+            lddt_ca(np.zeros((4, 3)), np.zeros((5, 3)))
+        with pytest.raises(ValueError):
+            lddt_ca(np.zeros((4, 2)), np.zeros((4, 2)))
+
+    @given(st.floats(0.0, 0.4))
+    @settings(max_examples=20, deadline=None)
+    def test_small_noise_high_score(self, scale):
+        true = chain(seed=9)
+        rng = np.random.default_rng(10)
+        pred = true + rng.standard_normal(true.shape) * scale
+        assert lddt_ca(pred, true) > 0.55
+
+    def test_avg_lddt(self):
+        a, b = chain(seed=1), chain(seed=2)
+        avg = avg_lddt_ca([a, b], [a, b])
+        assert avg == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            avg_lddt_ca([a], [a, b])
+
+    def test_bin_lddt_one_hot(self):
+        binned = bin_lddt(np.array([0.0, 0.5, 0.99, 1.0]), 10)
+        assert binned.shape == (4, 10)
+        assert np.all(binned.sum(axis=1) == 1.0)
+        assert binned[0, 0] == 1.0 and binned[3, 9] == 1.0
+
+    def test_distance_rmse_zero_for_identical(self):
+        c = chain()
+        assert distance_rmse(c, c) == 0.0
+
+
+class TestFape:
+    def _true(self, n=8):
+        ca = chain(n, seed=11).astype(np.float32)
+        rots = frames_from_ca_np(ca)
+        return Rigid(Tensor(rots), Tensor(ca)), Tensor(ca)
+
+    def test_zero_for_perfect_prediction(self):
+        rigid, ca = self._true()
+        loss = fape_loss(rigid, ca, rigid, ca)
+        assert loss.item() == pytest.approx(0.0, abs=1e-4)
+
+    def test_positive_for_wrong_prediction(self):
+        rigid, ca = self._true()
+        wrong = Tensor(ca.numpy() + 5.0)
+        # translation-only error: frames differ from positions
+        loss = fape_loss(rigid, wrong, rigid, ca)
+        assert loss.item() > 0.1
+
+    def test_clamped_at_limit(self):
+        rigid, ca = self._true()
+        very_wrong = Tensor(ca.numpy()[::-1].copy())
+        loss = fape_loss(rigid, very_wrong, rigid, ca,
+                         clamp_distance=10.0, length_scale=10.0)
+        assert loss.item() <= 1.0 + 1e-5  # clamp/scale bounds it at 1
+
+    def test_differentiable(self):
+        rigid, ca = self._true()
+        pred = Tensor(ca.numpy() + 1.0, requires_grad=True)
+        loss = fape_loss(rigid, pred, rigid, ca)
+        loss.backward()
+        assert pred.grad is not None
+        assert np.all(np.isfinite(pred.grad.numpy()))
+
+
+class TestDistanceBins:
+    def test_one_hot_rows(self):
+        ca = Tensor(chain(8).astype(np.float32))
+        bins = distance_bins(ca, CFG.distogram_bins).numpy()
+        assert bins.shape == (8, 8, CFG.distogram_bins)
+        assert np.allclose(bins.sum(-1), 1.0)
+
+    def test_self_distance_in_first_bin(self):
+        ca = Tensor(chain(4).astype(np.float32))
+        bins = distance_bins(ca, 16).numpy()
+        assert np.all(bins[np.arange(4), np.arange(4), 0] == 1.0)
+
+    def test_meta_mode(self):
+        from repro.framework import float32
+        ca = Tensor(None, (8, 3), float32)
+        bins = distance_bins(ca, 16)
+        assert bins.is_meta and bins.shape == (8, 8, 16)
+
+
+class TestHeads:
+    def test_plddt_head_shape(self):
+        head = PerResidueLDDTHead(CFG, KernelPolicy.reference())
+        out = head(randn((CFG.n_res, CFG.c_s)))
+        assert out.shape == (CFG.n_res, CFG.plddt_bins)
+
+    def test_distogram_head_symmetric(self):
+        head = DistogramHead(CFG)
+        head.linear.weight._data = (np.random.default_rng(0).standard_normal(
+            head.linear.weight.shape) * 0.2).astype(np.float32)
+        z = randn((6, 6, CFG.c_z))
+        with no_grad():
+            logits = head(z).numpy()
+        assert np.allclose(logits, np.swapaxes(logits, 0, 1), atol=1e-5)
+
+
+class TestAlphaFoldLoss:
+    def test_runs_on_model_outputs(self, tiny_cfg):
+        from repro.datapipe.samples import SyntheticProteinDataset, make_batch
+        from repro.model.alphafold import AlphaFold
+
+        model = AlphaFold(tiny_cfg)
+        batch = make_batch(SyntheticProteinDataset(tiny_cfg, size=1)[0])
+        loss_fn = AlphaFoldLoss(tiny_cfg)
+        out = model(batch, n_recycle=0)
+        loss, parts = loss_fn(out, batch)
+        assert np.isfinite(loss.item())
+        assert set(parts) == {"fape", "distogram", "plddt", "total"}
+        assert parts["total"] == pytest.approx(
+            parts["fape"] * loss_fn.w_fape
+            + parts["distogram"] * loss_fn.w_distogram
+            + parts["plddt"] * loss_fn.w_plddt, rel=1e-3)

@@ -1,0 +1,168 @@
+"""Structure prediction + PDB serialization, and the masked-MSA task."""
+
+import numpy as np
+import pytest
+
+from repro.datapipe.samples import SyntheticProteinDataset, make_batch
+from repro.framework import Tensor, float32, randn
+from repro.framework import ops
+from repro.model.alphafold import AlphaFold
+from repro.model.config import AlphaFoldConfig
+from repro.model.masked_msa import (MASK_TOKEN, MSA_CLASSES, MaskedMSAHead,
+                                    apply_msa_masking, masked_msa_loss)
+from repro.model.predict import (Prediction, from_pdb, plddt_from_logits,
+                                 predict, to_pdb, write_pdb)
+
+
+@pytest.fixture
+def tiny_prediction(tiny_cfg):
+    model = AlphaFold(tiny_cfg)
+    batch = make_batch(SyntheticProteinDataset(tiny_cfg, size=1)[0])
+    return predict(model, batch, n_recycle=0)
+
+
+class TestPredict:
+    def test_outputs(self, tiny_cfg, tiny_prediction):
+        p = tiny_prediction
+        assert p.ca_coords.shape == (tiny_cfg.n_res, 3)
+        assert p.plddt.shape == (tiny_cfg.n_res,)
+        assert np.all((0 <= p.plddt) & (p.plddt <= 100))
+        assert 0.0 <= p.lddt_vs_true <= 1.0
+
+    def test_model_mode_restored(self, tiny_cfg):
+        model = AlphaFold(tiny_cfg)
+        model.train()
+        batch = make_batch(SyntheticProteinDataset(tiny_cfg, size=1)[0])
+        predict(model, batch, n_recycle=0)
+        assert model.training
+
+    def test_plddt_from_logits_expectation(self):
+        # Extreme logits on the top bin -> plddt near 100.
+        logits = np.full((4, 10), -20.0)
+        logits[:, -1] = 20.0
+        plddt = plddt_from_logits(logits)
+        assert np.all(plddt > 90)
+        # Uniform logits -> expectation = 50.
+        assert np.allclose(plddt_from_logits(np.zeros((2, 10))), 50.0)
+
+
+class TestPdbRoundTrip:
+    def test_to_pdb_format(self, tiny_prediction):
+        text = to_pdb(tiny_prediction)
+        lines = text.splitlines()
+        assert lines[0].startswith("REMARK")
+        atoms = [l for l in lines if l.startswith("ATOM")]
+        assert len(atoms) == tiny_prediction.n_res
+        assert lines[-2] == "TER" and lines[-1] == "END"
+        # Fixed-column format: coordinates parse back.
+        assert float(atoms[0][30:38]) == pytest.approx(
+            tiny_prediction.ca_coords[0, 0], abs=1e-3)
+
+    def test_round_trip(self, tiny_prediction):
+        back = from_pdb(to_pdb(tiny_prediction))
+        assert np.allclose(back.ca_coords, tiny_prediction.ca_coords,
+                           atol=1e-3)
+        assert np.allclose(back.plddt, tiny_prediction.plddt, atol=0.011)
+        assert np.array_equal(back.aatype % 20, tiny_prediction.aatype % 20)
+
+    def test_write_pdb(self, tiny_prediction, tmp_path):
+        path = tmp_path / "pred.pdb"
+        write_pdb(tiny_prediction, str(path))
+        assert from_pdb(path.read_text()).n_res == tiny_prediction.n_res
+
+    def test_from_pdb_rejects_empty(self):
+        with pytest.raises(ValueError):
+            from_pdb("REMARK nothing\nEND\n")
+
+
+class TestMasking:
+    def test_mask_rate(self):
+        rng = np.random.default_rng(0)
+        feat = np.ones((64, 32, 8), np.float32)
+        aatype = np.zeros((64, 32), np.int64)
+        masked, artifacts = apply_msa_masking(feat, aatype, rate=0.15,
+                                              rng=rng)
+        frac = artifacts.mask_positions.mean()
+        assert 0.10 < frac < 0.20
+
+    def test_masked_positions_zeroed(self):
+        rng = np.random.default_rng(1)
+        feat = np.ones((8, 8, 4), np.float32)
+        masked, artifacts = apply_msa_masking(feat, np.zeros((8, 8)),
+                                              rate=0.5, rng=rng)
+        hit = artifacts.mask_positions.astype(bool)
+        assert np.all(masked[hit] == 0.0)
+        assert np.all(masked[~hit] == 1.0)
+
+    def test_zero_rate_no_masking(self):
+        feat = np.ones((4, 4, 2), np.float32)
+        masked, artifacts = apply_msa_masking(feat, np.zeros((4, 4)),
+                                              rate=0.0)
+        assert np.array_equal(masked, feat)
+        assert artifacts.mask_positions.sum() == 0
+
+
+class TestMaskedMsaLoss:
+    def _batch(self, s=4, n=6, all_masked=False):
+        rng = np.random.default_rng(2)
+        true = rng.integers(0, MSA_CLASSES - 1, (s, n)).astype(np.int64)
+        mask = (np.ones((s, n)) if all_masked
+                else (rng.random((s, n)) < 0.3)).astype(np.float32)
+        return {
+            "msa_true_classes": Tensor(true),
+            "msa_mask_positions": Tensor(mask),
+        }, true, mask
+
+    def test_perfect_logits_low_loss(self):
+        batch, true, _ = self._batch(all_masked=True)
+        logits = np.full(true.shape + (MSA_CLASSES,), -15.0, np.float32)
+        np.put_along_axis(logits, true[..., None], 15.0, axis=-1)
+        loss = masked_msa_loss(Tensor(logits), batch)
+        assert loss.item() < 0.01
+
+    def test_uniform_logits_log_classes(self):
+        batch, true, _ = self._batch(all_masked=True)
+        logits = Tensor(np.zeros(true.shape + (MSA_CLASSES,), np.float32))
+        loss = masked_msa_loss(logits, batch)
+        assert loss.item() == pytest.approx(np.log(MSA_CLASSES), rel=1e-3)
+
+    def test_only_masked_positions_count(self):
+        batch, true, mask = self._batch()
+        good = np.full(true.shape + (MSA_CLASSES,), -15.0, np.float32)
+        np.put_along_axis(good, true[..., None], 15.0, axis=-1)
+        # corrupt logits at UNmasked positions only: loss must stay low
+        corrupted = good.copy()
+        corrupted[mask == 0] = 0.0
+        loss = masked_msa_loss(Tensor(corrupted), batch)
+        assert loss.item() < 0.01
+
+    def test_differentiable(self):
+        batch, true, _ = self._batch(all_masked=True)
+        logits = Tensor(np.zeros(true.shape + (MSA_CLASSES,), np.float32),
+                        requires_grad=True)
+        masked_msa_loss(logits, batch).backward()
+        assert logits.grad is not None
+        assert np.all(np.isfinite(logits.grad.numpy()))
+
+
+class TestEndToEnd:
+    def test_model_emits_masked_msa_logits(self, tiny_cfg):
+        model = AlphaFold(tiny_cfg)
+        batch = make_batch(SyntheticProteinDataset(tiny_cfg, size=1)[0],
+                           mask_msa=True)
+        out = model(batch, n_recycle=0)
+        assert out["masked_msa_logits"].shape == (
+            tiny_cfg.n_seq, tiny_cfg.n_res, MSA_CLASSES)
+
+    def test_loss_includes_masked_term_when_batch_masked(self, tiny_cfg):
+        from repro.model.loss import AlphaFoldLoss
+
+        model = AlphaFold(tiny_cfg)
+        loss_fn = AlphaFoldLoss(tiny_cfg)
+        ds = SyntheticProteinDataset(tiny_cfg, size=1)
+        masked_batch = make_batch(ds[0], mask_msa=True)
+        _, parts = loss_fn(model(masked_batch, n_recycle=0), masked_batch)
+        assert "masked_msa" in parts
+        plain_batch = make_batch(ds[0])
+        _, parts_plain = loss_fn(model(plain_batch, n_recycle=0), plain_batch)
+        assert "masked_msa" not in parts_plain

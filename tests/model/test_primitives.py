@@ -1,0 +1,151 @@
+"""Model primitives: Linear, LayerNorm, Transition, Attention, mask bias."""
+
+import numpy as np
+import pytest
+
+from repro.framework import Tensor, no_grad, randn, seed, trace
+from repro.framework import ops
+from repro.model.config import KernelPolicy
+from repro.model.primitives import (Attention, LayerNorm, Linear, Transition,
+                                    mask_bias)
+
+REF = KernelPolicy.reference()
+FUSED = KernelPolicy.scalefold(checkpointing=False)
+
+
+class TestLinear:
+    def test_shapes(self):
+        lin = Linear(8, 16)
+        out = lin(randn((3, 8)))
+        assert out.shape == (3, 16)
+
+    def test_no_bias(self):
+        lin = Linear(8, 16, bias=False)
+        assert lin.bias is None
+        assert lin(randn((2, 8))).shape == (2, 16)
+
+    def test_grads_flow(self):
+        lin = Linear(4, 4)
+        ops.mean(ops.square(lin(randn((2, 4))))).backward()
+        assert lin.weight.grad is not None
+        assert lin.bias.grad is not None
+
+    def test_final_init_is_zero(self):
+        lin = Linear(4, 4, init="final")
+        assert np.all(lin.weight.numpy() == 0)
+
+
+class TestLayerNormModule:
+    def test_policy_selects_kernel(self):
+        x = randn((4, 16))
+        with trace() as t_ref:
+            LayerNorm(16, REF)(x)
+        with trace() as t_fused:
+            LayerNorm(16, FUSED)(x)
+        assert not any(r.fused for r in t_ref.records)
+        assert any(r.name == "fused_layernorm_fwd" for r in t_fused.records)
+
+    def test_same_numerics_between_policies(self):
+        seed(0)
+        ln_ref = LayerNorm(16, REF)
+        ln_fused = LayerNorm(16, FUSED.replace(dtype=REF.dtype))
+        ln_fused.weight._data = ln_ref.weight.numpy().copy()
+        ln_fused.bias._data = ln_ref.bias.numpy().copy()
+        x = randn((4, 16))
+        with no_grad():
+            a = ln_ref(x).numpy()
+            b = ln_fused(x).numpy()
+        assert np.allclose(a, b, atol=1e-5)
+
+
+class TestTransition:
+    def test_expansion_factor(self):
+        tr = Transition(8, 4, REF)
+        assert tr.linear_1.out_features == 32
+        assert tr(randn((5, 8))).shape == (5, 8)
+
+
+class TestAttentionModule:
+    def test_self_attention_shape(self):
+        attn = Attention(16, 16, 8, 2, REF)
+        x = randn((3, 6, 16))
+        assert attn(x, x).shape == (3, 6, 16)
+
+    def test_bias_changes_output(self):
+        attn = Attention(16, 16, 8, 2, REF)
+        rng = np.random.default_rng(3)
+        attn.linear_o.weight._data = rng.standard_normal(
+            attn.linear_o.weight.shape).astype(np.float32)
+        x = randn((6, 16))
+        # need (..., H, Lq, Lk)-broadcastable bias; x is (L=6, c)
+        x3 = ops.reshape(x, (1, 6, 16))
+        with no_grad():
+            base = attn(x3, x3).numpy()
+            bias = Tensor(np.full((1, 2, 6, 6), 5.0, np.float32))
+            biased = attn(x3, x3, biases=[bias * Tensor(
+                np.tri(6, dtype=np.float32))]).numpy()
+        assert not np.allclose(base, biased, atol=1e-5)
+
+    def test_gating_zero_init_halves_output(self):
+        # gating linear init zeros -> sigmoid(0)=0.5 gate at init
+        attn = Attention(16, 16, 8, 2, REF, gating=True)
+        assert np.all(attn.linear_g.weight.numpy() == 0)
+
+    def test_no_gating(self):
+        attn = Attention(16, 16, 8, 2, REF, gating=False)
+        x = randn((2, 4, 16))
+        assert attn(x, x).shape == (2, 4, 16)
+
+    def test_batched_policy_packs_projections(self):
+        attn = Attention(16, 16, 8, 2, FUSED)
+        assert attn.batched
+        assert attn.linear_qkvg.weight.shape == (16, 4 * 16)
+
+    def test_batched_equals_separate_with_shared_weights(self):
+        seed(2)
+        ref = Attention(16, 16, 8, 2, REF)
+        bat = Attention(16, 16, 8, 2,
+                        REF.replace(batched_gemm=True))
+        bat.load_unpacked(ref.linear_q.weight, ref.linear_k.weight,
+                          ref.linear_v.weight, ref.linear_g.weight)
+        bat.linear_o.weight._data = ref.linear_o.weight.numpy().copy()
+        bat.linear_o.bias._data = ref.linear_o.bias.numpy().copy()
+        x = randn((3, 5, 16))
+        with no_grad():
+            assert np.allclose(ref(x, x).numpy(), bat(x, x).numpy(),
+                               atol=1e-5)
+
+    def test_batched_rejects_cross_attention(self):
+        attn = Attention(16, 16, 8, 2, FUSED)
+        a, b = randn((2, 4, 16)), randn((2, 4, 16))
+        with pytest.raises(ValueError, match="self-attention"):
+            attn(a, b)
+
+    def test_load_unpacked_requires_batched(self):
+        attn = Attention(16, 16, 8, 2, REF)
+        with pytest.raises(ValueError):
+            attn.load_unpacked(None, None, None)
+
+    def test_fused_mha_policy_uses_flash_kernel(self):
+        attn = Attention(16, 16, 8, 2, FUSED)
+        x = randn((2, 4, 16))
+        with trace() as t:
+            attn(x, x)
+        assert any(r.name == "fused_mha_fwd" for r in t.records)
+
+    def test_grads_reach_all_params(self):
+        attn = Attention(16, 16, 8, 2, REF)
+        x = randn((2, 4, 16), requires_grad=True)
+        ops.mean(ops.square(attn(x, x))).backward()
+        for name, p in attn.named_parameters():
+            assert p.grad is not None, name
+        assert x.grad is not None
+
+
+class TestMaskBias:
+    def test_shape_and_values(self):
+        mask = Tensor(np.array([[1.0, 0.0, 1.0]], np.float32))
+        bias = mask_bias(mask)
+        assert bias.shape == (1, 1, 1, 3)
+        assert bias.numpy()[0, 0, 0, 0] == 0.0
+        assert bias.numpy()[0, 0, 0, 1] == -1e9

@@ -1,0 +1,216 @@
+"""Rigid frames, quaternion rotations, IPA invariance, structure module."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.framework import Tensor, no_grad, randn, seed
+from repro.framework import ops
+from repro.model.config import AlphaFoldConfig, KernelPolicy
+from repro.model.rigid import Rigid, frames_from_ca_np, quat_to_rot
+from repro.model.structure import (BackboneUpdate, InvariantPointAttention,
+                                   StructureModule, softplus)
+
+CFG = AlphaFoldConfig.tiny()
+N = CFG.n_res
+
+
+def random_rigid(n, seed_=0):
+    rng = np.random.default_rng(seed_)
+    bcd = Tensor(rng.standard_normal((n, 3)).astype(np.float32))
+    rots = quat_to_rot(bcd)
+    trans = Tensor(rng.standard_normal((n, 3)).astype(np.float32) * 5)
+    return Rigid(rots, trans)
+
+
+class TestQuatToRot:
+    def test_zero_gives_identity(self):
+        rots = quat_to_rot(Tensor(np.zeros((3, 3), np.float32))).numpy()
+        for r in rots:
+            assert np.allclose(r, np.eye(3), atol=1e-6)
+
+    @given(st.lists(st.floats(-3, 3, width=32), min_size=3, max_size=3))
+    @settings(max_examples=50, deadline=None)
+    def test_always_orthonormal(self, bcd):
+        r = quat_to_rot(Tensor(np.array([bcd], np.float32))).numpy()[0]
+        assert np.allclose(r @ r.T, np.eye(3), atol=1e-5)
+        assert np.linalg.det(r) == pytest.approx(1.0, abs=1e-5)
+
+    def test_differentiable(self):
+        bcd = Tensor(np.ones((2, 3), np.float32), requires_grad=True)
+        ops.mean(ops.square(quat_to_rot(bcd))).backward()
+        assert bcd.grad is not None and np.all(np.isfinite(bcd.grad.numpy()))
+
+
+class TestRigid:
+    def test_identity_apply_is_noop(self):
+        rigid = Rigid.identity(4)
+        pts = randn((4, 5, 3))
+        with no_grad():
+            assert np.allclose(rigid.apply(pts).numpy(), pts.numpy(),
+                               atol=1e-6)
+
+    def test_apply_invert_roundtrip(self):
+        rigid = random_rigid(6)
+        pts = randn((6, 3, 3))
+        with no_grad():
+            back = rigid.invert_apply(rigid.apply(pts)).numpy()
+        assert np.allclose(back, pts.numpy(), atol=1e-4)
+
+    def test_apply_preserves_distances(self):
+        rigid = random_rigid(1, seed_=3)
+        pts = randn((1, 8, 3))
+        with no_grad():
+            moved = rigid.apply(pts).numpy()[0]
+        orig = pts.numpy()[0]
+        d_orig = np.linalg.norm(orig[:, None] - orig[None], axis=-1)
+        d_new = np.linalg.norm(moved[:, None] - moved[None], axis=-1)
+        assert np.allclose(d_orig, d_new, atol=1e-4)
+
+    def test_compose_matches_sequential_apply(self):
+        a, b = random_rigid(4, 1), random_rigid(4, 2)
+        pts = randn((4, 2, 3))
+        with no_grad():
+            composed = a.compose(b).apply(pts).numpy()
+            sequential = a.apply(b.apply(pts)).numpy()
+        assert np.allclose(composed, sequential, atol=1e-4)
+
+    def test_compose_identity_is_noop(self):
+        a = random_rigid(4)
+        with no_grad():
+            c = a.compose(Rigid.identity(4))
+            assert np.allclose(c.rots.numpy(), a.rots.numpy(), atol=1e-6)
+            assert np.allclose(c.trans.numpy(), a.trans.numpy(), atol=1e-6)
+
+    def test_meta_identity(self):
+        r = Rigid.identity(5, meta=True)
+        assert r.rots.is_meta and r.trans.shape == (5, 3)
+
+    def test_bad_shapes_raise(self):
+        with pytest.raises(ValueError):
+            Rigid(Tensor(np.zeros((4, 2, 3), np.float32)),
+                  Tensor(np.zeros((4, 3), np.float32)))
+
+
+class TestFramesFromCa:
+    def test_rotations_orthonormal(self):
+        rng = np.random.default_rng(0)
+        ca = np.cumsum(rng.standard_normal((10, 3)), axis=0).astype(np.float32)
+        rots = frames_from_ca_np(ca)
+        for r in rots:
+            assert np.allclose(r @ r.T, np.eye(3), atol=1e-4)
+
+    def test_short_chains(self):
+        for n in (1, 2, 3):
+            ca = np.arange(n * 3, dtype=np.float32).reshape(n, 3)
+            rots = frames_from_ca_np(ca)
+            assert rots.shape == (n, 3, 3)
+            assert np.all(np.isfinite(rots))
+
+
+class TestSoftplus:
+    def test_positive_everywhere(self):
+        x = randn((16,))
+        assert np.all(softplus(x).numpy() > 0)
+
+    def test_matches_numpy(self):
+        x = randn((8,))
+        want = np.log1p(np.exp(x.numpy()))
+        assert np.allclose(softplus(x).numpy(), want, atol=1e-5)
+
+
+class TestIPA:
+    def _inputs(self):
+        s = randn((N, CFG.c_s))
+        z = randn((N, N, CFG.c_z))
+        return s, z
+
+    def test_output_shape(self):
+        ipa = InvariantPointAttention(CFG)
+        s, z = self._inputs()
+        out = ipa(s, z, Rigid.identity(N))
+        assert out.shape == (N, CFG.c_s)
+
+    def test_invariance_under_global_transform(self):
+        """THE property of IPA: outputs are invariant when all frames move
+        by one global rigid transform."""
+        seed(1)
+        ipa = InvariantPointAttention(CFG)
+        # give the zero-init output head weights so the test is non-trivial
+        rng = np.random.default_rng(5)
+        ipa.linear_out.weight._data = (rng.standard_normal(
+            ipa.linear_out.weight.shape) * 0.1).astype(np.float32)
+        s, z = self._inputs()
+        frames = random_rigid(N, 7)
+
+        # global transform g: rotate every frame and translation together
+        g_rot = quat_to_rot(Tensor(np.array([[0.3, -0.2, 0.5]], np.float32)))
+        g_trans = Tensor(np.array([[1.0, -2.0, 3.0]], np.float32))
+        g_rot_b = ops.broadcast_to(g_rot, (N, 3, 3))
+        moved = Rigid(ops.matmul(g_rot_b, frames.rots),
+                      ops.add(ops.reshape(ops.matmul(
+                          ops.reshape(frames.trans, (N, 1, 3)),
+                          ops.transpose(g_rot_b, -1, -2)), (N, 3)),
+                          ops.broadcast_to(g_trans, (N, 3))))
+        with no_grad():
+            out1 = ipa(s, z, frames).numpy()
+            out2 = ipa(s, z, moved).numpy()
+        assert np.allclose(out1, out2, atol=1e-3), np.abs(out1 - out2).max()
+
+    def test_gradients_flow(self):
+        ipa = InvariantPointAttention(CFG)
+        s = randn((N, CFG.c_s), requires_grad=True)
+        z = randn((N, N, CFG.c_z), requires_grad=True)
+        out = ipa(s, z, Rigid.identity(N))
+        ops.mean(ops.square(out)).backward()
+        assert s.grad is not None and z.grad is not None
+
+
+class TestBackboneUpdate:
+    def test_returns_valid_rigid(self):
+        bu = BackboneUpdate(CFG.c_s)
+        bu.linear.weight._data = (np.random.default_rng(0).standard_normal(
+            bu.linear.weight.shape) * 0.1).astype(np.float32)
+        rigid = bu(randn((N, CFG.c_s)))
+        rots = rigid.rots.numpy()
+        for r in rots:
+            assert np.allclose(r @ r.T, np.eye(3), atol=1e-4)
+
+    def test_zero_init_gives_identity_update(self):
+        bu = BackboneUpdate(CFG.c_s)  # 'final' init: weights zero
+        rigid = bu(randn((N, CFG.c_s)))
+        assert np.allclose(rigid.rots.numpy()[0], np.eye(3), atol=1e-6)
+        assert np.allclose(rigid.trans.numpy(), 0.0, atol=1e-6)
+
+
+class TestStructureModule:
+    def test_outputs(self):
+        sm = StructureModule(CFG)
+        s = randn((N, CFG.c_s))
+        z = randn((N, N, CFG.c_z))
+        with no_grad():
+            out = sm(s, z)
+        assert out["positions"].shape == (N, 3)
+        assert out["single"].shape == (N, CFG.c_s)
+        assert isinstance(out["rigid"], Rigid)
+        assert len(out["trajectory"]) == CFG.structure_layers
+
+    def test_meta_mode(self):
+        from repro.framework import meta_build, float32
+
+        with meta_build():
+            sm = StructureModule(CFG)
+        s = Tensor(None, (N, CFG.c_s), float32)
+        z = Tensor(None, (N, N, CFG.c_z), float32)
+        out = sm(s, z)
+        assert out["positions"].is_meta
+        assert out["positions"].shape == (N, 3)
+
+    def test_gradients_to_inputs(self):
+        sm = StructureModule(CFG)
+        s = randn((N, CFG.c_s), requires_grad=True)
+        z = randn((N, N, CFG.c_z), requires_grad=True)
+        out = sm(s, z)
+        ops.mean(ops.square(out["positions"])).backward()
+        assert s.grad is not None and z.grad is not None

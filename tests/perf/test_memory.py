@@ -1,0 +1,97 @@
+"""Memory model: the checkpointing/DAP-8 story of §2.2 and §4.1."""
+
+import pytest
+
+from repro.model.config import AlphaFoldConfig, KernelPolicy
+from repro.perf.memory import (checkpointing_required,
+                               estimate_memory,
+                               evoformer_block_activation_bytes)
+
+
+class TestEstimateStructure:
+    def test_breakdown_positive_and_consistent(self):
+        est = estimate_memory(policy=KernelPolicy.reference())
+        d = est.as_dict()
+        assert all(v >= 0 for v in d.values())
+        assert d["total_gib"] == pytest.approx(
+            sum(v for k, v in d.items() if k != "total_gib"), rel=1e-6)
+
+    def test_parameters_are_small_share(self):
+        """§2.2: 'only 97M parameters but the volume of intermediate
+        activations is enormous'."""
+        policy = KernelPolicy.reference().replace(
+            activation_checkpointing=False)
+        est = estimate_memory(policy=policy)
+        assert est.parameters < 0.02 * est.activations
+
+    def test_bf16_halves_activations(self):
+        fp32 = estimate_memory(policy=KernelPolicy.reference().replace(
+            activation_checkpointing=False))
+        bf16 = estimate_memory(policy=KernelPolicy.scalefold(
+            checkpointing=False))
+        assert bf16.activations == pytest.approx(fp32.activations / 2,
+                                                 rel=0.01)
+
+    def test_optimizer_state_scales_with_params(self):
+        est = estimate_memory(policy=KernelPolicy.reference())
+        # m + v + swa in fp32 = 12 bytes/param (fp32 training: no master).
+        assert est.optimizer_state == pytest.approx(est.parameters * 3,
+                                                    rel=0.01)
+
+
+class TestCheckpointingStory:
+    def test_checkpointing_shrinks_activations_dramatically(self):
+        with_ck = estimate_memory(policy=KernelPolicy.reference())
+        without = estimate_memory(policy=KernelPolicy.reference().replace(
+            activation_checkpointing=False))
+        assert with_ck.activations < 0.15 * without.activations
+
+    def test_dap1_requires_checkpointing(self):
+        """OpenFold cannot train without checkpointing on one 80GB GPU."""
+        assert checkpointing_required(policy=KernelPolicy.reference(),
+                                      dap_n=1)
+        assert checkpointing_required(policy=KernelPolicy.scalefold(),
+                                      dap_n=1)
+
+    def test_dap8_fits_without_checkpointing(self):
+        """§4.1: DAP-8 'allowed for disabling gradient checkpointing'."""
+        assert not checkpointing_required(policy=KernelPolicy.scalefold(),
+                                          dap_n=8)
+        policy = KernelPolicy.scalefold(checkpointing=False)
+        est = estimate_memory(policy=policy, dap_n=8)
+        assert est.fits(80.0)
+        assert est.total_gib < 40
+
+    def test_dap_divides_activations(self):
+        policy = KernelPolicy.scalefold(checkpointing=False)
+        one = estimate_memory(policy=policy, dap_n=1)
+        eight = estimate_memory(policy=policy, dap_n=8)
+        assert eight.activations == pytest.approx(one.activations / 8,
+                                                  rel=1e-6)
+        assert eight.parameters == one.parameters  # replicated, not sharded
+
+
+class TestBlockActivations:
+    def test_attention_probs_dominate(self):
+        cfg = AlphaFoldConfig.full()
+        total = evoformer_block_activation_bytes(cfg, itemsize=4)
+        row_probs = cfg.n_seq * cfg.n_head_msa * cfg.n_res**2 * 4
+        tri_probs = 2 * cfg.n_head_pair * cfg.n_res**3 * 4  # O(N^3), §2.2
+        assert tri_probs > row_probs       # the cubic term wins at N=256
+        assert (row_probs + tri_probs) > 0.3 * total
+
+    def test_extra_msa_blocks_heavier(self):
+        """1024 extra-MSA rows x N^2 attention — the biggest single tensor."""
+        cfg = AlphaFoldConfig.full()
+        trunk = evoformer_block_activation_bytes(cfg, 4)
+        extra = evoformer_block_activation_bytes(cfg, 4,
+                                                 n_seq=cfg.n_extra_seq,
+                                                 c_m=cfg.c_e)
+        assert extra > trunk
+
+    def test_scales_quadratically_with_crop(self):
+        small = AlphaFoldConfig.full().replace(n_res=128)
+        big = AlphaFoldConfig.full().replace(n_res=256)
+        ratio = (evoformer_block_activation_bytes(big, 4)
+                 / evoformer_block_activation_bytes(small, 4))
+        assert ratio > 3.0  # super-quadratic (triangle terms are N^3)

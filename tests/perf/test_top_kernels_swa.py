@@ -1,0 +1,100 @@
+"""Top-kernels profiler report and the SWA weight swap."""
+
+import numpy as np
+import pytest
+
+from repro.framework import Module, make_parameter
+from repro.framework import ops
+from repro.hardware import A100
+from repro.perf.profiler import top_kernels
+from repro.train.optimizer import AlphaFoldOptimizer, OptimizerConfig
+
+
+class TestTopKernels:
+    def test_sorted_and_bounded(self, reference_step_trace):
+        rows = top_kernels(reference_step_trace, A100, k=10)
+        assert len(rows) == 10
+        seconds = [r.seconds for r in rows]
+        assert seconds == sorted(seconds, reverse=True)
+        assert sum(r.pct_of_step for r in rows) <= 100.0 + 1e-6
+
+    def test_known_hot_kernels_present(self, reference_step_trace):
+        rows = top_kernels(reference_step_trace, A100, k=15)
+        names = {r.name for r in rows}
+        # matmul and softmax are guaranteed heavy hitters in the reference.
+        assert "matmul" in names
+        assert "softmax" in names or "softmax_bwd" in names
+
+    def test_mean_us_consistent(self, reference_step_trace):
+        for row in top_kernels(reference_step_trace, A100, k=5):
+            assert row.mean_us == pytest.approx(
+                1e6 * row.seconds / row.calls)
+
+    def test_fused_trace_hot_kernels_are_fused(self, scalefold_step_trace):
+        from repro.hardware import H100
+
+        rows = top_kernels(scalefold_step_trace, H100, k=6)
+        names = {r.name for r in rows}
+        assert names & {"fused_mha_fwd", "fused_mha_bwd", "batched_gemm",
+                        "fused_layernorm_fwd", "fused_layernorm_bwd_dwdb"}
+
+
+class _Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.w = make_parameter((6,), init="ones")
+
+    def forward(self):
+        return ops.mean(ops.square(self.w))
+
+
+class TestSwaSwap:
+    def _trained(self, steps=8):
+        model = _Toy()
+        opt = AlphaFoldOptimizer(model, OptimizerConfig(use_swa=True),
+                                 lr=0.2)
+        for _ in range(steps):
+            model.zero_grad()
+            model().backward()
+            opt.step()
+        return model, opt
+
+    def test_swap_and_restore_roundtrip(self):
+        model, opt = self._trained()
+        raw = model.w.numpy().copy()
+        saved = opt.swap_in_swa_weights()
+        swa = model.w.numpy().copy()
+        assert not np.allclose(raw, swa)  # EMA lags the raw weights
+        opt.restore_weights(saved)
+        assert np.array_equal(model.w.numpy(), raw)
+
+    def test_swa_weights_are_ema(self):
+        model, opt = self._trained()
+        opt.swap_in_swa_weights()
+        swa = model.w.numpy()
+        # EMA of a descending trajectory from 1.0: between raw and start.
+        assert np.all(swa <= 1.0 + 1e-6)
+
+    def test_swap_requires_swa_enabled(self):
+        model = _Toy()
+        opt = AlphaFoldOptimizer(model, OptimizerConfig(use_swa=False))
+        with pytest.raises(ValueError):
+            opt.swap_in_swa_weights()
+
+    def test_eval_with_swa_weights(self, tiny_cfg):
+        """The sync-eval flow: swap in SWA, evaluate, restore (§3.4)."""
+        from repro.datapipe.samples import SyntheticProteinDataset, make_batch
+        from repro.train.evaluation import evaluate_model
+        from repro.train.trainer import Trainer
+
+        trainer = Trainer(tiny_cfg, OptimizerConfig(use_swa=True),
+                          rng_seed=0)
+        ds = SyntheticProteinDataset(tiny_cfg, size=2)
+        trainer.fit(ds, steps=2)
+        batches = [make_batch(ds[0])]
+        saved = trainer.optimizer.swap_in_swa_weights()
+        swa_metrics = evaluate_model(trainer.model, batches)
+        trainer.optimizer.restore_weights(saved)
+        raw_metrics = evaluate_model(trainer.model, batches)
+        assert 0 <= swa_metrics["avg_lddt_ca"] <= 1
+        assert 0 <= raw_metrics["avg_lddt_ca"] <= 1

@@ -1,0 +1,105 @@
+"""Event-driven cluster simulation: cross-validation of the closed-form
+time-to-train model, and the async-eval bottleneck effect."""
+
+import pytest
+
+from repro.perf.time_to_train import mlperf_time_to_train
+from repro.sim.cluster import ClusterSimConfig, run_cluster_simulation
+from repro.train.convergence import MLPERF_CHECKPOINT_SAMPLES
+from repro.train.evaluation import EvalConfig
+
+
+def _config(**kw) -> ClusterSimConfig:
+    base = dict(step_seconds=0.45, start_samples=MLPERF_CHECKPOINT_SAMPLES,
+                async_eval=True)
+    base.update(kw)
+    return ClusterSimConfig(**base)
+
+
+class TestBasicRun:
+    def test_converges(self):
+        result = run_cluster_simulation(_config())
+        assert result.converged
+        assert result.evals[-1].lddt >= 0.8
+        assert result.steps > 0
+
+    def test_deterministic_by_seed(self):
+        a = run_cluster_simulation(_config(seed=5))
+        b = run_cluster_simulation(_config(seed=5))
+        assert a.total_seconds == b.total_seconds
+        assert a.steps == b.steps
+
+    def test_includes_init(self):
+        result = run_cluster_simulation(_config(init_seconds=300.0))
+        baseline = run_cluster_simulation(_config(init_seconds=0.0))
+        assert result.total_seconds == pytest.approx(
+            baseline.total_seconds + 300.0, rel=0.05)
+
+    def test_step_times_at_least_base(self):
+        result = run_cluster_simulation(_config())
+        assert all(t >= 0.45 for t in result.step_times)
+
+    def test_max_steps_guard(self):
+        result = run_cluster_simulation(_config(target_lddt=0.99,
+                                                max_steps=500))
+        assert not result.converged
+        assert result.steps == 500
+
+
+class TestCrossValidation:
+    def test_matches_closed_form_within_band(self):
+        """The DES and the closed-form model must agree to ~40% — they share
+        the step-time and convergence inputs but the DES adds sampled
+        imbalance, eval-noise crossing, and the eval tail latency."""
+        closed = mlperf_time_to_train(scalefold=True, async_eval=True)
+        des = run_cluster_simulation(_config(
+            step_seconds=closed.phases[0].step_seconds))
+        ratio = des.total_minutes / closed.total_minutes
+        assert 0.7 < ratio < 1.6
+
+    def test_sync_slower_than_async(self):
+        async_ = run_cluster_simulation(_config())
+        sync = run_cluster_simulation(_config(async_eval=False))
+        assert sync.total_seconds > async_.total_seconds
+
+    def test_imbalance_inflates_steps(self):
+        quiet = run_cluster_simulation(_config(graphed=True,
+                                               gc_disabled=True))
+        noisy = run_cluster_simulation(_config(
+            graphed=False, gc_disabled=False, eager_dispatch_s=1.0))
+        assert noisy.mean_step_seconds > quiet.mean_step_seconds
+
+    def test_data_stalls_inflate_steps(self):
+        quiet = run_cluster_simulation(_config())
+        stalls = run_cluster_simulation(_config(data_stall_probability=0.2,
+                                                data_stall_mean_s=1.0))
+        assert stalls.mean_step_seconds > quiet.mean_step_seconds
+
+
+class TestEvalBottleneck:
+    def test_undersized_eval_pool_backs_up(self):
+        """§3.4: if eval is slower than the eval interval, the checkpoint
+        queue grows without bound."""
+        result = run_cluster_simulation(_config(
+            step_seconds=0.1,
+            eval=EvalConfig(n_eval_gpus=2, cached_dataset=False)))
+        assert result.eval_backlog_grew
+        delays = [e.queue_delay for e in result.evals]
+        assert delays == sorted(delays)  # monotonically growing backlog
+
+    def test_adequate_eval_pool_keeps_up(self):
+        result = run_cluster_simulation(_config(
+            step_seconds=0.45, eval=EvalConfig(n_eval_gpus=32)))
+        assert not result.eval_backlog_grew
+
+    def test_dram_cache_relieves_bottleneck(self):
+        """The eval-dataset DRAM cache is what keeps 32 eval GPUs ahead."""
+        cached = run_cluster_simulation(_config(
+            step_seconds=0.2,
+            eval=EvalConfig(n_eval_gpus=8, cached_dataset=True)))
+        disk = run_cluster_simulation(_config(
+            step_seconds=0.2,
+            eval=EvalConfig(n_eval_gpus=8, cached_dataset=False)))
+        cached_delay = cached.evals[-1].queue_delay
+        disk_delay = disk.evals[-1].queue_delay
+        assert cached_delay < disk_delay

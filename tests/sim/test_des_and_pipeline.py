@@ -1,0 +1,199 @@
+"""Discrete-event engine and the blocking/non-blocking pipeline models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datapipe.sim_pipeline import (StallModel, simulate_pipeline,
+                                         stall_model)
+from repro.sim.des import FifoQueue, Simulator
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_ties_fire_in_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(1.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_raises(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_run_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(2))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        assert sim.pending == 1
+
+    def test_cascading_events(self):
+        sim = Simulator()
+        count = {"n": 0}
+
+        def tick():
+            count["n"] += 1
+            if count["n"] < 5:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        assert count["n"] == 5
+        assert sim.now == 4.0
+
+    def test_event_budget_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.001, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(RuntimeError, match="budget"):
+            sim.run(max_events=100)
+
+
+class TestFifoQueue:
+    def test_fifo_order(self):
+        sim = Simulator()
+        q = FifoQueue(sim)
+        got = []
+        q.put((2,))
+        q.put((1,))
+        q.get(got.append)
+        q.get(got.append)
+        assert got == [(2,), (1,)]
+
+    def test_priority_order(self):
+        sim = Simulator()
+        q = FifoQueue(sim, priority=True)
+        got = []
+        q.put((2,))
+        q.put((1,))
+        q.get(got.append)
+        q.get(got.append)
+        assert got == [(1,), (2,)]
+
+    def test_in_order_blocks_head_of_line(self):
+        """The PyTorch DataLoader discipline: item 1 cannot be delivered
+        before item 0 even though it's ready (Figure 5(i))."""
+        sim = Simulator()
+        q = FifoQueue(sim, in_order=True)
+        got = []
+        q.put((1,))
+        q.get(got.append)
+        assert got == []  # waiting for (0,)
+        q.put((0,))
+        q.get(got.append)
+        assert got == [(0,), (1,)]
+
+
+class TestPipelineSimulation:
+    def test_paper_figure5_scenario(self):
+        """Exact scenario of Figure 5: slow batch b; non-blocking delivers
+        c first and saves the idle second(s)."""
+        prep = [2.0, 7.0, 3.0, 2.0, 2.0, 2.0]
+        blocking = simulate_pipeline(prep, n_workers=2, step_time_s=2.0,
+                                     blocking=True, warmup_s=2.0)
+        nonblocking = simulate_pipeline(prep, n_workers=2, step_time_s=2.0,
+                                        blocking=False, warmup_s=2.0)
+        assert blocking.delivery_order == [0, 1, 2, 3, 4, 5]
+        assert nonblocking.delivery_order[1] == 2  # batch c before batch b
+        assert nonblocking.total_time_s < blocking.total_time_s
+        assert nonblocking.total_stall_s < blocking.total_stall_s
+
+    def test_all_samples_consumed_exactly_once(self):
+        rng = np.random.default_rng(0)
+        prep = rng.exponential(1.0, 40)
+        for blocking in (True, False):
+            res = simulate_pipeline(prep, n_workers=3, step_time_s=0.5,
+                                    blocking=blocking)
+            assert sorted(res.delivery_order) == list(range(40))
+            assert res.n_steps == 40
+
+    def test_fast_prep_never_stalls_after_warmup(self):
+        prep = [0.01] * 30
+        res = simulate_pipeline(prep, n_workers=4, step_time_s=1.0,
+                                blocking=True, warmup_s=0.05)
+        assert res.total_stall_s == pytest.approx(0.0, abs=1e-9)
+
+    def test_cold_start_pays_first_prep(self):
+        prep = [0.01] * 5
+        res = simulate_pipeline(prep, n_workers=4, step_time_s=1.0,
+                                blocking=True)  # no warmup
+        assert res.stalls[0] == pytest.approx(0.01, abs=1e-6)
+        assert sum(res.stalls[1:]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_slow_prep_always_stalls(self):
+        prep = [10.0] * 10
+        res = simulate_pipeline(prep, n_workers=1, step_time_s=0.1,
+                                blocking=False)
+        assert res.stall_probability > 0.5
+
+    def test_more_workers_reduce_stalls(self):
+        rng = np.random.default_rng(1)
+        prep = rng.exponential(2.0, 60)
+        few = simulate_pipeline(prep, n_workers=1, step_time_s=1.0,
+                                blocking=True)
+        many = simulate_pipeline(prep, n_workers=6, step_time_s=1.0,
+                                 blocking=True)
+        assert many.total_stall_s <= few.total_stall_s
+
+    def test_nonblocking_never_slower(self):
+        rng = np.random.default_rng(2)
+        for trial in range(5):
+            prep = rng.lognormal(0.0, 1.2, 50)
+            b = simulate_pipeline(prep, n_workers=3, step_time_s=1.0,
+                                  blocking=True)
+            nb = simulate_pipeline(prep, n_workers=3, step_time_s=1.0,
+                                   blocking=False)
+            assert nb.total_time_s <= b.total_time_s + 1e-9
+
+    def test_queue_capacity_backpressure(self):
+        """A tiny queue forces workers to pause: total time grows."""
+        rng = np.random.default_rng(3)
+        prep = rng.exponential(1.0, 40)
+        small = simulate_pipeline(prep, n_workers=4, step_time_s=0.2,
+                                  blocking=False, queue_capacity=1)
+        large = simulate_pipeline(prep, n_workers=4, step_time_s=0.2,
+                                  blocking=False, queue_capacity=32)
+        assert large.total_time_s <= small.total_time_s + 1e-9
+
+    def test_stall_model_condenses(self):
+        prep = [5.0] * 20
+        sm = stall_model(prep, n_workers=1, step_time_s=0.5, blocking=True)
+        assert isinstance(sm, StallModel)
+        assert 0 <= sm.probability <= 1
+        assert sm.mean_stall_s >= 0
+
+    @given(st.integers(1, 6), st.floats(0.1, 3.0))
+    @settings(max_examples=15, deadline=None)
+    def test_conservation_property(self, workers, step_time):
+        """Total time >= max(total prep / workers, steps * step_time)."""
+        rng = np.random.default_rng(4)
+        prep = rng.exponential(1.0, 30)
+        res = simulate_pipeline(prep, n_workers=workers,
+                                step_time_s=step_time, blocking=False)
+        assert res.total_time_s >= 30 * step_time - 1e-6

@@ -1,0 +1,222 @@
+"""Optimizer wrapper, real training loop, and evaluation models."""
+
+import numpy as np
+import pytest
+
+from repro.datapipe.samples import SyntheticProteinDataset, make_batch
+from repro.framework import Module, Tensor, make_parameter, seed, trace
+from repro.framework import functional as F
+from repro.framework import ops
+from repro.model.config import AlphaFoldConfig, KernelPolicy
+from repro.train.evaluation import (EvalConfig, eval_pass_seconds,
+                                    evaluate_model, evaluation_overhead)
+from repro.train.optimizer import (AlphaFoldOptimizer, OptimizerConfig,
+                                   emit_update_trace)
+from repro.train.trainer import Trainer
+
+
+class Quadratic(Module):
+    """f(x) = ||W||^2-ish toy for optimizer behavior checks."""
+
+    def __init__(self):
+        super().__init__()
+        self.w = make_parameter((8,), init="ones")
+
+    def forward(self):
+        return ops.mean(ops.square(self.w))
+
+
+class TestOptimizer:
+    def test_descends_quadratic(self):
+        model = Quadratic()
+        opt = AlphaFoldOptimizer(model, OptimizerConfig(max_grad_norm=100.0),
+                                 lr=0.05)
+        losses = []
+        for _ in range(30):
+            model.zero_grad()
+            loss = model()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < 0.2 * losses[0]
+
+    def test_fused_matches_reference_trajectory(self):
+        seed(1)
+        m_ref = Quadratic()
+        m_fused = Quadratic()
+        m_fused.load_state_dict(m_ref.state_dict())
+        o_ref = AlphaFoldOptimizer(m_ref, OptimizerConfig(fused=False),
+                                   lr=0.02)
+        o_fused = AlphaFoldOptimizer(
+            m_fused, OptimizerConfig(fused=True, bucketed_clip=True), lr=0.02)
+        for _ in range(10):
+            for model, opt in ((m_ref, o_ref), (m_fused, o_fused)):
+                model.zero_grad()
+                model().backward()
+                opt.step()
+        assert np.allclose(m_ref.w.numpy(), m_fused.w.numpy(), atol=1e-5)
+
+    def test_clipping_limits_grad_norm(self):
+        model = Quadratic()
+        model.w._data = np.full(8, 100.0, np.float32)
+        opt = AlphaFoldOptimizer(model, OptimizerConfig(max_grad_norm=0.1))
+        model.zero_grad()
+        model().backward()
+        stats = opt.step()
+        assert stats["grad_norm"] > 0.1
+        assert stats["clip_coef"] < 1.0
+
+    def test_swa_state_tracks_params(self):
+        model = Quadratic()
+        opt = AlphaFoldOptimizer(model, OptimizerConfig(use_swa=True),
+                                 lr=0.1)
+        start = model.w.numpy().copy()
+        for _ in range(5):
+            model.zero_grad()
+            model().backward()
+            opt.step()
+        swa = opt.swa_state_dict()["w"]
+        # SWA lags the raw weights (EMA of the trajectory).
+        assert np.all(np.abs(swa - start) < np.abs(model.w.numpy() - start)
+                      + 1e-6) or np.allclose(swa, start, atol=1e-3)
+
+    def test_meta_module_rejected(self):
+        from repro.framework import meta_build
+
+        with meta_build():
+            model = Quadratic()
+        with pytest.raises(ValueError, match="meta"):
+            AlphaFoldOptimizer(model)
+
+    def test_missing_grads_treated_as_zero(self):
+        model = Quadratic()
+        opt = AlphaFoldOptimizer(model)
+        before = model.w.numpy().copy()
+        opt.step()  # no backward happened
+        assert np.allclose(model.w.numpy(), before, atol=1e-6)
+
+
+class TestEmitUpdateTrace:
+    def test_reference_counts(self):
+        shapes = [(4, 4)] * 100
+        with trace() as t:
+            emit_update_trace(shapes, fused=False, bucketed_clip=False)
+        # 8 adam + 2 swa per tensor, 3 clip per tensor + 1 finalize
+        assert len(t) == 100 * (8 + 2) + 100 * 3 + 1
+
+    def test_fused_counts(self):
+        shapes = [(4, 4)] * 100
+        with trace() as t:
+            emit_update_trace(shapes, fused=True, bucketed_clip=True)
+        assert len(t) < 10  # one fused update + a few bucket reduces
+
+    def test_matches_real_optimizer_step(self):
+        """Meta emission must agree with what the numeric optimizer
+        actually launches."""
+        model = Quadratic()
+        opt = AlphaFoldOptimizer(model, OptimizerConfig(fused=False))
+        model.zero_grad()
+        model().backward()
+        with trace() as t_real:
+            opt.step()
+        with trace() as t_meta:
+            emit_update_trace([p.shape for p in model.parameters()],
+                              fused=False, bucketed_clip=False)
+        real_names = sorted(r.name for r in t_real.records)
+        meta_names = sorted(r.name for r in t_meta.records)
+        assert real_names == meta_names
+
+
+class TestTrainer:
+    def test_loss_decreases_on_tiny_model(self, tiny_cfg):
+        trainer = Trainer(tiny_cfg, OptimizerConfig(max_grad_norm=1.0),
+                          rng_seed=0)
+        dataset = SyntheticProteinDataset(tiny_cfg, size=2)
+        result = trainer.fit(dataset, steps=6)
+        assert len(result.records) == 6
+        assert result.losses[-1] < result.losses[0]
+
+    def test_fused_policy_trains(self):
+        cfg = AlphaFoldConfig.tiny(
+            KernelPolicy.scalefold(checkpointing=False)
+            .replace(dtype=KernelPolicy.reference().dtype))
+        trainer = Trainer(cfg, rng_seed=0)
+        dataset = SyntheticProteinDataset(cfg, size=2)
+        result = trainer.fit(dataset, steps=3)
+        assert np.isfinite(result.final_loss)
+        assert result.losses[-1] < result.losses[0] * 1.5
+
+    def test_eval_history(self, tiny_cfg):
+        trainer = Trainer(tiny_cfg, rng_seed=0)
+        dataset = SyntheticProteinDataset(tiny_cfg, size=3)
+        result = trainer.fit(dataset, steps=4, eval_every=2, eval_samples=2)
+        assert len(result.eval_history) == 2
+        for entry in result.eval_history:
+            assert 0.0 <= entry["avg_lddt_ca"] <= 1.0
+
+    def test_step_trace_collection(self, tiny_cfg):
+        trainer = Trainer(tiny_cfg, rng_seed=0)
+        dataset = SyntheticProteinDataset(tiny_cfg, size=1)
+        batch = make_batch(dataset[0])
+        rec = trainer.train_step(batch, collect_trace=True)
+        assert rec.kernels and rec.kernels > 1000
+
+
+class TestEvaluateModel:
+    def test_returns_lddt(self, tiny_cfg):
+        from repro.model.alphafold import AlphaFold
+
+        model = AlphaFold(tiny_cfg)
+        ds = SyntheticProteinDataset(tiny_cfg, size=2)
+        batches = [make_batch(ds[i]) for i in range(2)]
+        metrics = evaluate_model(model, batches)
+        assert 0.0 <= metrics["avg_lddt_ca"] <= 1.0
+        assert metrics["n_samples"] == 2
+
+    def test_restores_training_mode(self, tiny_cfg):
+        from repro.model.alphafold import AlphaFold
+
+        model = AlphaFold(tiny_cfg)
+        model.train()
+        ds = SyntheticProteinDataset(tiny_cfg, size=1)
+        evaluate_model(model, [make_batch(ds[0])])
+        assert model.training
+
+
+class TestEvaluationOverhead:
+    CFG = EvalConfig()
+
+    def test_more_gpus_faster_pass(self):
+        assert eval_pass_seconds(self.CFG, 2048) < \
+            eval_pass_seconds(self.CFG, 32)
+
+    def test_cache_speeds_loading(self):
+        """§3.4: 'we cached all evaluation data into the CPU DRAM instead
+        of disk to improve evaluation performance'."""
+        cached = eval_pass_seconds(EvalConfig(cached_dataset=True), 32)
+        disk = eval_pass_seconds(EvalConfig(cached_dataset=False), 32)
+        assert cached < disk
+
+    def test_sync_blocks_training(self):
+        ov = evaluation_overhead(self.CFG, total_steps=1000, step_seconds=1.0,
+                                 train_gpus=256, async_eval=False)
+        assert ov.mode == "sync"
+        assert ov.train_blocked_seconds > 0
+
+    def test_async_free_when_eval_fits_interval(self):
+        ov = evaluation_overhead(self.CFG, total_steps=1000, step_seconds=1.0,
+                                 train_gpus=256, async_eval=True)
+        assert ov.mode == "async"
+        assert ov.train_blocked_seconds == 0.0
+        assert not ov.bottleneck
+
+    def test_async_bottleneck_when_eval_too_slow(self):
+        """§3.4: 'Evaluation time must be smaller than training time, or
+        evaluation time would become bottleneck'."""
+        slow_eval = EvalConfig(n_eval_samples=2000, cached_dataset=False,
+                               n_eval_gpus=4)
+        ov = evaluation_overhead(slow_eval, total_steps=1000,
+                                 step_seconds=0.1, train_gpus=256,
+                                 async_eval=True)
+        assert ov.bottleneck
+        assert ov.train_blocked_seconds > 0
