@@ -1,0 +1,34 @@
+"""The unified timing engine: interval attribution and DDP overlap.
+
+Every step estimate now comes out of one multi-rank discrete-event
+simulation; this benchmark regenerates the ``timeline`` experiment and
+asserts the overlap facts the old additive model could not express.
+"""
+
+from conftest import run_once
+
+from repro.core.experiments import run_timeline
+
+
+class TestTimelineAttribution:
+    def test_regenerate(self, benchmark):
+        result = run_once(benchmark, run_timeline)
+        print("\n" + result.format())
+        rows = {r["scenario"]: r for r in result.rows}
+
+        for r in rows.values():
+            # The derived components partition the simulated step exactly.
+            parts = (r["compute_s"] + r["dap_comm_s"] + r["ddp_exposed_s"]
+                     + r["imbalance_s"])
+            assert abs(parts - r["total_s"]) < 1e-6 * max(r["total_s"], 1.0)
+            # Most of the gradient all-reduce hides under backward compute.
+            assert r["ddp_hidden_s"] > r["ddp_exposed_s"]
+            assert r["ddp_raw_s"] > 0
+
+        ref = rows["reference A100 DAP-1"]
+        sf = rows["scalefold H100 DAP-8"]
+        # The optimized configuration is far faster and actually pays DAP
+        # communication (the reference is DAP-1: none).
+        assert sf["total_s"] < ref["total_s"] / 4
+        assert ref["dap_comm_s"] == 0.0
+        assert sf["dap_comm_s"] > 0.0

@@ -10,6 +10,13 @@ Run: python examples/kernel_fusion_demo.py
 
 import numpy as np
 
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # standalone run from a source checkout
+    import pathlib
+    import sys
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
 from repro.framework import Tensor, no_grad, seed, trace
 from repro.framework import functional as F
 from repro.framework import ops

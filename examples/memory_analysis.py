@@ -9,6 +9,13 @@ DAP-8 fits comfortably without it (eliminating the backward recompute).
 Run: python examples/memory_analysis.py
 """
 
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # standalone run from a source checkout
+    import pathlib
+    import sys
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
 from repro.model.config import KernelPolicy
 from repro.perf.memory import checkpointing_required, estimate_memory
 

@@ -8,6 +8,13 @@ ScaleFold without async evaluation, and the full ScaleFold configuration on
 Run: python examples/mlperf_benchmark.py
 """
 
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # standalone run from a source checkout
+    import pathlib
+    import sys
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
 from repro.mlperf.benchmark import MlperfRunConfig, run_benchmark
 
 

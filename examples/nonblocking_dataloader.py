@@ -13,6 +13,13 @@ import time
 
 import numpy as np
 
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # standalone run from a source checkout
+    import pathlib
+    import sys
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
 from repro.datapipe.loader import BlockingLoader, NonBlockingLoader, run_loader
 from repro.datapipe.sim_pipeline import simulate_pipeline
 

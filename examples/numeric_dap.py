@@ -10,6 +10,13 @@ Run: python examples/numeric_dap.py
 
 import numpy as np
 
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # standalone run from a source checkout
+    import pathlib
+    import sys
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
 from repro.distributed.numeric_dap import DapEvoformerBlock
 from repro.framework import KernelCategory, no_grad, randn, seed, trace
 from repro.model.config import AlphaFoldConfig

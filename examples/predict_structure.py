@@ -11,6 +11,13 @@ Run: python examples/predict_structure.py [output.pdb]
 
 import sys
 
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # standalone run from a source checkout
+    import pathlib
+    import sys
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
 from repro.datapipe.samples import SyntheticProteinDataset, make_batch
 from repro.model.config import AlphaFoldConfig
 from repro.model.predict import predict, to_pdb, write_pdb

@@ -9,6 +9,13 @@ next to the multi-day baseline.
 Run: python examples/pretrain_from_scratch.py
 """
 
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # standalone run from a source checkout
+    import pathlib
+    import sys
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
 from repro.perf.time_to_train import (curve_with_walltime,
                                       pretraining_time_to_train)
 

@@ -4,6 +4,13 @@
 Run: python examples/scaling_analysis.py
 """
 
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # standalone run from a source checkout
+    import pathlib
+    import sys
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
 from repro.core.experiments import (run_dap_baseline, run_fig3, run_fig7,
                                     run_fig8)
 

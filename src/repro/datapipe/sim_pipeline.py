@@ -6,9 +6,12 @@ is already prepared.  The ScaleFold pipeline yields whichever batch is ready
 (priority queue keyed by index for best-effort ordering), so training never
 idles while *any* batch is available.
 
-:func:`simulate_pipeline` runs W prep workers feeding one trainer and
-reports per-step stall statistics; the scaling analysis feeds these into the
-straggler model (a stalled rank drags its whole DAP/DP group).
+:class:`PipelineFeed` is the reusable piece: W prep workers feeding a
+bounded queue *inside a caller-supplied simulator*, so the distributed step
+simulator (:mod:`repro.perf.scaling`) can attach one feed per rank and let
+data stalls emerge as queue-empty waits on the shared event timeline.
+:func:`simulate_pipeline` wraps a feed plus a single trainer process and
+reports per-step stall statistics for the standalone Figure 5 analysis.
 """
 
 from __future__ import annotations
@@ -18,7 +21,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..sim.des import FifoQueue, Simulator
+from ..sim.des import Event, FifoQueue, Simulator
 
 
 @dataclass
@@ -49,6 +52,61 @@ class PipelineResult:
         return float(np.mean(stalls)) if stalls else 0.0
 
 
+class PipelineFeed:
+    """W prep workers feeding a bounded batch queue inside ``sim``.
+
+    Workers start preparing immediately on construction; a finished batch
+    enters the queue unless ``queue_capacity`` batches are already waiting,
+    in which case the worker pauses (prefetch backpressure) until the
+    trainer drains one.  ``blocking=True`` is the PyTorch DataLoader
+    discipline (strict sampler order); ``blocking=False`` is ScaleFold's
+    ready-first delivery.
+    """
+
+    def __init__(self, sim: Simulator, prep_times: Sequence[float],
+                 n_workers: int, blocking: bool,
+                 queue_capacity: int = 4) -> None:
+        self.sim = sim
+        self.queue = FifoQueue(sim, priority=not blocking, in_order=blocking)
+        self._prep_times = prep_times
+        self._next_sample = 0
+        self._in_queue = 0
+        self._paused_workers = 0
+        self._capacity = queue_capacity
+        for _ in range(min(n_workers, len(prep_times))):
+            self._worker_start()
+
+    def _worker_start(self) -> None:
+        idx = self._next_sample
+        if idx >= len(self._prep_times):
+            return
+        self._next_sample += 1
+        self.sim.schedule(float(self._prep_times[idx]),
+                          lambda i=idx: self._worker_done(i))
+
+    def _worker_done(self, idx: int) -> None:
+        self.queue.put((idx,))
+        self._in_queue += 1
+        if self._in_queue < self._capacity:
+            self._worker_start()
+        else:
+            self._paused_workers += 1
+
+    def get_event(self) -> Event:
+        """Process-style batch fetch: fires with ``(sample_index,)``."""
+        event = Event(self.sim)
+
+        def deliver(item) -> None:
+            self._in_queue -= 1
+            while self._paused_workers and self._in_queue < self._capacity:
+                self._paused_workers -= 1
+                self._worker_start()
+            event.succeed(item)
+
+        self.queue.get(deliver)
+        return event
+
+
 def simulate_pipeline(prep_times: Sequence[float], n_workers: int,
                       step_time_s: float, blocking: bool,
                       queue_capacity: int = 4,
@@ -65,48 +123,25 @@ def simulate_pipeline(prep_times: Sequence[float], n_workers: int,
             during initialization).
     """
     sim = Simulator()
-    queue = FifoQueue(sim, priority=not blocking, in_order=blocking)
+    feed = PipelineFeed(sim, prep_times, n_workers, blocking,
+                        queue_capacity=queue_capacity)
     n = len(prep_times)
-    state = {"next_sample": 0, "in_queue": 0, "blocked_workers": []}
     result = PipelineResult(0.0, [], [], [])
 
-    def worker_start() -> None:
-        idx = state["next_sample"]
-        if idx >= n:
-            return
-        state["next_sample"] += 1
-        sim.schedule(float(prep_times[idx]), lambda i=idx: worker_done(i))
-
-    def worker_done(idx: int) -> None:
-        queue.put((idx,))
-        state["in_queue"] += 1
-        if state["in_queue"] < queue_capacity:
-            worker_start()
-        else:
-            state["blocked_workers"].append(True)
-
-    def trainer_request(ready_at: float) -> None:
-        def on_batch(item) -> None:
-            idx = item[0]
-            state["in_queue"] -= 1
-            while state["blocked_workers"] and state["in_queue"] < queue_capacity:
-                state["blocked_workers"].pop()
-                worker_start()
+    def trainer():
+        if warmup_s > 0.0:
+            yield warmup_s
+        for _ in range(n):
+            ready_at = sim.now
+            item = yield feed.get_event()
             start = sim.now
             result.step_starts.append(start)
             result.stalls.append(max(start - ready_at, 0.0))
-            result.delivery_order.append(idx)
-            if len(result.delivery_order) < n:
-                sim.schedule(step_time_s,
-                             lambda: trainer_request(sim.now))
-            else:
-                result.total_time_s = sim.now + step_time_s
+            result.delivery_order.append(item[0])
+            yield step_time_s
+        result.total_time_s = sim.now
 
-        queue.get(on_batch)
-
-    for _ in range(min(n_workers, n)):
-        worker_start()
-    sim.schedule_at(warmup_s, lambda: trainer_request(warmup_s))
+    sim.process(trainer(), name="trainer")
     sim.run()
     if result.total_time_s == 0.0 and result.step_starts:
         result.total_time_s = result.step_starts[-1] + step_time_s

@@ -65,19 +65,38 @@ class DapStepTrace:
         return len(self.records)
 
 
-def dap_comm_events(cfg: AlphaFoldConfig, n: int, itemsize: int,
-                    checkpointing: bool) -> List[CommEvent]:
-    """The collectives one training step issues under DAP-n.
+@dataclass
+class CommBundle:
+    """The collectives issued at one block boundary of one stack.
+
+    ``scope_prefix`` + ``phase`` locate the bundle inside a kernel trace:
+    the distributed simulator places it after the block's compute records,
+    so communication happens at its *actual trace position* instead of
+    being lumped into a single additive term.
+    """
+
+    scope_prefix: str
+    phase: str  # "forward" | "backward"
+    events: List[CommEvent]
+
+    @property
+    def payload_bytes(self) -> float:
+        return sum(ev.payload_bytes for ev in self.events)
+
+
+def dap_comm_bundles(cfg: AlphaFoldConfig, n: int, itemsize: int,
+                     checkpointing: bool) -> List[CommBundle]:
+    """Per-block-boundary collective bundles one step issues under DAP-n.
 
     Per Evoformer block and direction (fwd/bwd): two all-to-alls for the
     row<->column axis switches of the MSA track, one all-to-all for the pair
     track's triangle-op axis switch, and one all-gather feeding the
     outer-product-mean / pair bias.  Activation checkpointing repeats the
-    forward collectives during recompute.
+    forward collectives during recompute, so each backward block boundary
+    carries two bundles.
     """
     if n <= 1:
         return []
-    events: List[CommEvent] = []
     msa_bytes = cfg.n_seq * cfg.n_res * cfg.c_m * itemsize
     extra_bytes = cfg.n_extra_seq * cfg.n_res * cfg.c_e * itemsize
     pair_bytes = cfg.n_res * cfg.n_res * cfg.c_z * itemsize
@@ -96,21 +115,109 @@ def dap_comm_events(cfg: AlphaFoldConfig, n: int, itemsize: int,
             CommEvent(Collective.ALL_GATHER, pair, n),
         ]
 
-    passes = 3 if checkpointing else 2  # fwd + bwd (+ recompute fwd)
-    for _ in range(cfg.evoformer_blocks * passes):
-        events.extend(block_events(msa_bytes, pair_bytes))
-    for _ in range(cfg.extra_msa_blocks * passes):
-        events.extend(block_events(extra_bytes, pair_bytes))
-    for _ in range(cfg.template_blocks * passes):
+    def template_events() -> List[CommEvent]:
         # Template stack: pair-track only.
-        events.append(CommEvent(Collective.ALL_TO_ALL, pair_bytes, n))
-        events.append(CommEvent(Collective.ALL_GATHER, pair_bytes, n))
-    return events
+        return [CommEvent(Collective.ALL_TO_ALL, pair_bytes, n),
+                CommEvent(Collective.ALL_GATHER, pair_bytes, n)]
+
+    # fwd once per block; bwd once per block, twice when checkpoint
+    # recompute replays the forward collectives.
+    backward_passes = 2 if checkpointing else 1
+    bundles: List[CommBundle] = []
+    stacks = (
+        ("alphafold/evoformer", cfg.evoformer_blocks,
+         lambda: block_events(msa_bytes, pair_bytes)),
+        ("alphafold/extra_msa_stack", cfg.extra_msa_blocks,
+         lambda: block_events(extra_bytes, pair_bytes)),
+        ("alphafold/template_stack", cfg.template_blocks, template_events),
+    )
+    for prefix, blocks, make in stacks:
+        for _ in range(blocks):
+            bundles.append(CommBundle(prefix, "forward", make()))
+        for _ in range(blocks * backward_passes):
+            bundles.append(CommBundle(prefix, "backward", make()))
+    return bundles
+
+
+def dap_comm_events(cfg: AlphaFoldConfig, n: int, itemsize: int,
+                    checkpointing: bool) -> List[CommEvent]:
+    """Flat list of the collectives one training step issues under DAP-n."""
+    return [ev for bundle in dap_comm_bundles(cfg, n, itemsize, checkpointing)
+            for ev in bundle.events]
+
+
+def _bundle_record(bundle: CommBundle, dtype: str) -> KernelRecord:
+    """A COMM kernel record standing for one collective bundle in a trace."""
+    return KernelRecord(
+        name="dap_comm_bundle",
+        category=KernelCategory.COMM,
+        flops=0.0,
+        bytes=bundle.payload_bytes,
+        shape=(),
+        dtype=dtype,
+        scope=bundle.scope_prefix,
+        fused=False,
+        phase=bundle.phase,
+        tunable=None,
+        tags={"dap_bundle": bundle.events},
+    )
+
+
+def _interleave_bundles(records: List[KernelRecord],
+                        bundles: List[CommBundle],
+                        dtype: str) -> List[KernelRecord]:
+    """Insert one COMM record per bundle at its block boundary.
+
+    Bundles of a (stack, phase) group are spread evenly across that group's
+    records: bundle b of k lands after the ceil((b+1)/k)-quantile record —
+    i.e. at the end of its block's compute span.  Stacks whose records are
+    missing from the trace degrade to the end of the phase.
+    """
+    groups: dict = {}
+    for bundle in bundles:
+        groups.setdefault((bundle.scope_prefix, bundle.phase), []).append(bundle)
+
+    phase_last: dict = {}
+    for i, r in enumerate(records):
+        phase_last[r.phase] = i
+
+    insertions: List[Tuple[int, int, CommBundle]] = []
+    order = 0
+    for (prefix, phase), group in groups.items():
+        idxs = [i for i, r in enumerate(records)
+                if r.phase == phase and r.scope.startswith(prefix)]
+        if not idxs:
+            idxs = [phase_last.get(phase, len(records) - 1)]
+        k = len(group)
+        span = len(idxs)
+        for b, bundle in enumerate(group):
+            after = idxs[((b + 1) * span) // k - 1]
+            insertions.append((after + 1, order, bundle))
+            order += 1
+    insertions.sort(key=lambda item: (item[0], item[1]))
+
+    out: List[KernelRecord] = []
+    ptr = 0
+    for position, _order, bundle in insertions:
+        out.extend(records[ptr:position])
+        ptr = position
+        out.append(_bundle_record(bundle, dtype))
+    out.extend(records[ptr:])
+    return out
 
 
 def partition_step(step: "StepTrace", n: int,
-                   cfg: Optional[AlphaFoldConfig] = None) -> DapStepTrace:
-    """Shard a single-rank step trace across a DAP group of size n."""
+                   cfg: Optional[AlphaFoldConfig] = None,
+                   emit_comm_records: bool = False) -> DapStepTrace:
+    """Shard a single-rank step trace across a DAP group of size n.
+
+    With ``emit_comm_records=True`` the per-block collective bundles are
+    additionally interleaved into ``records`` as COMM kernel records at
+    their actual trace positions (carrying their :class:`CommEvent` list in
+    ``tags["dap_bundle"]``), which the distributed step simulator uses to
+    schedule communication where it really happens.  ``comm_events`` stays
+    the flat list either way.
+    """
     cfg = cfg or AlphaFoldConfig.full(step.policy)
     if n < 1:
         raise ValueError("DAP degree must be >= 1")
@@ -126,6 +233,10 @@ def partition_step(step: "StepTrace", n: int,
         else:
             records.append(r)
     itemsize = 2 if step.policy.dtype.name in ("bf16", "fp16") else 4
-    comm = dap_comm_events(cfg, n, itemsize,
-                           step.policy.activation_checkpointing)
+    bundles = dap_comm_bundles(cfg, n, itemsize,
+                               step.policy.activation_checkpointing)
+    comm = [ev for bundle in bundles for ev in bundle.events]
+    if emit_comm_records:
+        records = _interleave_bundles(records, bundles,
+                                      step.policy.dtype.name)
     return DapStepTrace(records=records, comm_events=comm, dap_n=n)

@@ -35,6 +35,24 @@ def gradient_buckets(param_bytes: float, bucket_bytes: int) -> int:
     return max(1, int((param_bytes + bucket_bytes - 1) // bucket_bytes))
 
 
+def bucket_schedule(param_bytes: float, dp_degree: int, topo: ClusterTopology,
+                    config: DdpConfig = DdpConfig()) -> List[Tuple[float, float]]:
+    """Per-bucket ``(ready_fraction, all_reduce_seconds)`` for the simulator.
+
+    DDP fills buckets in gradient-ready (reverse layer) order and launches
+    each one's all-reduce as soon as it is full, so bucket i becomes ready
+    at roughly the (i+1)/B fraction of backward compute.  Each bucket pays
+    the full hierarchical all-reduce latency on its own (this is why DDP
+    buckets at ~25 MB instead of per-tensor).
+    """
+    if dp_degree <= 1:
+        return []
+    n_buckets = gradient_buckets(param_bytes, config.bucket_bytes)
+    per_bucket = param_bytes / n_buckets
+    seconds = hierarchical_all_reduce_time(per_bucket, topo, dp_degree)
+    return [((i + 1) / n_buckets, seconds) for i in range(n_buckets)]
+
+
 def ddp_cost(param_bytes: float, dp_degree: int, topo: ClusterTopology,
              backward_seconds: float, config: DdpConfig = DdpConfig(),
              clip_seconds: float = 0.0) -> DdpCost:

@@ -2,37 +2,64 @@
 optimization ladder (Figures 3, 7, 8 of the paper).
 
 :class:`Scenario` describes one training configuration (kernel policy, DAP
-degree, GPU, pipeline and host options); :func:`estimate_step_time` composes
-the kernel trace, roofline costs, DAP collectives, DDP all-reduce overlap,
-data-pipeline stalls and straggler imbalance into a wall-clock step estimate
-with a full additive breakdown.
+degree, GPU, pipeline and host options).  :func:`estimate_step_time` runs it
+through a two-level discrete-event simulation on
+:class:`repro.sim.des.Simulator`:
+
+1. the **kernel level** (:func:`repro.perf.step_time.simulate_step`) event-
+   simulates the CPU dispatch stream against the GPU compute stream over the
+   DAP-partitioned kernel trace, and reports segment marks at every embedded
+   collective position and phase boundary;
+2. the **rank level** (:func:`_run_distributed_step`) replays those compute
+   segments as one process per DAP rank inside a shared simulator, with DAP
+   collective bundles at their actual trace positions (barrier + transfer on
+   the comm stream), DDP bucket all-reduces launched at their gradient-ready
+   points on a per-rank NIC resource and overlapped with backward, per-rank
+   data-loader queues (:class:`repro.datapipe.sim_pipeline.PipelineFeed`)
+   whose empty-queue waits surface as stalls, per-rank host-jitter clock
+   offsets, and a world-size straggler gate at the gradient sync.
+
+The familiar additive breakdown (``compute + dap_comm + ddp_exposed +
+imbalance``) is *derived* from the simulated timeline by attributing each
+interval of the rank-0 step to the resource that blocked it — overlap is an
+inspectable simulation artifact (``StepEstimate.timeline``), not a
+hand-tuned subtraction.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..datapipe.prep_time import PrepTimeModel, prep_time_series
 from ..datapipe.samples import SyntheticProteinDataset
-from ..datapipe.sim_pipeline import StallModel, stall_model
+from ..datapipe.sim_pipeline import PipelineFeed, StallModel, stall_model
 from ..distributed.collectives import collective_time
 from ..distributed.dap import DapStepTrace, partition_step
-from ..distributed.ddp import DdpConfig, ddp_cost
+from ..distributed.ddp import DdpConfig, bucket_schedule, ddp_cost
 from ..distributed.straggler import ImbalanceInputs, StragglerModel
 from ..distributed.topology import ClusterTopology
 from ..framework.dtypes import bfloat16
-from ..framework.tracer import KernelCategory
+from ..framework.tracer import KernelCategory, KernelRecord
 from ..hardware.cpu import CpuJitterConfig
 from ..hardware.gpu import GpuSpec, get_gpu
 from ..hardware.roofline import CostModel
 from ..model.config import AlphaFoldConfig, KernelPolicy
+from ..sim.des import Barrier, Event, Process, Resource, Simulator, Timeline
 from .step_time import simulate_step
 from .torchcompile import apply_torch_compile
 from .trace_builder import StepTrace, build_step_trace
+
+#: Rank-level simulation horizon: warmup steps absorb loader cold start and
+#: are excluded from the reported means.
+N_WARMUP_STEPS = 2
+N_MEASURED_STEPS = 8
+#: Seed offset separating the simulated ranks' jitter stream from the
+#: world-gate sampling stream (which must stay bit-identical per seed).
+_RANK_JITTER_SEED_OFFSET = 9173
 
 
 @dataclass
@@ -76,10 +103,16 @@ class Scenario:
 
 @dataclass
 class StepEstimate:
-    """Additive wall-clock decomposition of one distributed training step."""
+    """Wall-clock decomposition of one distributed training step.
+
+    The component fields partition the simulated rank-0 timeline exactly:
+    every interval of the step is attributed to the resource that occupied
+    or blocked the rank, so ``total_s == compute_s + dap_comm_s +
+    ddp_exposed_s + imbalance_s``.
+    """
 
     scenario_label: str
-    compute_s: float           # queue-simulated device+host compute
+    compute_s: float           # DES device+host compute (kernel level)
     cpu_exposed_s: float       # host dispatch exposed inside compute_s
     serial_compute_s: float    # device time in non-DAP-shardable scopes
     parallel_compute_s: float  # device time in shardable scopes
@@ -90,9 +123,13 @@ class StepEstimate:
     total_s: float
     kernel_count: int
     stall: StallModel
+    timeline: Optional[Timeline] = None  # rank-0 interval attribution
 
     def as_dict(self) -> Dict[str, float]:
-        return dataclasses.asdict(self)  # type: ignore[arg-type]
+        out = {f.name: getattr(self, f.name) for f in dataclasses.fields(self)
+               if f.name != "timeline"}
+        out["stall"] = dataclasses.asdict(self.stall)
+        return out
 
 
 # Shared straggler RNG cache keyed by seed so estimates are deterministic.
@@ -123,50 +160,283 @@ def _split_serial_parallel(dap: DapStepTrace, cost: CostModel) -> (float, float)
     return serial, parallel
 
 
+# ----------------------------------------------------------------------
+# Rank-level simulation
+# ----------------------------------------------------------------------
+@dataclass
+class _PlanOp:
+    """One entry of a rank's per-step schedule."""
+
+    kind: str      # "compute" | "comm"
+    seconds: float
+    phase: str
+
+
+def _build_step_plan(records: Sequence[KernelRecord],
+                     segments, topo: ClusterTopology) -> List[_PlanOp]:
+    """Turn kernel-level segment marks into a rank-step schedule.
+
+    Each compute segment becomes a timed span on the rank's GPU stream; each
+    embedded COMM record becomes a collective bundle (costed through the
+    alpha-beta model) at exactly that position.
+    """
+    plan: List[_PlanOp] = []
+    for seg in segments:
+        if seg.wall_s > 0.0:
+            plan.append(_PlanOp("compute", seg.wall_s, seg.phase))
+        if seg.end_index < len(records):
+            rec = records[seg.end_index]
+            if rec.category is KernelCategory.COMM:
+                events = (rec.tags or {}).get("dap_bundle", ())
+                seconds = sum(collective_time(ev, topo) for ev in events)
+                plan.append(_PlanOp("comm", seconds, rec.phase))
+    return plan
+
+
+def _run_distributed_step(plan: List[_PlanOp],
+                          n_ranks: int,
+                          n_steps: int,
+                          buckets: List[Tuple[float, float]],
+                          gate_s: float = 0.0,
+                          rank_delays: Optional[np.ndarray] = None,
+                          prep_series: Optional[np.ndarray] = None,
+                          data_workers: int = 8,
+                          data_queue_capacity: int = 16,
+                          blocking_pipeline: bool = True,
+                          timeline: Optional[Timeline] = None
+                          ) -> Dict[str, np.ndarray]:
+    """Simulate ``n_steps`` distributed steps over ``n_ranks`` DAP ranks.
+
+    Every rank is one process; all waiting happens on simulator events
+    (barriers, queue gets, resource grants), and every simulated second of
+    the rank timeline is attributed to exactly one component, so the
+    returned per-(step, rank) arrays tile each step's wall time.
+    """
+    sim = Simulator()
+    barrier = Barrier(sim, n_ranks)
+    backward_wall = sum(op.seconds for op in plan
+                        if op.kind == "compute" and op.phase == "backward")
+    update_start: Optional[int] = next(
+        (i for i, op in enumerate(plan) if op.phase == "update"), None)
+
+    keys = ("compute", "dap_comm", "dap_sync", "ddp_wait", "data", "host",
+            "gate", "total")
+    stats = {k: np.zeros((n_steps, n_ranks)) for k in keys}
+    step_extra: Dict[int, float] = {}
+
+    feeds: List[Optional[PipelineFeed]] = [None] * n_ranks
+    if prep_series is not None:
+        feeds = [PipelineFeed(sim, prep_series[r::n_ranks], data_workers,
+                              blocking=blocking_pipeline,
+                              queue_capacity=data_queue_capacity)
+                 for r in range(n_ranks)]
+
+    def spawn_bucket(nic: Resource, seconds: float, offset: float,
+                     rank: int) -> Event:
+        finished = Event(sim)
+
+        def bucket_proc():
+            yield nic.acquire()
+            started = sim.now
+            yield seconds
+            nic.release()
+            if timeline is not None and rank == 0:
+                timeline.record("nic", "ddp_comm", started, sim.now, rank)
+            finished.succeed(None)
+
+        sim.schedule(offset, lambda: Process(sim, bucket_proc(),
+                                             name=f"ddp-bucket-r{rank}"))
+        return finished
+
+    def rank_proc(rank: int):
+        nic = Resource(sim, name=f"nic-{rank}")
+        feed = feeds[rank]
+        tl = timeline if rank == 0 else None
+        for step in range(n_steps):
+            acc = dict.fromkeys(keys, 0.0)
+            if feed is not None:
+                t0 = sim.now
+                yield feed.get_event()
+                acc["data"] = sim.now - t0
+                if tl is not None:
+                    tl.record("loader", "data_wait", t0, sim.now, rank)
+            if rank_delays is not None:
+                delay = float(rank_delays[step, rank])
+                if delay > 0.0:
+                    t0 = sim.now
+                    yield delay
+                    acc["host"] = sim.now - t0
+                    if tl is not None:
+                        tl.record("host", "jitter", t0, sim.now, rank)
+            backward_done = 0.0
+            next_bucket = 0
+            bucket_events: List[Event] = []
+            for i, op in enumerate(plan):
+                if i == update_start:
+                    # Optimizer waits on all gradient buckets: whatever the
+                    # backward could not hide is the exposed DDP cost.
+                    while next_bucket < len(buckets):
+                        bucket_events.append(spawn_bucket(
+                            nic, buckets[next_bucket][1], 0.0, rank))
+                        next_bucket += 1
+                    t0 = sim.now
+                    for ev in bucket_events:
+                        yield ev
+                    acc["ddp_wait"] += sim.now - t0
+                    if tl is not None:
+                        tl.record("nic", "ddp_wait", t0, sim.now, rank)
+                if op.kind == "compute":
+                    if op.phase == "backward" and buckets:
+                        # Launch every bucket whose gradients become ready
+                        # inside this span, at its ready offset.
+                        span_end = backward_done + op.seconds
+                        while (next_bucket < len(buckets)
+                               and buckets[next_bucket][0] * backward_wall
+                               <= span_end + 1e-15):
+                            frac, secs = buckets[next_bucket]
+                            offset = max(frac * backward_wall - backward_done,
+                                         0.0)
+                            bucket_events.append(
+                                spawn_bucket(nic, secs, offset, rank))
+                            next_bucket += 1
+                    t0 = sim.now
+                    yield op.seconds
+                    acc["compute"] += op.seconds
+                    if op.phase == "backward":
+                        backward_done += op.seconds
+                    if tl is not None:
+                        tl.record("gpu", "compute", t0, sim.now, rank)
+                else:
+                    t0 = sim.now
+                    yield barrier.arrive()
+                    acc["dap_sync"] += sim.now - t0
+                    if tl is not None:
+                        tl.record("nic", "dap_sync", t0, sim.now, rank)
+                    t0 = sim.now
+                    yield op.seconds
+                    acc["dap_comm"] += op.seconds
+                    if tl is not None:
+                        tl.record("nic", "dap_comm", t0, sim.now, rank)
+            if update_start is None and (buckets or bucket_events):
+                while next_bucket < len(buckets):
+                    bucket_events.append(spawn_bucket(
+                        nic, buckets[next_bucket][1], 0.0, rank))
+                    next_bucket += 1
+                t0 = sim.now
+                for ev in bucket_events:
+                    yield ev
+                acc["ddp_wait"] += sim.now - t0
+            # World-size straggler gate at the gradient sync: the DAP group
+            # re-synchronizes here, and the step cannot complete before the
+            # slowest of the whole data-parallel world.
+            extra = acc["data"] + acc["host"]
+            step_extra[step] = max(step_extra.get(step, 0.0), extra)
+            t0 = sim.now
+            yield barrier.arrive()
+            acc["dap_sync"] += sim.now - t0
+            if gate_s > 0.0:
+                wait = gate_s - step_extra[step]
+                if wait > 0.0:
+                    t0 = sim.now
+                    yield wait
+                    acc["gate"] = sim.now - t0
+                    if tl is not None:
+                        tl.record("nic", "world_gate", t0, sim.now, rank)
+            acc["total"] = sum(acc[k] for k in keys if k != "total")
+            for k in keys:
+                stats[k][step, rank] = acc[k]
+
+    for r in range(n_ranks):
+        sim.process(rank_proc(r), name=f"rank-{r}")
+    sim.run()
+    return stats
+
+
+def _policy_signature(policy: KernelPolicy) -> Tuple:
+    out = []
+    for f in dataclasses.fields(policy):
+        value = getattr(policy, f.name)
+        out.append((f.name, getattr(value, "name", value)))
+    return tuple(out)
+
+
+def _scenario_key(scenario: Scenario) -> Tuple:
+    return (_policy_signature(scenario.policy), scenario.gpu, scenario.dap_n,
+            scenario.dp_degree, scenario.cuda_graphs, scenario.gc_disabled,
+            scenario.torch_compile, scenario.nonblocking_pipeline,
+            scenario.data_workers, scenario.data_queue_capacity,
+            scenario.n_recycle, scenario.imbalance_enabled, scenario.seed)
+
+
+_ESTIMATE_CACHE: Dict[Tuple, "StepEstimate"] = {}
+
+
+def clear_estimate_cache() -> None:
+    _ESTIMATE_CACHE.clear()
+
+
 def estimate_step_time(scenario: Scenario,
                        trace: Optional[StepTrace] = None,
                        topo: Optional[ClusterTopology] = None) -> StepEstimate:
-    """Compose one scenario's expected step time."""
+    """Simulate one scenario's expected step time (two-level DES)."""
+    cacheable = trace is None and topo is None
+    if cacheable:
+        key = _scenario_key(scenario)
+        cached = _ESTIMATE_CACHE.get(key)
+        if cached is not None:
+            return cached
+
     gpu = get_gpu(scenario.gpu)
     topo = topo or ClusterTopology(gpu=gpu, n_gpus=scenario.world_size)
     trace = trace or build_step_trace(scenario.policy,
                                       n_recycle=scenario.n_recycle)
     cfg = AlphaFoldConfig.full(scenario.policy)
 
-    dap = partition_step(trace, scenario.dap_n, cfg)
+    dap = partition_step(trace, scenario.dap_n, cfg, emit_comm_records=True)
     records = dap.records
     if scenario.torch_compile:
         records = apply_torch_compile(records)
 
+    # --- kernel level: dispatch vs compute streams, segment marks at every
+    # collective position and phase boundary ---
     cost = CostModel(gpu, autotune=True)
+    marks = [i for i, r in enumerate(records)
+             if r.category is KernelCategory.COMM]
+    marks += [i for i in range(1, len(records))
+              if records[i].phase != records[i - 1].phase]
     breakdown = simulate_step(records, gpu, cost,
-                              graphed=scenario.cuda_graphs)
+                              graphed=scenario.cuda_graphs,
+                              segment_marks=marks)
+    plan = _build_step_plan(records, breakdown.segments, topo)
     serial_s, parallel_s = _split_serial_parallel(
         DapStepTrace(records=records, comm_events=dap.comm_events,
                      dap_n=dap.dap_n), cost)
 
-    # --- DAP collectives (exposed on the critical path) ---
-    dap_comm = sum(collective_time(ev, topo) for ev in dap.comm_events)
-
-    # --- DDP gradient all-reduce, overlapped with backward ---
     itemsize = 2 if scenario.policy.dtype.name in ("bf16", "fp16") else 4
     param_bytes = trace.n_params * itemsize
-    backward_s = breakdown.total_s * 0.55  # backward dominates a step
-    clip_s = 0.0
-    ddp = ddp_cost(param_bytes, scenario.dp_degree, topo, backward_s,
-                   DdpConfig(), clip_seconds=clip_s)
+    buckets = bucket_schedule(param_bytes, scenario.dp_degree, topo)
 
-    # --- data pipeline stalls ---
-    base_step = breakdown.total_s + dap_comm + ddp.exposed_comm_s
+    # --- rank level, dry run: a deterministic pass (no jitter, no loader)
+    # whose emergent step time is the trainer's service rate for the data
+    # pipeline model ---
+    dry = _run_distributed_step(plan, scenario.dap_n, n_steps=2,
+                                buckets=buckets)
+    nominal_step = float(dry["total"][-1, 0])
+
     prep = _prep_times(seed=5, n=768)
-    stall = stall_model(prep, scenario.data_workers, max(base_step, 1e-3),
+    stall = stall_model(prep, scenario.data_workers, max(nominal_step, 1e-3),
                         blocking=not scenario.nonblocking_pipeline,
                         queue_capacity=scenario.data_queue_capacity)
-
-    # --- imbalance across the synchronized world ---
-    imbalance = 0.0
     data_stall_mean = stall.probability * stall.mean_stall_s
-    if scenario.imbalance_enabled and scenario.world_size > 1:
+
+    # --- straggler inputs: per-rank jitter for the simulated DAP group, and
+    # the world-size gate (the slowest of the whole synchronized world) ---
+    jittered = scenario.imbalance_enabled and scenario.world_size > 1
+    n_steps = N_WARMUP_STEPS + N_MEASURED_STEPS
+    gate = 0.0
+    rank_delays = None
+    prep_series = None
+    if jittered:
         jitter = CpuJitterConfig(gc_enabled=not scenario.gc_disabled)
         model = StragglerModel(jitter=jitter, seed=scenario.seed)
         inputs = ImbalanceInputs(
@@ -180,23 +450,55 @@ def estimate_step_time(scenario: Scenario,
         # the simulated group at 256 ranks; E[max] grows ~log beyond.)
         group = min(scenario.world_size, 256)
         delays = model.sample_rank_delays(inputs, group, n_steps=500)
-        imbalance = float(delays.max(axis=1).mean())
+        gate = float(delays.max(axis=1).mean())
+        # The simulated ranks draw their own jitter (data stalls emerge from
+        # the loader queues instead, so they are excluded here).
+        rank_model = StragglerModel(
+            jitter=jitter, seed=scenario.seed + _RANK_JITTER_SEED_OFFSET)
+        rank_delays = rank_model.sample_rank_delays(
+            dataclasses.replace(inputs, data_stall_probability=0.0,
+                                data_stall_mean_s=0.0),
+            scenario.dap_n, n_steps)
+        prep_series = prep
 
-    total = breakdown.total_s + dap_comm + ddp.exposed_comm_s + imbalance
-    return StepEstimate(
+    # --- rank level, full run ---
+    timeline = Timeline()
+    stats = _run_distributed_step(
+        plan, scenario.dap_n, n_steps=n_steps, buckets=buckets,
+        gate_s=gate, rank_delays=rank_delays, prep_series=prep_series,
+        data_workers=scenario.data_workers,
+        data_queue_capacity=scenario.data_queue_capacity,
+        blocking_pipeline=not scenario.nonblocking_pipeline,
+        timeline=timeline)
+
+    window = slice(N_WARMUP_STEPS, None)
+
+    def mean0(key: str) -> float:
+        return float(stats[key][window, 0].mean())
+
+    compute_s = mean0("compute")
+    dap_comm_s = mean0("dap_comm")
+    ddp_exposed_s = mean0("ddp_wait")
+    imbalance_s = mean0("data") + mean0("host") + mean0("dap_sync") + mean0("gate")
+    total = compute_s + dap_comm_s + ddp_exposed_s + imbalance_s
+    estimate = StepEstimate(
         scenario_label=scenario.label(),
-        compute_s=breakdown.total_s,
+        compute_s=compute_s,
         cpu_exposed_s=breakdown.cpu_exposed_s,
         serial_compute_s=serial_s,
         parallel_compute_s=parallel_s,
-        dap_comm_s=dap_comm,
-        ddp_exposed_s=ddp.exposed_comm_s,
-        imbalance_s=imbalance,
+        dap_comm_s=dap_comm_s,
+        ddp_exposed_s=ddp_exposed_s,
+        imbalance_s=imbalance_s,
         data_stall_mean_s=data_stall_mean,
         total_s=total,
         kernel_count=breakdown.kernel_count,
         stall=stall,
+        timeline=timeline,
     )
+    if cacheable:
+        _ESTIMATE_CACHE[key] = estimate
+    return estimate
 
 
 # ----------------------------------------------------------------------

@@ -1,25 +1,53 @@
-"""Single-rank step-time composition: queue simulation over a kernel trace.
+"""Single-rank step time: a discrete-event simulation over the kernel trace.
 
-The CPU dispatches kernels sequentially (eager) or replays a graph; the GPU
-executes them in order.  Wall time comes from a two-clock queue model:
+Two processes run inside one :class:`repro.sim.des.Simulator`:
+
+* the **CPU dispatch process** walks the trace, paying the per-kernel launch
+  cost (eager dispatch, or graph replay when ``graphed``) and pushing each
+  kernel onto the GPU stream's queue; at phase boundaries (loss readout,
+  grad-norm logging) it drains its launch lead unless the step is
+  graph-captured;
+* the **GPU compute process** pops kernels in order and executes them for
+  their roofline-model device time, starving (idle) whenever the CPU has not
+  dispatched far enough ahead.
+
+CPU overhead is therefore *exposed* only when the GPU starves waiting for
+launches — which is how Table 1's "CPU overhead 9.1%" row is measured, and
+why CUDA Graphs (dispatch -> ~0.25us) recover it.  The event-driven form is
+numerically equivalent to the older two-clock recurrence::
 
     cpu_clock  += dispatch_cost(kernel)
     gpu_start   = max(cpu_clock, gpu_free)
     gpu_free    = gpu_start + device_time(kernel)
 
-CPU overhead is *exposed* only when the GPU starves waiting for launches —
-which is how Table 1's "CPU overhead 9.1%" row is measured, and why CUDA
-Graphs (dispatch -> ~0.25us) recover it.
+(pinned by ``tests/perf/test_des_golden.py``), but it shares the engine with
+the multi-rank distributed simulation and can report *segment marks*: the
+GPU-timeline timestamps at arbitrary trace positions, which the distributed
+model uses to place DAP collectives and DDP buckets at their actual
+positions inside the step.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..framework.tracer import KernelCategory, KernelRecord, Trace
 from ..hardware.gpu import GpuSpec
 from ..hardware.roofline import CostModel
+from ..sim.des import Event, Simulator, Timeline
+
+
+@dataclass
+class SegmentSpan:
+    """One contiguous span of the simulated step between two marks."""
+
+    end_index: int      # trace position (exclusive) where the span ends
+    phase: str          # phase of the records inside the span
+    wall_s: float       # GPU-timeline wall time of the span
+    gpu_busy_s: float   # device-busy seconds inside the span
+    kernel_count: int   # executed (non-COMM, non-hidden) kernels
 
 
 @dataclass
@@ -34,18 +62,32 @@ class StepTimeBreakdown:
     category_seconds: Dict[str, float] = field(default_factory=dict)
     category_calls: Dict[str, int] = field(default_factory=dict)
     limiter_seconds: Dict[str, float] = field(default_factory=dict)
+    segments: List[SegmentSpan] = field(default_factory=list)
 
     @property
     def cpu_overhead_fraction(self) -> float:
         return self.cpu_exposed_s / self.total_s if self.total_s else 0.0
 
 
+def _executable(record: KernelRecord) -> bool:
+    if record.category is KernelCategory.COMM:
+        return False  # collectives are costed by the distributed layer
+    if record.tags and record.tags.get("hidden_by_comm"):
+        # Work overlapped with communication: off the single-rank
+        # critical path (the distributed model checks it still fits).
+        return False
+    return True
+
+
 def simulate_step(records: Iterable[KernelRecord], gpu: GpuSpec,
                   cost_model: Optional[CostModel] = None,
                   graphed: bool = False,
                   cpu_slowdown: float = 1.0,
-                  extra_host_s: float = 0.0) -> StepTimeBreakdown:
-    """Queue-simulate one step.
+                  extra_host_s: float = 0.0,
+                  segment_marks: Optional[Sequence[int]] = None,
+                  timeline: Optional[Timeline] = None,
+                  rank: int = 0) -> StepTimeBreakdown:
+    """Event-simulate one step over the kernel trace.
 
     Args:
         graphed: replay from a captured CUDA Graph (tiny dispatch cost,
@@ -53,58 +95,162 @@ def simulate_step(records: Iterable[KernelRecord], gpu: GpuSpec,
         cpu_slowdown: host-interference multiplier on eager dispatch
             (see :class:`repro.hardware.cpu.CpuJitterModel`).
         extra_host_s: serial host time appended to the step (e.g. GC pause).
+        segment_marks: trace positions (indices into ``records``) at which
+            to record GPU-timeline boundaries; the resulting
+            :class:`SegmentSpan` list partitions the step (a final mark at
+            the end of the trace is implied).
+        timeline: optional interval log; GPU starvation spans are recorded
+            as ``("gpu", "dispatch_wait")`` intervals.
     """
     cost_model = cost_model or CostModel(gpu)
-    if graphed:
-        dispatch = gpu.graph_replay_overhead_us * 1e-6
-    else:
-        dispatch = gpu.cpu_launch_overhead_us * 1e-6 * cpu_slowdown
+    dispatch = gpu.dispatch_seconds(graphed=graphed, cpu_slowdown=cpu_slowdown)
 
-    cpu_clock = 0.0
-    gpu_free = 0.0
-    gpu_busy = 0.0
-    n = 0
-    prev_phase: Optional[str] = None
+    recs = records if isinstance(records, list) else list(records)
+
+    # ------------------------------------------------------------------
+    # Optional pre-pass: translate trace positions into executed-kernel
+    # counts so the GPU process can timestamp each boundary as it crosses it.
+    # ------------------------------------------------------------------
+    marks: Optional[List[int]] = None
+    thresholds: List[int] = []
+    seg_phases: List[Optional[str]] = []
+    needed: Optional[set] = None
+    if segment_marks is not None:
+        marks = sorted(set(int(m) for m in segment_marks))
+        if not marks or marks[-1] != len(recs):
+            marks.append(len(recs))
+        count = 0
+        ptr = 0
+        phase_of_segment: Optional[str] = None
+        for i, r in enumerate(recs):
+            while ptr < len(marks) and marks[ptr] == i:
+                thresholds.append(count)
+                seg_phases.append(phase_of_segment)
+                phase_of_segment = None
+                ptr += 1
+            if _executable(r):
+                count += 1
+                if phase_of_segment is None:
+                    phase_of_segment = r.phase
+        while ptr < len(marks):
+            thresholds.append(count)
+            seg_phases.append(phase_of_segment)
+            phase_of_segment = None
+            ptr += 1
+        needed = set(thresholds)
+
+    # ------------------------------------------------------------------
+    # The two processes, sharing a dispatch queue.
+    # ------------------------------------------------------------------
+    sim = Simulator()
+    pending: deque = deque()
+    cpu_done = [False]
+    gpu_waiter: List[Optional[Event]] = [None]
+    cpu_drain: List[Optional[Event]] = [None]
+    dispatched = [0]
+    executed = [0]
+    busy = [0.0]
+    last_end = [0.0]
+    boundary_time: Dict[int, float] = {0: 0.0}
+    boundary_busy: Dict[int, float] = {0: 0.0}
+
     cat_seconds: Dict[str, float] = {}
     cat_calls: Dict[str, int] = {}
     limiters: Dict[str, float] = {}
+    kernel_cost = cost_model.kernel_cost
 
-    for record in records:
-        if record.category is KernelCategory.COMM:
-            continue  # collectives are costed by the distributed layer
-        if record.tags and record.tags.get("hidden_by_comm"):
-            # Work overlapped with communication: off the single-rank
-            # critical path (the distributed model checks it still fits).
-            continue
-        if record.phase != prev_phase:
-            # Host synchronization at phase boundaries (loss readout,
-            # grad-norm logging): the CPU drains its launch lead, so a
-            # launch-bound phase (the per-tensor optimizer) exposes its
-            # dispatch cost instead of hiding behind earlier GPU work.
-            if not graphed:
-                cpu_clock = max(cpu_clock, gpu_free)
-            prev_phase = record.phase
-        n += 1
-        cpu_clock += dispatch
-        cost = cost_model.kernel_cost(record)
-        start = max(cpu_clock, gpu_free)
-        gpu_free = start + cost.seconds
-        gpu_busy += cost.seconds
-        key = record.category.value
-        cat_seconds[key] = cat_seconds.get(key, 0.0) + cost.seconds
-        cat_calls[key] = cat_calls.get(key, 0) + 1
-        limiters[cost.limiter] = limiters.get(cost.limiter, 0.0) + cost.seconds
+    def cpu_proc():
+        prev_phase: Optional[str] = None
+        for r in recs:
+            if not _executable(r):
+                continue
+            if r.phase != prev_phase:
+                # Host synchronization at phase boundaries: the CPU drains
+                # its launch lead, so a launch-bound phase (the per-tensor
+                # optimizer) exposes its dispatch cost instead of hiding
+                # behind earlier GPU work.
+                if not graphed and executed[0] < dispatched[0]:
+                    drain = Event(sim)
+                    cpu_drain[0] = drain
+                    yield drain
+                prev_phase = r.phase
+            yield dispatch
+            cost = kernel_cost(r)
+            seconds = cost.seconds
+            key = r.category.value
+            cat_seconds[key] = cat_seconds.get(key, 0.0) + seconds
+            cat_calls[key] = cat_calls.get(key, 0) + 1
+            limiters[cost.limiter] = limiters.get(cost.limiter, 0.0) + seconds
+            dispatched[0] += 1
+            pending.append(seconds)
+            waiter = gpu_waiter[0]
+            if waiter is not None:
+                gpu_waiter[0] = None
+                waiter.succeed(None)
+        cpu_done[0] = True
+        waiter = gpu_waiter[0]
+        if waiter is not None:
+            gpu_waiter[0] = None
+            waiter.succeed(None)
 
-    total = gpu_free + extra_host_s
+    def gpu_proc():
+        while True:
+            if not pending:
+                if cpu_done[0]:
+                    return
+                waiter = Event(sim)
+                gpu_waiter[0] = waiter
+                idle_from = sim.now
+                yield waiter
+                if timeline is not None and sim.now > idle_from:
+                    timeline.record("gpu", "dispatch_wait", idle_from,
+                                    sim.now, rank)
+                continue
+            seconds = pending.popleft()
+            yield seconds
+            busy[0] += seconds
+            executed[0] += 1
+            n = executed[0]
+            last_end[0] = sim.now
+            if needed is not None and n in needed:
+                boundary_time[n] = sim.now
+                boundary_busy[n] = busy[0]
+            drain = cpu_drain[0]
+            if drain is not None and n == dispatched[0]:
+                cpu_drain[0] = None
+                drain.succeed(None)
+
+    sim.process(cpu_proc(), name="cpu-dispatch")
+    sim.process(gpu_proc(), name="gpu-stream")
+    sim.run()
+
+    segments: List[SegmentSpan] = []
+    if marks is not None:
+        prev_t = 0.0
+        prev_busy = 0.0
+        prev_count = 0
+        prev_phase = "forward"
+        for idx, count, seg_phase in zip(marks, thresholds, seg_phases):
+            t = boundary_time.get(count, prev_t)
+            b = boundary_busy.get(count, prev_busy)
+            phase = seg_phase if seg_phase is not None else prev_phase
+            segments.append(SegmentSpan(end_index=idx, phase=phase,
+                                        wall_s=t - prev_t, gpu_busy_s=b - prev_busy,
+                                        kernel_count=count - prev_count))
+            prev_t, prev_busy, prev_count, prev_phase = t, b, count, phase
+
+    n = dispatched[0]
+    total = last_end[0] + extra_host_s
     return StepTimeBreakdown(
         total_s=total,
-        gpu_busy_s=gpu_busy,
-        cpu_exposed_s=max(total - gpu_busy, 0.0),
+        gpu_busy_s=busy[0],
+        cpu_exposed_s=max(total - busy[0], 0.0),
         dispatch_total_s=dispatch * n,
         kernel_count=n,
         category_seconds=cat_seconds,
         category_calls=cat_calls,
         limiter_seconds=limiters,
+        segments=segments,
     )
 
 

@@ -9,6 +9,7 @@ launch — not a hand-written approximation.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -45,6 +46,18 @@ def _policy_key(policy: KernelPolicy, n_recycle: int,
             include_optimizer)
 
 
+def _cfg_key(cfg: AlphaFoldConfig) -> Tuple:
+    """Hashable signature of every model dimension in the config.
+
+    Part of the cache key so a custom (e.g. reduced-size) config can never
+    alias the memoized full-size trace of the same kernel policy.  The
+    kernel policy is covered by :func:`_policy_key`.
+    """
+    return tuple((f.name, getattr(cfg, f.name))
+                 for f in dataclasses.fields(cfg)
+                 if f.name != "kernel_policy")
+
+
 _CACHE: Dict[Tuple, StepTrace] = {}
 
 
@@ -55,15 +68,15 @@ def build_step_trace(policy: Optional[KernelPolicy] = None,
                      use_cache: bool = True) -> StepTrace:
     """Trace one full-size training step under the given kernel policy.
 
-    Results are memoized per policy signature (building a trace costs a few
-    seconds of shape propagation over ~100k ops).
+    Results are memoized per (policy, config) signature (building a trace
+    costs a few seconds of shape propagation over ~100k ops).
     """
     policy = policy or KernelPolicy.reference()
     cfg = cfg or AlphaFoldConfig.full(policy)
     if cfg.kernel_policy is not policy:
         cfg = cfg.replace(kernel_policy=policy)
-    key = _policy_key(policy, n_recycle, include_optimizer)
-    cacheable = use_cache and cfg == AlphaFoldConfig.full(policy)
+    key = _policy_key(policy, n_recycle, include_optimizer) + _cfg_key(cfg)
+    cacheable = use_cache
     if cacheable and key in _CACHE:
         return _CACHE[key]
 

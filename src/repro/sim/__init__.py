@@ -2,10 +2,12 @@
 
 from .cluster import (ClusterRunResult, ClusterSimConfig, EvalRecord,
                       run_cluster_simulation)
-from .des import FifoQueue, Simulator
+from .des import (Barrier, Event, FifoQueue, Interval, Process, Resource,
+                  Simulator, Timeline)
 
 __all__ = [
     "ClusterRunResult", "ClusterSimConfig", "EvalRecord",
     "run_cluster_simulation",
-    "FifoQueue", "Simulator",
+    "Barrier", "Event", "FifoQueue", "Interval", "Process", "Resource",
+    "Simulator", "Timeline",
 ]

@@ -26,7 +26,7 @@ from ..distributed.straggler import ImbalanceInputs, StragglerModel
 from ..hardware.cpu import CpuJitterConfig
 from ..train.convergence import ConvergenceModel
 from ..train.evaluation import EvalConfig, eval_pass_seconds
-from .des import Simulator
+from .des import Resource, Simulator
 
 
 @dataclass
@@ -123,53 +123,47 @@ def run_cluster_simulation(config: ClusterSimConfig,
     state = {
         "step": 0,
         "samples": config.start_samples,
-        "eval_free_at": 0.0,
         "converged_at": None,
         "final_step": 0,
     }
     step_times: List[float] = []
     evals: List[EvalRecord] = []
 
-    def do_step() -> None:
-        if state["converged_at"] is not None:
-            return
-        if state["step"] >= config.max_steps:
-            return
-        i = state["step"]
-        state["step"] += 1
-        state["samples"] += config.global_batch
-        step_wall = config.step_seconds + float(delays[i].max())
-        step_times.append(step_wall)
+    # The evaluation pool is a capacity-1 resource: checkpoints queue and
+    # score serially, so a slow eval pass visibly backs up the queue.
+    eval_server = Resource(sim, capacity=1, name="eval-pool")
 
-        def after_step() -> None:
-            if state["step"] % config.eval.eval_every_steps == 0:
-                trigger_eval(state["step"], state["samples"])
-            if not config.async_eval:
-                # Synchronous: training waits for the eval pass it issued.
-                if state["step"] % config.eval.eval_every_steps == 0:
-                    sim.schedule(eval_pass, do_step)
-                    return
-            do_step()
-
-        sim.schedule(step_wall, after_step)
-
-    def trigger_eval(step: int, samples: float) -> None:
+    def eval_proc(step: int, samples: float):
         triggered = sim.now
-        start = max(triggered, state["eval_free_at"])
-        done = start + eval_pass
-        state["eval_free_at"] = done
+        yield eval_server.acquire()
+        yield eval_pass
+        eval_server.release()
+        lddt = model.lddt_at(samples, config.global_batch, rng)
+        evals.append(EvalRecord(step=step, triggered_at=triggered,
+                                completed_at=sim.now, lddt=lddt))
+        if lddt >= config.target_lddt and state["converged_at"] is None:
+            state["converged_at"] = sim.now
+            state["final_step"] = step
 
-        def complete() -> None:
-            lddt = model.lddt_at(samples, config.global_batch, rng)
-            evals.append(EvalRecord(step=step, triggered_at=triggered,
-                                    completed_at=sim.now, lddt=lddt))
-            if lddt >= config.target_lddt and state["converged_at"] is None:
-                state["converged_at"] = sim.now
-                state["final_step"] = step
+    def trainer():
+        yield config.init_seconds
+        while (state["converged_at"] is None
+               and state["step"] < config.max_steps):
+            i = state["step"]
+            state["step"] += 1
+            state["samples"] += config.global_batch
+            step_wall = config.step_seconds + float(delays[i].max())
+            step_times.append(step_wall)
+            yield step_wall
+            if state["step"] % config.eval.eval_every_steps == 0:
+                sim.process(eval_proc(state["step"], state["samples"]),
+                            name=f"eval-{state['step']}")
+                if not config.async_eval:
+                    # Synchronous: training waits for the eval pass it
+                    # issued (the pass itself, not the queue behind it).
+                    yield eval_pass
 
-        sim.schedule_at(done, complete)
-
-    sim.schedule_at(config.init_seconds, do_step)
+    sim.process(trainer(), name="trainer")
     sim.run()
 
     converged = state["converged_at"] is not None

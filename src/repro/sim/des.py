@@ -1,15 +1,39 @@
 """A small discrete-event simulation engine.
 
-Callback-style: schedule callables at future times; the simulator pops them
-in time order.  Used by the data-pipeline models (blocking vs non-blocking
-loaders, Figure 5) and the cluster training simulation.
+Two styles of use:
+
+* **Callback style** (the original API): schedule callables at future times;
+  the simulator pops them in time order.  Used by the data-pipeline worker
+  pool and anything that is naturally event-shaped.
+* **Process style**: a generator-based coroutine helper (:class:`Process`)
+  in the spirit of SimPy.  A process yields *commands* — a number (sleep
+  that many simulated seconds), an :class:`Event` (wait until it fires), or
+  another :class:`Process` (join) — and the engine resumes it when the
+  command completes.  Typed resources (:class:`Resource`, :class:`Barrier`,
+  :class:`FifoQueue`) model the CPU dispatch clock, GPU compute stream,
+  comm stream / NIC and loader queues of the timing stack, and a
+  :class:`Timeline` collects attributed busy/wait intervals so overlap is
+  an inspectable artifact rather than a hand-tuned subtraction.
+
+Boundary semantics of :meth:`Simulator.run` (pinned by
+``tests/sim/test_des_semantics.py``):
+
+* ``run(until=T)`` processes every event with ``time <= T`` — the boundary
+  is **inclusive**, matching ``schedule_at(T)`` which is legal while
+  ``now == T``.  After it returns, ``now == max(now, T)`` and events
+  strictly later than ``T`` remain pending; calling ``run`` again resumes
+  them.
+* The ``max_events`` runaway guard **raises** :class:`RuntimeError` instead
+  of silently returning, so an accidental zero-delay loop cannot produce a
+  bogus-but-plausible timing result.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 
 class Simulator:
@@ -34,8 +58,13 @@ class Simulator:
 
     def run(self, until: Optional[float] = None,
             max_events: int = 10_000_000) -> None:
-        """Process events until the heap drains, ``until`` passes, or the
-        event budget is exhausted (runaway guard)."""
+        """Process events until the heap drains or ``until`` passes.
+
+        Events scheduled exactly at ``until`` ARE processed (inclusive
+        boundary — consistent with ``schedule_at(until)`` being legal when
+        ``now == until``).  Raises :class:`RuntimeError` when more than
+        ``max_events`` events fire (runaway guard).
+        """
         processed = 0
         while self._heap:
             if processed >= max_events:
@@ -51,9 +80,192 @@ class Simulator:
         if until is not None:
             self.now = max(self.now, until)
 
+    def process(self, generator: Generator, name: str = "") -> "Process":
+        """Start a :class:`Process` driving ``generator`` (begins at ``now``)."""
+        return Process(self, generator, name=name)
+
     @property
     def pending(self) -> int:
         return len(self._heap)
+
+
+class Event:
+    """A one-shot signal processes can wait on.
+
+    ``succeed(value)`` fires the event; waiters registered before the fire
+    are called synchronously (in registration order), waiters registered
+    after see the stored value immediately.
+    """
+
+    __slots__ = ("sim", "triggered", "value", "_callbacks")
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.triggered = False
+        self.value: Any = None
+        self._callbacks: List[Callable[[Any], None]] = []
+
+    def succeed(self, value: Any = None) -> None:
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(value)
+
+    def wait(self, callback: Callable[[Any], None]) -> None:
+        if self.triggered:
+            callback(self.value)
+        else:
+            self._callbacks.append(callback)
+
+
+class Process:
+    """Generator-based coroutine running inside a :class:`Simulator`.
+
+    The generator yields commands:
+
+    * ``float | int`` — sleep that many simulated seconds;
+    * :class:`Event` — wait until it fires (resumed with its value);
+    * :class:`Process` — wait until that process finishes.
+
+    ``done`` is an :class:`Event` fired with the generator's return value.
+    """
+
+    __slots__ = ("sim", "gen", "name", "done")
+
+    def __init__(self, sim: Simulator, gen: Generator, name: str = "") -> None:
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.done = Event(sim)
+        sim.schedule(0.0, self._advance)
+
+    def _advance(self, value: Any = None) -> None:
+        # Loop instead of recursing so that yielding an already-triggered
+        # event resumes inline without re-entering the generator.
+        while True:
+            try:
+                cmd = self.gen.send(value)
+            except StopIteration as stop:
+                self.done.succeed(getattr(stop, "value", None))
+                return
+            if isinstance(cmd, (int, float)):
+                self.sim.schedule(float(cmd), self._advance)
+                return
+            if isinstance(cmd, Process):
+                cmd = cmd.done
+            if isinstance(cmd, Event):
+                if cmd.triggered:
+                    value = cmd.value
+                    continue
+                cmd._callbacks.append(self._advance)
+                return
+            raise TypeError(f"process {self.name!r} yielded {cmd!r}; expected "
+                            "a delay (seconds), Event, or Process")
+
+
+class Resource:
+    """A serially-shared resource (NIC, eval pool, ...) with FIFO grants."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiting: List[Event] = []
+
+    def acquire(self) -> Event:
+        """Event that fires when the caller holds one capacity slot."""
+        event = Event(self.sim)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            event.succeed(self)
+        else:
+            self._waiting.append(event)
+        return event
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise RuntimeError(f"release of idle resource {self.name!r}")
+        if self._waiting:
+            # Hand the slot straight to the next waiter.
+            self._waiting.pop(0).succeed(self)
+        else:
+            self.in_use -= 1
+
+
+class Barrier:
+    """Cyclic synchronization barrier for ``parties`` processes."""
+
+    def __init__(self, sim: Simulator, parties: int) -> None:
+        if parties < 1:
+            raise ValueError("parties must be >= 1")
+        self.sim = sim
+        self.parties = parties
+        self.generation = 0
+        self._arrived: List[Event] = []
+
+    def arrive(self) -> Event:
+        """Event firing when all parties of this generation have arrived."""
+        event = Event(self.sim)
+        self._arrived.append(event)
+        if len(self._arrived) == self.parties:
+            arrived, self._arrived = self._arrived, []
+            self.generation += 1
+            for ev in arrived:
+                ev.succeed(self.generation)
+        return event
+
+
+@dataclass
+class Interval:
+    """One attributed span of simulated time on a named resource."""
+
+    resource: str   # e.g. "gpu", "nic", "loader"
+    tag: str        # e.g. "compute", "dap_comm", "ddp_wait", "imbalance"
+    start: float
+    end: float
+    rank: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    """Interval log: every busy/stall span attributed to a resource+tag.
+
+    The additive step breakdown is *derived* from this log (sum the
+    durations per tag) instead of being composed analytically.
+    """
+
+    intervals: List[Interval] = field(default_factory=list)
+
+    def record(self, resource: str, tag: str, start: float, end: float,
+               rank: int = 0) -> None:
+        if end > start:
+            self.intervals.append(Interval(resource, tag, start, end, rank))
+
+    def seconds(self, tag: Optional[str] = None,
+                resource: Optional[str] = None,
+                rank: Optional[int] = None) -> float:
+        return sum(iv.duration for iv in self.intervals
+                   if (tag is None or iv.tag == tag)
+                   and (resource is None or iv.resource == resource)
+                   and (rank is None or iv.rank == rank))
+
+    def by_tag(self, rank: Optional[int] = None) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for iv in self.intervals:
+            if rank is not None and iv.rank != rank:
+                continue
+            out[iv.tag] = out.get(iv.tag, 0.0) + iv.duration
+        return out
 
 
 class FifoQueue:
@@ -87,6 +299,12 @@ class FifoQueue:
     def get(self, callback: Callable[[Any], None]) -> None:
         self._waiters.append(callback)
         self._dispatch()
+
+    def get_event(self) -> Event:
+        """Process-style get: an :class:`Event` fired with the item."""
+        event = Event(self.sim)
+        self.get(event.succeed)
+        return event
 
     def _deliverable(self) -> bool:
         if not self._items:

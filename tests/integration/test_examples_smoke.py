@@ -5,6 +5,7 @@ pretrain — are exercised through the same library calls by the benchmark
 suite; running them here too would double multi-minute simulations.)
 """
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -12,6 +13,7 @@ import sys
 import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+SRC_DIR = EXAMPLES_DIR.parent / "src"
 
 FAST_EXAMPLES = [
     "kernel_fusion_demo.py",
@@ -28,8 +30,11 @@ def test_example_runs_clean(script, tmp_path):
     args = [sys.executable, str(path)]
     if script == "predict_structure.py":
         args.append(str(tmp_path / "out.pdb"))
+    env = os.environ.copy()
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(SRC_DIR), env.get("PYTHONPATH")) if p)
     result = subprocess.run(args, capture_output=True, text=True,
-                            timeout=300, cwd=str(tmp_path))
+                            timeout=300, cwd=str(tmp_path), env=env)
     assert result.returncode == 0, result.stderr[-2000:]
     assert result.stdout.strip(), "example produced no output"
 

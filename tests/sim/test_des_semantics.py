@@ -1,0 +1,220 @@
+"""Pin the engine's boundary semantics and the process-style primitives.
+
+These tests are the contract the timing stack builds on: the inclusive
+``run(until=...)`` boundary, the raising ``max_events`` guard, and the
+Process / Event / Resource / Barrier / Timeline behaviors.
+"""
+
+import pytest
+
+from repro.sim.des import (Barrier, Event, FifoQueue, Resource, Simulator,
+                           Timeline)
+
+
+class TestRunUntilBoundary:
+    def test_event_exactly_at_until_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append("at"))
+        sim.schedule_at(1.0 + 1e-12, lambda: fired.append("after"))
+        sim.run(until=1.0)
+        assert fired == ["at"]
+        assert sim.now == 1.0
+
+    def test_now_advances_to_until_when_heap_is_empty(self):
+        sim = Simulator()
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+
+    def test_schedule_at_boundary_is_legal_after_run(self):
+        # Inclusive boundary is consistent with schedule_at(T) while now==T.
+        sim = Simulator()
+        sim.run(until=2.0)
+        fired = []
+        sim.schedule_at(2.0, lambda: fired.append(True))
+        sim.run()
+        assert fired == [True]
+        assert sim.now == 2.0
+
+    def test_later_events_survive_and_resume(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(5.0, lambda: fired.append(5.0))
+        sim.run(until=1.0)
+        assert fired == [] and sim.pending == 1 and sim.now == 1.0
+        sim.run()
+        assert fired == [5.0] and sim.now == 5.0
+
+    def test_scheduling_in_the_past_raises(self):
+        sim = Simulator()
+        sim.run(until=1.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_max_events_guard_raises(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(0.0, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(RuntimeError, match="event budget"):
+            sim.run(max_events=100)
+
+
+class TestProcess:
+    def test_sleep_event_and_join(self):
+        sim = Simulator()
+        log = []
+
+        def child():
+            yield 2.0
+            log.append(("child-done", sim.now))
+            return "payload"
+
+        def parent():
+            yield 1.0
+            value = yield sim.process(child())
+            log.append(("joined", sim.now, value))
+
+        sim.process(parent())
+        sim.run()
+        assert log == [("child-done", 3.0), ("joined", 3.0, "payload")]
+
+    def test_waiting_on_already_triggered_event_resumes_inline(self):
+        sim = Simulator()
+        ev = Event(sim)
+        ev.succeed("early")
+        seen = []
+
+        def proc():
+            value = yield ev
+            seen.append((sim.now, value))
+
+        sim.process(proc())
+        sim.run()
+        assert seen == [(0.0, "early")]
+
+    def test_bad_yield_type_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield "nonsense"
+
+        sim.process(proc())
+        with pytest.raises(TypeError):
+            sim.run()
+
+    def test_event_double_succeed_raises(self):
+        sim = Simulator()
+        ev = Event(sim)
+        ev.succeed(1)
+        with pytest.raises(RuntimeError):
+            ev.succeed(2)
+
+
+class TestResource:
+    def test_fifo_mutual_exclusion(self):
+        sim = Simulator()
+        nic = Resource(sim)
+        order = []
+
+        def user(name, hold):
+            yield nic.acquire()
+            start = sim.now
+            yield hold
+            nic.release()
+            order.append((name, start, sim.now))
+
+        sim.process(user("a", 2.0))
+        sim.process(user("b", 1.0))
+        sim.run()
+        # b queues behind a and starts exactly when a releases.
+        assert order == [("a", 0.0, 2.0), ("b", 2.0, 3.0)]
+
+    def test_capacity_two_runs_pairs_concurrently(self):
+        sim = Simulator()
+        pool = Resource(sim, capacity=2)
+        ends = []
+
+        def user():
+            yield pool.acquire()
+            yield 1.0
+            pool.release()
+            ends.append(sim.now)
+
+        for _ in range(4):
+            sim.process(user())
+        sim.run()
+        assert ends == [1.0, 1.0, 2.0, 2.0]
+
+    def test_release_idle_raises(self):
+        sim = Simulator()
+        with pytest.raises(RuntimeError):
+            Resource(sim).release()
+
+
+class TestBarrier:
+    def test_cyclic_generations(self):
+        sim = Simulator()
+        barrier = Barrier(sim, parties=2)
+        log = []
+
+        def member(name, pace):
+            for _ in range(2):
+                yield pace
+                gen = yield barrier.arrive()
+                log.append((name, gen, sim.now))
+
+        sim.process(member("fast", 1.0))
+        sim.process(member("slow", 3.0))
+        sim.run()
+        times = {(gen, t) for _, gen, t in log}
+        # Both generations complete at the slow member's pace.
+        assert times == {(1, 3.0), (2, 6.0)}
+
+    def test_single_party_barrier_is_immediate(self):
+        sim = Simulator()
+        barrier = Barrier(sim, parties=1)
+        done = []
+
+        def solo():
+            yield barrier.arrive()
+            done.append(sim.now)
+
+        sim.process(solo())
+        sim.run()
+        assert done == [0.0]
+
+
+class TestTimeline:
+    def test_filters_and_zero_length_skip(self):
+        tl = Timeline()
+        tl.record("gpu", "compute", 0.0, 1.0, rank=0)
+        tl.record("gpu", "compute", 1.0, 1.0, rank=0)  # zero-length: dropped
+        tl.record("nic", "dap_comm", 1.0, 1.5, rank=0)
+        tl.record("gpu", "compute", 0.0, 2.0, rank=1)
+        assert len(tl.intervals) == 3
+        assert tl.seconds(tag="compute") == pytest.approx(3.0)
+        assert tl.seconds(tag="compute", rank=0) == pytest.approx(1.0)
+        assert tl.seconds(resource="nic") == pytest.approx(0.5)
+        assert tl.by_tag(rank=0) == pytest.approx(
+            {"compute": 1.0, "dap_comm": 0.5})
+
+
+class TestFifoQueueEvent:
+    def test_get_event_fires_with_item(self):
+        sim = Simulator()
+        queue = FifoQueue(sim)
+        got = []
+
+        def consumer():
+            item = yield queue.get_event()
+            got.append((sim.now, item))
+
+        sim.process(consumer())
+        sim.schedule(2.0, lambda: queue.put((0,)))
+        sim.run()
+        assert got == [(2.0, (0,))]
