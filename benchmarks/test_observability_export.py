@@ -1,0 +1,53 @@
+"""Observability-export benchmarks: chrome-trace + flame on the full trace.
+
+Exercises the exporter at paper scale (the ~150k-kernel full-size step) so
+regressions in export throughput or rollup accuracy show up next to the
+other figure benches.
+"""
+
+import json
+
+from conftest import run_once
+
+from repro.hardware import A100
+from repro.model.config import KernelPolicy
+from repro.observability import kernel_trace_to_chrome
+from repro.perf.profiler import scope_flame, table1_breakdown
+from repro.perf.trace_builder import build_step_trace
+
+
+class TestChromeExportFullTrace:
+    def test_full_step_exports_and_loads(self, benchmark, tmp_path):
+        """Full-size reference step round-trips through chrome-trace JSON."""
+        step = build_step_trace(KernelPolicy.reference(), n_recycle=1)
+
+        def run():
+            builder = kernel_trace_to_chrome(step.trace, A100)
+            path = tmp_path / "full_step.json"
+            builder.write(str(path))
+            return len(builder), path
+
+        n_events, path = run_once(benchmark, run)
+        print(f"\n{len(step.trace):,} kernels -> {n_events:,} trace events")
+        assert n_events > len(step.trace)  # slices + scope frames + metadata
+        loaded = json.loads(path.read_text())
+        assert len(loaded["traceEvents"]) == n_events
+
+
+class TestFlameRollupFullTrace:
+    def test_flame_total_matches_simulated_step(self, benchmark):
+        """Scope rollup conserves the simulated step time at full scale."""
+        step = build_step_trace(KernelPolicy.reference(), n_recycle=1)
+
+        def run():
+            flame = scope_flame(step, A100)
+            total = table1_breakdown(step, A100).total_seconds
+            return flame, total
+
+        flame, total = run_once(benchmark, run)
+        print(f"\nflame total {flame.total_seconds * 1e3:.1f} ms "
+              f"vs simulated {total * 1e3:.1f} ms")
+        assert abs(flame.total_seconds - total) <= 1e-6 * total
+        # Evoformer dominates the module tree (§2.2: ~72% of device time).
+        top = flame.children.get("alphafold")
+        assert top is not None and "evoformer" in top.children

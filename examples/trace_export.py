@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Observability demo: chrome-trace export, flame rollup, structured log.
+
+1. Trace one training step of the (tiny) AlphaFold model and export it as
+   Chrome-trace JSON — open the file in chrome://tracing or
+   https://ui.perfetto.dev to see per-kernel slices nested under the module
+   scope tree, one track per phase.
+2. Roll the simulated step time up the scope tree (flame view).
+3. Run a short cluster simulation that emits an MLPerf-style structured
+   run log (JSON lines with run_start/step/eval/run_stop events).
+
+Run: python examples/trace_export.py [output-dir]
+"""
+
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # standalone run from a source checkout
+    import pathlib
+    import sys
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+import json
+import pathlib
+import sys
+
+from repro.hardware.gpu import get_gpu
+from repro.model.config import AlphaFoldConfig, KernelPolicy
+from repro.observability import RunLogger, kernel_trace_to_chrome
+from repro.perf.profiler import scope_flame, table1_breakdown
+from repro.perf.trace_builder import build_step_trace
+from repro.sim.cluster import ClusterSimConfig, run_cluster_simulation
+from repro.train.evaluation import EvalConfig
+
+
+def main() -> None:
+    out_dir = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else pathlib.Path(".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    print("=" * 70)
+    print("1. Chrome-trace export of one simulated training step")
+    print("=" * 70)
+    policy = KernelPolicy.reference()
+    step = build_step_trace(policy=policy,
+                            cfg=AlphaFoldConfig.tiny(policy))
+    gpu = get_gpu("A100")
+    trace_path = out_dir / "step_trace.json"
+    builder = kernel_trace_to_chrome(step.trace, gpu)
+    builder.write(str(trace_path))
+    print(f"  {len(step.trace)} kernels -> {len(builder)} trace events")
+    print(f"  wrote {trace_path} — open in chrome://tracing or Perfetto")
+
+    print()
+    print("=" * 70)
+    print("2. Per-scope flame rollup of the same step")
+    print("=" * 70)
+    flame = scope_flame(step, gpu)
+    total = table1_breakdown(step, gpu).total_seconds
+    print(flame.format(max_depth=2, min_pct=2.0))
+    assert abs(flame.total_seconds - total) <= 1e-6 * total
+
+    print()
+    print("=" * 70)
+    print("3. Structured run log from the cluster simulation")
+    print("=" * 70)
+    log_path = out_dir / "run_log.jsonl"
+    with RunLogger(str(log_path)) as run_logger:
+        result = run_cluster_simulation(
+            ClusterSimConfig(step_seconds=1.0, max_steps=60,
+                             target_lddt=0.0,
+                             eval=EvalConfig(eval_every_steps=20)),
+            run_logger=run_logger)
+    print(f"  simulated {result.steps} steps "
+          f"({result.total_minutes:.1f} simulated minutes)")
+    print(f"  wrote {len(run_logger.entries)} events to {log_path}")
+    for entry in run_logger.entries[:3]:
+        print(f"    {json.dumps(entry, sort_keys=True)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,4 +1,12 @@
-"""Command-line entry point: ``python -m repro <experiment-id>``."""
+"""Command-line entry point: ``python -m repro <experiment-id>``.
+
+Besides the experiment runner, a ``trace`` subcommand fronts the
+observability stack::
+
+    python -m repro trace export -o step.json   # chrome://tracing JSON
+    python -m repro trace top                   # nsys-style top kernels
+    python -m repro trace flame                 # per-scope time rollup
+"""
 
 from __future__ import annotations
 
@@ -10,7 +18,91 @@ from .core.experiments import EXPERIMENTS, run_experiment
 from .core.optimizations import format_table
 
 
+def _build_profile_trace(config_name: str, scalefold: bool):
+    from .model.config import AlphaFoldConfig, KernelPolicy
+    from .perf.trace_builder import build_step_trace
+
+    policy = (KernelPolicy.scalefold() if scalefold
+              else KernelPolicy.reference())
+    cfg = getattr(AlphaFoldConfig, config_name)(policy)
+    return build_step_trace(policy=policy, cfg=cfg)
+
+
+def trace_command(argv: List[str]) -> int:
+    """``repro trace {export,top,flame}`` — observability subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Export and analyze simulated kernel traces.")
+    parser.add_argument("action", choices=("export", "top", "flame"))
+    parser.add_argument("--config", default="small",
+                        choices=("tiny", "small", "full"),
+                        help="model size preset (default: small)")
+    parser.add_argument("--gpu", default="A100", help="GPU spec name")
+    parser.add_argument("--scalefold", action="store_true",
+                        help="use the fused ScaleFold kernel policy "
+                             "(default: eager reference)")
+    parser.add_argument("--output", "-o", default="trace.json",
+                        help="[export] output path for chrome-trace JSON")
+    parser.add_argument("--dap", type=int, default=1,
+                        help="[export] DAP group size; >1 adds one "
+                             "timeline track per simulated rank")
+    parser.add_argument("--dp", type=int, default=1,
+                        help="[export] data-parallel degree for the "
+                             "multi-rank timeline")
+    parser.add_argument("-k", type=int, default=15,
+                        help="[top] number of kernels to show")
+    parser.add_argument("--depth", type=int, default=3,
+                        help="[flame] max tree depth to print")
+    parser.add_argument("--min-pct", type=float, default=0.5,
+                        help="[flame] prune frames below this %% of step")
+    parser.add_argument("--folded", action="store_true",
+                        help="[flame] emit folded stacks for flamegraph.pl")
+    args = parser.parse_args(argv)
+
+    from .hardware.gpu import get_gpu
+    from .perf.profiler import scope_flame, top_kernels
+
+    step = _build_profile_trace(args.config, args.scalefold)
+    gpu = get_gpu(args.gpu)
+
+    if args.action == "export":
+        from .observability import kernel_trace_to_chrome, timeline_to_chrome
+
+        builder = kernel_trace_to_chrome(step.trace, gpu)
+        if args.dap > 1 or args.dp > 1:
+            from .perf.scaling import Scenario, estimate_step_time
+
+            scenario = Scenario(policy=step.policy, gpu=args.gpu,
+                                dap_n=args.dap, dp_degree=args.dp,
+                                imbalance_enabled=False)
+            estimate = estimate_step_time(scenario, trace=step)
+            timeline_to_chrome(estimate.timeline, into=builder)
+        builder.write(args.output)
+        print(f"wrote {len(builder)} events to {args.output} "
+              f"(open in chrome://tracing or https://ui.perfetto.dev)")
+        return 0
+
+    if args.action == "top":
+        rows = top_kernels(step, gpu, k=args.k)
+        print(f"{'Kernel':<28}{'Time (ms)':>12}{'Calls':>10}"
+              f"{'% step':>9}{'Mean (us)':>12}")
+        for r in rows:
+            print(f"{r.name:<28.28}{r.seconds * 1e3:>12.3f}{r.calls:>10,}"
+                  f"{r.pct_of_step:>9.2f}{r.mean_us:>12.2f}")
+        return 0
+
+    flame = scope_flame(step, gpu)
+    if args.folded:
+        print("\n".join(flame.folded()))
+    else:
+        print(flame.format(max_depth=args.depth, min_pct=args.min_pct))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "trace":
+        return trace_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ScaleFold reproduction: regenerate the paper's tables "

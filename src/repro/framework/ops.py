@@ -472,8 +472,16 @@ def softmax(t: Tensor, axis: int = -1) -> Tensor:
         out = Tensor(None, t.shape, t.dtype)
     else:
         m = t.data.max(axis=axis, keepdims=True)
-        e = np.exp(t.data - m)
-        out = _make_out(e / e.sum(axis=axis, keepdims=True), t.shape, t.dtype)
+        # A fully-masked row (attention mask bias pushes every logit to
+        # -inf) has m == -inf; exp(-inf - -inf) would be NaN.  Guard the
+        # row max and emit an all-zero row instead, matching the fused MHA
+        # and tiled-flash kernels in repro.kernels.attention.
+        safe_m = np.where(np.isinf(m), 0.0, m)
+        e = np.exp(t.data - safe_m)
+        denom = e.sum(axis=axis, keepdims=True)
+        y = np.divide(e, denom, out=np.zeros_like(e),
+                      where=denom > 0)
+        out = _make_out(y, t.shape, t.dtype)
     _emit("softmax", tracer.KernelCategory.MEMORY, out, [t], 5.0 * t.size)
 
     def backward_fn(g: Tensor):

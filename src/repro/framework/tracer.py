@@ -70,6 +70,12 @@ class KernelRecord:
     tunable: Optional[str]
     tags: Optional[Dict[str, object]]
 
+    @property
+    def scope_parts(self) -> Tuple[str, ...]:
+        """The ``/``-joined scope split into components (empty tuple when
+        the record ran outside any module scope, e.g. optimizer updates)."""
+        return tuple(self.scope.split("/")) if self.scope else ()
+
     def scaled(self, work_fraction: float) -> "KernelRecord":
         """A copy with FLOPs/bytes scaled (used by the DAP partitioner)."""
         return KernelRecord(
@@ -196,6 +202,22 @@ class Trace:
             s.flops += r.flops
             s.bytes += r.bytes
         return out
+
+    def unique_scopes(self) -> List[str]:
+        """Sorted unique scope paths — the module tree this trace saw.
+
+        Used by the chrome-trace exporter tests to check that the nested
+        slices reproduce the module hierarchy exactly.
+        """
+        return sorted({r.scope for r in self.records})
+
+    def phases(self) -> List[str]:
+        """Phases in first-appearance order (``forward``/``backward``/...)."""
+        seen: List[str] = []
+        for r in self.records:
+            if r.phase not in seen:
+                seen.append(r.phase)
+        return seen
 
     def total_flops(self) -> float:
         return sum(r.flops for r in self.records)

@@ -31,8 +31,11 @@ from ..framework.tensor import Tensor
 
 def _softmax_last(x: np.ndarray) -> np.ndarray:
     m = x.max(axis=-1, keepdims=True)
-    e = np.exp(x - m)
-    return e / e.sum(axis=-1, keepdims=True)
+    # Fully-masked rows (all logits -inf) get a zero row, not NaN — same
+    # convention as ops.softmax and the tiled kernel below.
+    e = np.exp(x - np.where(np.isinf(m), 0.0, m))
+    denom = e.sum(axis=-1, keepdims=True)
+    return np.divide(e, denom, out=np.zeros_like(e), where=denom > 0)
 
 
 def _unbroadcast_np(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -169,12 +172,20 @@ def flash_attention_tiled(q: np.ndarray, k: np.ndarray, v: np.ndarray,
             # Guard fully-masked tiles where everything is -inf.
             safe_m = np.where(np.isinf(m_new), 0.0, m_new)
             p = np.exp(s - safe_m[..., None])
-            correction = np.exp(np.where(np.isinf(m), 0.0, m) - safe_m)
+            # Rescale the running statistics.  Rows whose running max is
+            # still -inf contribute nothing; substituting safe_m for them
+            # keeps the exponent at exp(0) instead of exp(-m_new), which
+            # overflows for large finite m_new before the mask discards it.
+            prev_m = np.where(np.isinf(m), safe_m, m)
+            correction = np.exp(prev_m - safe_m)
             correction = np.where(np.isinf(m), 0.0, correction)
             l = l * correction + p.sum(axis=-1)
             acc = acc * correction[..., None] + np.matmul(p, v64[..., k0:k1, :])
             m = m_new
-        out[..., q0:q1, :] = acc / l[..., None]
+        # A row masked across EVERY key tile has l == 0: emit zeros.
+        ln = l[..., None]
+        out[..., q0:q1, :] = np.divide(acc, ln, out=np.zeros_like(acc),
+                                       where=ln > 0)
     return out.astype(q.dtype)
 
 

@@ -1,0 +1,347 @@
+"""Chrome-trace (``chrome://tracing`` / Perfetto) JSON export.
+
+Two exporters over the simulation's internal state:
+
+* :func:`kernel_trace_to_chrome` replays a kernel trace through the
+  event-driven step simulation (:func:`repro.perf.step_time.simulate_step`)
+  and emits one complete-event slice per executed :class:`KernelRecord` at
+  its exact simulated GPU timestamps — one thread track per phase
+  (forward/backward/update), nested duration slices rebuilt from the
+  ``/``-joined module scope, and args carrying flops/bytes/category/scope.
+  Embedded collectives and comm-hidden records appear as instant events at
+  their trace position; GPU starvation (exposed CPU dispatch) appears as
+  ``dispatch_wait`` slices on a dedicated track.
+* :func:`timeline_to_chrome` exports a DES :class:`repro.sim.des.Timeline`
+  (the multi-rank attribution log of ``estimate_step_time``) with one
+  process track per rank, one thread per resource (gpu/nic/loader/host),
+  and flow events stitching each DAP/DDP collective occurrence across the
+  ranks it synchronizes plus each data stall to the compute it delayed.
+
+The emitted JSON is the standard Trace Event Format: an object with a
+``traceEvents`` array, loadable by ``chrome://tracing`` and
+https://ui.perfetto.dev without further conversion.  Timestamps are in
+microseconds of simulated time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..framework.tracer import KernelRecord, Trace
+from ..hardware.gpu import GpuSpec, get_gpu
+from ..hardware.roofline import CostModel
+
+# NOTE: repro.perf.step_time and repro.sim.des are imported lazily inside
+# the exporter functions.  repro.sim.cluster imports this package (for the
+# structured run logger), and repro.perf.step_time itself imports
+# repro.sim.des — eager imports here would close an import cycle.
+
+#: Seconds -> Trace Event Format microseconds.
+_US = 1e6
+
+#: Stable thread ids for timeline resources (per-rank tracks).
+RESOURCE_TIDS = {"gpu": 0, "nic": 1, "loader": 2, "host": 3}
+
+#: Timeline tags that synchronize the whole DAP group: the i-th occurrence
+#: on every rank belongs to one collective, linked by a flow event.
+COLLECTIVE_TAGS = ("dap_sync", "dap_comm", "ddp_comm", "world_gate")
+
+
+class ChromeTrace:
+    """Incremental builder for Trace Event Format JSON."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------
+    # Event primitives (ts/dur in seconds; stored as microseconds)
+    # ------------------------------------------------------------------
+    def process_name(self, pid: int, name: str) -> None:
+        self.events.append({"ph": "M", "name": "process_name", "pid": pid,
+                            "tid": 0, "args": {"name": name}})
+
+    def thread_name(self, pid: int, tid: int, name: str) -> None:
+        self.events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                            "tid": tid, "args": {"name": name}})
+
+    def complete(self, name: str, cat: str, start_s: float, dur_s: float,
+                 pid: int, tid: int,
+                 args: Optional[Dict[str, object]] = None) -> None:
+        event: Dict[str, object] = {
+            "ph": "X", "name": name, "cat": cat,
+            "ts": start_s * _US, "dur": dur_s * _US, "pid": pid, "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def begin(self, name: str, cat: str, ts_s: float, pid: int,
+              tid: int) -> None:
+        self.events.append({"ph": "B", "name": name, "cat": cat,
+                            "ts": ts_s * _US, "pid": pid, "tid": tid})
+
+    def end(self, ts_s: float, pid: int, tid: int) -> None:
+        self.events.append({"ph": "E", "ts": ts_s * _US, "pid": pid,
+                            "tid": tid})
+
+    def instant(self, name: str, cat: str, ts_s: float, pid: int, tid: int,
+                args: Optional[Dict[str, object]] = None) -> None:
+        event: Dict[str, object] = {
+            "ph": "i", "name": name, "cat": cat, "ts": ts_s * _US,
+            "pid": pid, "tid": tid, "s": "t",
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def flow_start(self, name: str, flow_id: str, ts_s: float, pid: int,
+                   tid: int, cat: str = "flow") -> None:
+        self.events.append({"ph": "s", "name": name, "cat": cat,
+                            "id": flow_id, "ts": ts_s * _US, "pid": pid,
+                            "tid": tid})
+
+    def flow_finish(self, name: str, flow_id: str, ts_s: float, pid: int,
+                    tid: int, cat: str = "flow") -> None:
+        # bp="e" binds the finish to the ENCLOSING slice at ts.
+        self.events.append({"ph": "f", "bp": "e", "name": name, "cat": cat,
+                            "id": flow_id, "ts": ts_s * _US, "pid": pid,
+                            "tid": tid})
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {"traceEvents": self.events, "displayTimeUnit": "ms"}
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_dict())
+
+    def write(self, target: Union[str, IO[str]]) -> None:
+        if isinstance(target, str):
+            with open(target, "w") as handle:
+                json.dump(self.to_dict(), handle)
+        else:
+            json.dump(self.to_dict(), target)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def write_chrome_trace(trace: Union["ChromeTrace", Dict[str, object]],
+                       path: str) -> None:
+    """Write a built chrome trace (or raw trace dict) to ``path``."""
+    if isinstance(trace, ChromeTrace):
+        trace.write(path)
+    else:
+        with open(path, "w") as handle:
+            json.dump(trace, handle)
+
+
+# ----------------------------------------------------------------------
+# Kernel-trace export
+# ----------------------------------------------------------------------
+def _record_args(record: KernelRecord) -> Dict[str, object]:
+    args: Dict[str, object] = {
+        "category": record.category.value,
+        "flops": record.flops,
+        "bytes": record.bytes,
+        "scope": record.scope,
+        "dtype": record.dtype,
+        "shape": list(record.shape),
+        "phase": record.phase,
+    }
+    if record.fused:
+        args["fused"] = True
+    if record.tunable:
+        args["tunable"] = record.tunable
+    if record.tags:
+        args["tags"] = {k: repr(v) for k, v in record.tags.items()}
+    return args
+
+
+class _ScopeTrack:
+    """One thread track: keeps the open B/E scope frames nested."""
+
+    def __init__(self, builder: ChromeTrace, pid: int, tid: int) -> None:
+        self.builder = builder
+        self.pid = pid
+        self.tid = tid
+        self.open: List[str] = []
+        self.last_end = 0.0
+
+    def sync_to(self, parts: Tuple[str, ...], ts: float) -> None:
+        shared = 0
+        while (shared < len(self.open) and shared < len(parts)
+               and self.open[shared] == parts[shared]):
+            shared += 1
+        # Close frames the new scope no longer shares, at the end of the
+        # last kernel that ran under them.
+        while len(self.open) > shared:
+            self.builder.end(self.last_end, self.pid, self.tid)
+            self.open.pop()
+        for part in parts[shared:]:
+            self.builder.begin(part, "scope", ts, self.pid, self.tid)
+            self.open.append(part)
+
+    def close_all(self) -> None:
+        while self.open:
+            self.builder.end(self.last_end, self.pid, self.tid)
+            self.open.pop()
+
+
+def kernel_trace_to_chrome(records: Union[Trace, Iterable[KernelRecord]],
+                           gpu: Union[GpuSpec, str],
+                           cost_model: Optional[CostModel] = None,
+                           graphed: bool = False,
+                           pid: int = 0,
+                           label: Optional[str] = None,
+                           into: Optional[ChromeTrace] = None) -> ChromeTrace:
+    """Export a kernel trace as chrome-trace slices at simulated timestamps.
+
+    Runs :func:`simulate_step` over ``records`` and emits, per executed
+    kernel, one complete event on the thread track of its phase, wrapped in
+    nested B/E duration slices reconstructed from the module scope path.
+    """
+    from ..perf.step_time import simulate_step
+    from ..sim.des import Timeline
+
+    if isinstance(gpu, str):
+        gpu = get_gpu(gpu)
+    if isinstance(records, Trace):
+        name = label or f"kernel-sim:{records.name}"
+        recs: List[KernelRecord] = list(records.records)
+    else:
+        name = label or "kernel-sim"
+        recs = list(records)
+    cost_model = cost_model or CostModel(gpu)
+
+    executed: List[Tuple[KernelRecord, float, float]] = []
+    timeline = Timeline()
+    simulate_step(recs, gpu, cost_model, graphed=graphed, timeline=timeline,
+                  on_kernel=lambda r, s, e: executed.append((r, s, e)))
+
+    builder = into if into is not None else ChromeTrace()
+    builder.process_name(pid, name)
+    builder.thread_name(pid, 0, "gpu idle (exposed dispatch)")
+    tids: Dict[str, int] = {}
+    tracks: Dict[str, _ScopeTrack] = {}
+
+    def track_of(phase: str) -> _ScopeTrack:
+        if phase not in tids:
+            tids[phase] = len(tids) + 1
+            builder.thread_name(pid, tids[phase], phase)
+            tracks[phase] = _ScopeTrack(builder, pid, tids[phase])
+        return tracks[phase]
+
+    clock = 0.0
+    cursor = 0
+    for record in recs:
+        if cursor < len(executed) and executed[cursor][0] is record:
+            _, start, end = executed[cursor]
+            cursor += 1
+            track = track_of(record.phase)
+            track.sync_to(record.scope_parts, start)
+            builder.complete(record.name, record.category.value, start,
+                             end - start, pid, track.tid,
+                             args=_record_args(record))
+            track.last_end = clock = end
+        else:
+            # Collectives (costed by the distributed layer) and records
+            # hidden under communication: position markers, zero duration.
+            track = track_of(record.phase)
+            builder.instant(record.name, record.category.value, clock, pid,
+                            track.tid, args=_record_args(record))
+    for track in tracks.values():
+        track.close_all()
+
+    # GPU starvation spans — where Table 1's "CPU overhead" row lives.
+    for interval in timeline.intervals:
+        if interval.resource == "gpu" and interval.tag == "dispatch_wait":
+            builder.complete("dispatch_wait", "cpu-overhead", interval.start,
+                             interval.duration, pid, 0)
+    return builder
+
+
+# ----------------------------------------------------------------------
+# Multi-rank timeline export
+# ----------------------------------------------------------------------
+def _rank_intervals(timeline: Timeline) -> Dict[int, List[Interval]]:
+    by_rank: Dict[int, List[Interval]] = {}
+    for interval in timeline.intervals:
+        by_rank.setdefault(interval.rank, []).append(interval)
+    for intervals in by_rank.values():
+        intervals.sort(key=lambda iv: (iv.start, iv.end))
+    return by_rank
+
+
+def timeline_to_chrome(timeline: Timeline,
+                       pid_base: int = 100,
+                       label: str = "rank",
+                       flows: bool = True,
+                       into: Optional[ChromeTrace] = None) -> ChromeTrace:
+    """Export a DES timeline: one process per rank, flows across ranks.
+
+    Every :class:`Interval` becomes a complete-event slice named by its tag
+    on the (rank, resource) track.  With ``flows=True`` the i-th occurrence
+    of each collective tag is linked across all participating ranks, and
+    each loader stall is linked forward to the first compute span it
+    delayed.
+    """
+    builder = into if into is not None else ChromeTrace()
+    by_rank = _rank_intervals(timeline)
+
+    for rank in sorted(by_rank):
+        pid = pid_base + rank
+        builder.process_name(pid, f"{label} {rank}")
+        used = {iv.resource for iv in by_rank[rank]}
+        for resource in sorted(used, key=lambda r: RESOURCE_TIDS.get(r, 99)):
+            builder.thread_name(pid, RESOURCE_TIDS.get(resource, 99),
+                                resource)
+        for interval in by_rank[rank]:
+            builder.complete(
+                interval.tag, interval.resource, interval.start,
+                interval.duration, pid,
+                RESOURCE_TIDS.get(interval.resource, 99),
+                args={"rank": rank})
+
+    if not flows or len(by_rank) < 2:
+        return builder
+
+    # Collective flows: occurrence i of a tag on every rank is one event.
+    for tag in COLLECTIVE_TAGS:
+        per_rank = {rank: [iv for iv in intervals if iv.tag == tag]
+                    for rank, intervals in by_rank.items()}
+        depth = max((len(v) for v in per_rank.values()), default=0)
+        for i in range(depth):
+            ranks = [r for r in sorted(per_rank) if len(per_rank[r]) > i]
+            if len(ranks) < 2:
+                continue
+            flow_id = f"{tag}:{i}"
+            first = per_rank[ranks[0]][i]
+            builder.flow_start(tag, flow_id, first.start,
+                               pid_base + ranks[0],
+                               RESOURCE_TIDS.get(first.resource, 99))
+            for rank in ranks[1:]:
+                interval = per_rank[rank][i]
+                builder.flow_finish(tag, flow_id, interval.start,
+                                    pid_base + rank,
+                                    RESOURCE_TIDS.get(interval.resource, 99))
+
+    # Data-stall flows: loader wait -> the compute span it delayed.
+    for rank, intervals in by_rank.items():
+        compute = [iv for iv in intervals
+                   if iv.resource == "gpu" and iv.tag == "compute"]
+        stalls = [iv for iv in intervals if iv.tag == "data_wait"]
+        for j, stall in enumerate(stalls):
+            after = next((c for c in compute if c.start >= stall.end - 1e-12),
+                         None)
+            if after is None:
+                continue
+            flow_id = f"data:{rank}:{j}"
+            builder.flow_start("data_stall", flow_id, stall.start,
+                               pid_base + rank,
+                               RESOURCE_TIDS.get(stall.resource, 99))
+            builder.flow_finish("data_stall", flow_id, after.start,
+                                pid_base + rank, RESOURCE_TIDS["gpu"])
+    return builder

@@ -1,0 +1,116 @@
+"""MLPerf-``mllog``-style structured run logging (JSON lines).
+
+One JSON object per line, each carrying an event ``key`` (``run_start``,
+``epoch_start``, ``step``, ``eval``, ``run_stop``, ...), a millisecond
+timestamp, an optional scalar ``value`` and free-form ``metadata`` — the
+shape MLPerf compliance checkers consume.  Unlike
+:class:`repro.mlperf.logging.MlLogger` (which reproduces the exact
+``:::MLLOG`` console line format for the benchmark harness), this logger is
+the day-to-day run log: file- or stream-backed, usable with a *simulated*
+clock so the cluster simulator's events carry simulation time, and paired
+with a reader for post-hoc analysis.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, IO, Iterator, List, Optional, Union
+
+#: Canonical event keys (free-form keys are also accepted by ``event``).
+RUN_START = "run_start"
+RUN_STOP = "run_stop"
+EPOCH_START = "epoch_start"
+EPOCH_STOP = "epoch_stop"
+STEP = "step"
+EVAL = "eval"
+
+
+class RunLogger:
+    """Append-only JSONL event logger with an injectable clock.
+
+    Args:
+        target: file path (opened in append mode), open text handle, or
+            ``None`` for in-memory only.
+        clock: zero-arg callable returning the current time in SECONDS —
+            ``time.time`` by default, or e.g. ``lambda: sim.now`` so a
+            discrete-event simulation logs simulated time.
+        echo: also print each formatted line (console runs).
+    """
+
+    def __init__(self, target: Union[str, IO[str], None] = None,
+                 clock=None, echo: bool = False) -> None:
+        self._own = isinstance(target, str)
+        self._handle: Optional[IO[str]] = (
+            open(target, "a") if self._own else target)
+        self.clock = clock or time.time
+        self.echo = echo
+        self.entries: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    # Core emission
+    # ------------------------------------------------------------------
+    def event(self, key: str, value: Any = None,
+              **metadata: Any) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {
+            "key": key,
+            "value": value,
+            "time_ms": self.clock() * 1000.0,
+            "metadata": metadata,
+        }
+        self.entries.append(entry)
+        line = json.dumps(entry, sort_keys=True)
+        if self._handle is not None:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+        if self.echo:  # pragma: no cover - console side effect
+            print(line)
+        return entry
+
+    # ------------------------------------------------------------------
+    # mllog-style vocabulary
+    # ------------------------------------------------------------------
+    def run_start(self, **metadata: Any) -> Dict[str, Any]:
+        return self.event(RUN_START, **metadata)
+
+    def run_stop(self, status: str = "success",
+                 **metadata: Any) -> Dict[str, Any]:
+        return self.event(RUN_STOP, value=status, **metadata)
+
+    def epoch_start(self, epoch: int, **metadata: Any) -> Dict[str, Any]:
+        return self.event(EPOCH_START, value=epoch, **metadata)
+
+    def epoch_stop(self, epoch: int, **metadata: Any) -> Dict[str, Any]:
+        return self.event(EPOCH_STOP, value=epoch, **metadata)
+
+    def step(self, step: int, **metrics: Any) -> Dict[str, Any]:
+        return self.event(STEP, value=step, **metrics)
+
+    def evaluation(self, step: int, **metrics: Any) -> Dict[str, Any]:
+        return self.event(EVAL, step=step, **metrics)
+
+    # ------------------------------------------------------------------
+    # Queries / lifecycle
+    # ------------------------------------------------------------------
+    def find(self, key: str) -> List[Dict[str, Any]]:
+        return [e for e in self.entries if e["key"] == key]
+
+    def close(self) -> None:
+        if self._own and self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunLogger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_run_log(path: str) -> Iterator[Dict[str, Any]]:
+    """Parse a JSONL run log back into event dicts."""
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

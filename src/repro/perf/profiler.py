@@ -13,6 +13,11 @@ from .step_time import matching_seconds, scope_seconds, simulate_step
 from .trace_builder import StepTrace, build_step_trace
 
 
+def _pct(part: float, total: float) -> float:
+    """``100 * part / total``, defined as 0% for an empty/zero-time total."""
+    return 100.0 * part / total if total > 0 else 0.0
+
+
 @dataclass
 class Table1Row:
     kernel_type: str
@@ -49,13 +54,14 @@ def table1_breakdown(step: StepTrace, gpu: GpuSpec,
     cost_model = cost_model or CostModel(gpu, autotune=False)
     breakdown = simulate_step(step.trace, gpu, cost_model)
     total = breakdown.total_s
-    rows = [Table1Row("CPU Overhead", 100.0 * breakdown.cpu_exposed_s / total, None)]
+    rows = [Table1Row("CPU Overhead", _pct(breakdown.cpu_exposed_s, total),
+                      None)]
     for cat, label in ((KernelCategory.MATH, "Math-bounded"),
                        (KernelCategory.MEMORY, "Memory-bounded"),
                        (KernelCategory.MEMORY_OP, "Memory-operation")):
         secs = breakdown.category_seconds.get(cat.value, 0.0)
         calls = breakdown.category_calls.get(cat.value, 0)
-        rows.append(Table1Row(label, 100.0 * secs / total, calls))
+        rows.append(Table1Row(label, _pct(secs, total), calls))
     return Table1(rows=rows, total_seconds=total)
 
 
@@ -117,10 +123,10 @@ def key_operation_analysis(reference: StepTrace, fused: StepTrace,
             flops *= 0.8 if name == "WeightUpdate" else 0.2
             bytes_ *= 0.8 if name == "WeightUpdate" else 0.2
         theoretical = _theoretical_seconds(cost_model, flops, bytes_, dtype)
-        achieved = 100.0 * theoretical / ref_secs if ref_secs > 0 else 0.0
+        achieved = _pct(theoretical, ref_secs)
         out.append(KeyOperationStats(
             name=name,
-            step_share_pct=100.0 * ref_secs / step_total,
+            step_share_pct=_pct(ref_secs, step_total),
             calls=ref_calls,
             achieved_pct_of_theoretical=achieved,
         ))
@@ -152,7 +158,7 @@ def top_kernels(step: StepTrace, gpu: GpuSpec, k: int = 15,
         calls[record.name] = calls.get(record.name, 0) + 1
     total = sum(seconds.values())
     rows = [KernelRow(name=name, seconds=s, calls=calls[name],
-                      pct_of_step=100.0 * s / total,
+                      pct_of_step=_pct(s, total),
                       mean_us=1e6 * s / calls[name])
             for name, s in seconds.items()]
     rows.sort(key=lambda r: -r.seconds)
@@ -165,5 +171,90 @@ def module_time_shares(step: StepTrace, gpu: GpuSpec,
     cost_model = CostModel(gpu, autotune=False)
     shares = scope_seconds(step.trace, cost_model, depth=depth)
     total = sum(shares.values())
-    return {k: v / total for k, v in sorted(shares.items(),
-                                            key=lambda kv: -kv[1])}
+    return {k: (v / total if total > 0 else 0.0)
+            for k, v in sorted(shares.items(), key=lambda kv: -kv[1])}
+
+
+# ----------------------------------------------------------------------
+# Per-scope flame attribution
+# ----------------------------------------------------------------------
+@dataclass
+class FlameNode:
+    """One frame of the scope flame tree.
+
+    ``self_seconds`` is time attributed directly to this frame (kernel
+    leaves and the exposed-dispatch pseudo-frame); interior module frames
+    hold their time in descendants, so ``total_seconds`` is the rollup.
+    """
+
+    name: str
+    self_seconds: float = 0.0
+    children: Dict[str, "FlameNode"] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.self_seconds + sum(c.total_seconds
+                                       for c in self.children.values())
+
+    def child(self, name: str) -> "FlameNode":
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = FlameNode(name)
+        return node
+
+    def folded(self, prefix: str = "") -> List[str]:
+        """Brendan-Gregg folded-stack lines (``a;b;c <microseconds>``),
+        consumable by standard flamegraph tooling."""
+        path = f"{prefix};{self.name}" if prefix else self.name
+        lines: List[str] = []
+        if self.self_seconds > 0:
+            lines.append(f"{path} {self.self_seconds * 1e6:.3f}")
+        for child in sorted(self.children.values(),
+                            key=lambda c: -c.total_seconds):
+            lines.extend(child.folded(path))
+        return lines
+
+    def format(self, max_depth: int = 4, min_pct: float = 0.5,
+               _total: Optional[float] = None, _indent: int = 0) -> str:
+        """Human-readable indented tree, pruned below ``min_pct`` of root."""
+        total = self.total_seconds if _total is None else _total
+        mine = self.total_seconds
+        lines = [f"{'  ' * _indent}{self.name:<40.40}"
+                 f"{mine * 1e3:>10.3f} ms{_pct(mine, total):>7.2f}%"]
+        if _indent < max_depth:
+            for child in sorted(self.children.values(),
+                                key=lambda c: -c.total_seconds):
+                if _pct(child.total_seconds, total) >= min_pct:
+                    lines.append(child.format(max_depth, min_pct,
+                                              _total=total,
+                                              _indent=_indent + 1))
+        return "\n".join(lines)
+
+
+def scope_flame(step: StepTrace, gpu: GpuSpec,
+                cost_model: Optional[CostModel] = None,
+                graphed: bool = False) -> FlameNode:
+    """Roll simulated step time up the module scope tree.
+
+    Runs the same DES as :func:`table1_breakdown` and attributes each
+    kernel's simulated execution span to ``root/<scope .../<kernel>``
+    leaves, plus a ``(cpu exposed)`` frame for GPU starvation — so the
+    root's ``total_seconds`` equals the simulated step time exactly.
+    """
+    cost_model = cost_model or CostModel(gpu, autotune=False)
+    root = FlameNode("step")
+    busy = [0.0]
+
+    def attribute(record, start: float, end: float) -> None:
+        node = root
+        for part in record.scope_parts:
+            node = node.child(part)
+        node.child(record.name).self_seconds += end - start
+        busy[0] += end - start
+
+    breakdown = simulate_step(step.trace, gpu, cost_model, graphed=graphed,
+                              on_kernel=attribute)
+    exposed = breakdown.total_s - busy[0]
+    if exposed > 0:
+        root.child("(cpu exposed)").self_seconds = exposed
+    return root

@@ -123,7 +123,7 @@ class StepEstimate:
     total_s: float
     kernel_count: int
     stall: StallModel
-    timeline: Optional[Timeline] = None  # rank-0 interval attribution
+    timeline: Optional[Timeline] = None  # per-rank interval attribution
 
     def as_dict(self) -> Dict[str, float]:
         out = {f.name: getattr(self, f.name) for f in dataclasses.fields(self)
@@ -240,7 +240,7 @@ def _run_distributed_step(plan: List[_PlanOp],
             started = sim.now
             yield seconds
             nic.release()
-            if timeline is not None and rank == 0:
+            if timeline is not None:
                 timeline.record("nic", "ddp_comm", started, sim.now, rank)
             finished.succeed(None)
 
@@ -251,7 +251,10 @@ def _run_distributed_step(plan: List[_PlanOp],
     def rank_proc(rank: int):
         nic = Resource(sim, name=f"nic-{rank}")
         feed = feeds[rank]
-        tl = timeline if rank == 0 else None
+        # Every rank logs into the shared timeline; consumers filter by
+        # the interval's ``rank`` (the chrome-trace exporter emits one
+        # track per rank, the breakdown derivation reads rank 0).
+        tl = timeline
         for step in range(n_steps):
             acc = dict.fromkeys(keys, 0.0)
             if feed is not None:

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..framework.tracer import KernelCategory, KernelRecord, Trace
 from ..hardware.gpu import GpuSpec
@@ -86,7 +86,10 @@ def simulate_step(records: Iterable[KernelRecord], gpu: GpuSpec,
                   extra_host_s: float = 0.0,
                   segment_marks: Optional[Sequence[int]] = None,
                   timeline: Optional[Timeline] = None,
-                  rank: int = 0) -> StepTimeBreakdown:
+                  rank: int = 0,
+                  on_kernel: Optional[
+                      Callable[[KernelRecord, float, float], None]] = None
+                  ) -> StepTimeBreakdown:
     """Event-simulate one step over the kernel trace.
 
     Args:
@@ -101,6 +104,10 @@ def simulate_step(records: Iterable[KernelRecord], gpu: GpuSpec,
             the end of the trace is implied).
         timeline: optional interval log; GPU starvation spans are recorded
             as ``("gpu", "dispatch_wait")`` intervals.
+        on_kernel: per-kernel completion hook called as ``(record, start_s,
+            end_s)`` with the kernel's GPU-timeline execution span, in
+            execution order — the chrome-trace exporter and the flame
+            rollup consume exactly the simulated timestamps.
     """
     cost_model = cost_model or CostModel(gpu)
     dispatch = gpu.dispatch_seconds(graphed=graphed, cpu_slowdown=cpu_slowdown)
@@ -182,7 +189,7 @@ def simulate_step(records: Iterable[KernelRecord], gpu: GpuSpec,
             cat_calls[key] = cat_calls.get(key, 0) + 1
             limiters[cost.limiter] = limiters.get(cost.limiter, 0.0) + seconds
             dispatched[0] += 1
-            pending.append(seconds)
+            pending.append((r, seconds))
             waiter = gpu_waiter[0]
             if waiter is not None:
                 gpu_waiter[0] = None
@@ -206,12 +213,15 @@ def simulate_step(records: Iterable[KernelRecord], gpu: GpuSpec,
                     timeline.record("gpu", "dispatch_wait", idle_from,
                                     sim.now, rank)
                 continue
-            seconds = pending.popleft()
+            rec, seconds = pending.popleft()
+            started = sim.now
             yield seconds
             busy[0] += seconds
             executed[0] += 1
             n = executed[0]
             last_end[0] = sim.now
+            if on_kernel is not None:
+                on_kernel(rec, started, sim.now)
             if needed is not None and n in needed:
                 boundary_time[n] = sim.now
                 boundary_busy[n] = busy[0]

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..distributed.straggler import ImbalanceInputs, StragglerModel
 from ..hardware.cpu import CpuJitterConfig
+from ..observability.runlog import RunLogger
 from ..train.convergence import ConvergenceModel
 from ..train.evaluation import EvalConfig, eval_pass_seconds
 from .des import Resource, Simulator
@@ -93,12 +94,23 @@ class ClusterRunResult:
 
 
 def run_cluster_simulation(config: ClusterSimConfig,
-                           convergence: Optional[ConvergenceModel] = None
+                           convergence: Optional[ConvergenceModel] = None,
+                           run_logger: Optional[RunLogger] = None
                            ) -> ClusterRunResult:
-    """Run the event-driven cluster model until the target lDDT is scored."""
+    """Run the event-driven cluster model until the target lDDT is scored.
+
+    When ``run_logger`` is given, its clock is rebound to the simulation
+    clock for the duration of the run, so the emitted
+    ``run_start``/``step``/``eval``/``run_stop`` events carry *simulated*
+    milliseconds — the structured log reads like one from a real cluster.
+    """
     model = convergence or ConvergenceModel()
     rng = np.random.default_rng(config.seed)
     sim = Simulator()
+    saved_clock = None
+    if run_logger is not None:
+        saved_clock = run_logger.clock
+        run_logger.clock = lambda: sim.now
 
     straggler = StragglerModel(
         jitter=CpuJitterConfig(gc_enabled=not config.gc_disabled),
@@ -141,12 +153,20 @@ def run_cluster_simulation(config: ClusterSimConfig,
         lddt = model.lddt_at(samples, config.global_batch, rng)
         evals.append(EvalRecord(step=step, triggered_at=triggered,
                                 completed_at=sim.now, lddt=lddt))
+        if run_logger is not None:
+            run_logger.evaluation(step, lddt=lddt,
+                                  queue_delay_s=sim.now - triggered - eval_pass)
         if lddt >= config.target_lddt and state["converged_at"] is None:
             state["converged_at"] = sim.now
             state["final_step"] = step
 
     def trainer():
         yield config.init_seconds
+        if run_logger is not None:
+            run_logger.run_start(n_sync_ranks=config.n_sync_ranks,
+                                 global_batch=config.global_batch,
+                                 target_lddt=config.target_lddt,
+                                 async_eval=config.async_eval)
         while (state["converged_at"] is None
                and state["step"] < config.max_steps):
             i = state["step"]
@@ -155,6 +175,9 @@ def run_cluster_simulation(config: ClusterSimConfig,
             step_wall = config.step_seconds + float(delays[i].max())
             step_times.append(step_wall)
             yield step_wall
+            if run_logger is not None:
+                run_logger.step(state["step"], wall_s=step_wall,
+                                samples=state["samples"])
             if state["step"] % config.eval.eval_every_steps == 0:
                 sim.process(eval_proc(state["step"], state["samples"]),
                             name=f"eval-{state['step']}")
@@ -168,6 +191,12 @@ def run_cluster_simulation(config: ClusterSimConfig,
 
     converged = state["converged_at"] is not None
     total = (state["converged_at"] if converged else sim.now)
+    if run_logger is not None:
+        run_logger.run_stop(
+            status="success" if converged else "aborted",
+            steps=state["final_step"] if converged else state["step"],
+            total_seconds=float(total))
+        run_logger.clock = saved_clock
     return ClusterRunResult(
         total_seconds=float(total),
         steps=state["final_step"] if converged else state["step"],

@@ -20,6 +20,7 @@ from ..framework.tracer import Trace
 from ..model.alphafold import AlphaFold
 from ..model.config import AlphaFoldConfig
 from ..model.loss import AlphaFoldLoss
+from ..observability.runlog import RunLogger
 from .evaluation import evaluate_model
 from .optimizer import AlphaFoldOptimizer, OptimizerConfig
 from .schedule import LrSchedule
@@ -125,8 +126,19 @@ class Trainer:
     def fit(self, dataset: SyntheticProteinDataset, steps: int,
             eval_every: int = 0, eval_samples: int = 2,
             accumulate_steps: int = 1,
-            logger: Optional["StepLogger"] = None) -> TrainResult:
+            logger: Optional["StepLogger"] = None,
+            run_logger: Optional[RunLogger] = None) -> TrainResult:
+        """Run ``steps`` optimizer steps over the dataset.
+
+        ``logger`` receives flat per-step metric rows (console table);
+        ``run_logger`` receives MLPerf-style structured events
+        (``run_start``/``step``/``eval``/``run_stop``).
+        """
         result = TrainResult()
+        if run_logger is not None:
+            run_logger.run_start(steps=steps, dataset=len(dataset),
+                                 accumulate_steps=accumulate_steps,
+                                 n_recycle=self.n_recycle)
         cursor = 0
         for i in range(steps):
             batches = []
@@ -145,6 +157,9 @@ class Trainer:
                 logger.log(step=record.step, loss=record.loss,
                            grad_norm=record.grad_norm, lr=record.lr,
                            **{f"loss_{k}": v for k, v in record.parts.items()})
+            if run_logger is not None:
+                run_logger.step(record.step, loss=record.loss,
+                                grad_norm=record.grad_norm, lr=record.lr)
             if eval_every and (i + 1) % eval_every == 0:
                 batches = [make_batch(dataset[j]) for j in range(eval_samples)]
                 metrics = evaluate_model(self.model, batches)
@@ -152,4 +167,10 @@ class Trainer:
                 result.eval_history.append(metrics)
                 if logger is not None:
                     logger.log(**metrics)  # carries its own "step" key
+                if run_logger is not None:
+                    run_logger.evaluation(
+                        i + 1, **{k: v for k, v in metrics.items()
+                                  if k != "step"})
+        if run_logger is not None:
+            run_logger.run_stop(final_loss=result.final_loss)
         return result

@@ -123,3 +123,24 @@ class TestCli:
     def test_unknown(self):
         with pytest.raises(ValueError):
             main(["nope"])
+
+
+class TestTraceCli:
+    def test_export(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "export", "--config", "tiny",
+                     "-o", "out.json"]) == 0
+        assert "wrote" in capsys.readouterr().out
+        import json
+        loaded = json.loads((tmp_path / "out.json").read_text())
+        assert len(loaded["traceEvents"]) > 0
+
+    def test_top(self, capsys):
+        assert main(["trace", "top", "--config", "tiny", "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Kernel" in out and "% step" in out
+
+    def test_flame(self, capsys):
+        assert main(["trace", "flame", "--config", "tiny",
+                     "--depth", "1", "--min-pct", "5"]) == 0
+        assert "100.00%" in capsys.readouterr().out

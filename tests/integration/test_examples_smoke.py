@@ -20,6 +20,7 @@ FAST_EXAMPLES = [
     "numeric_dap.py",
     "memory_analysis.py",
     "predict_structure.py",
+    "trace_export.py",
 ]
 
 
@@ -44,6 +45,6 @@ def test_all_examples_exist():
                 "nonblocking_dataloader.py", "numeric_dap.py",
                 "scaling_analysis.py", "mlperf_benchmark.py",
                 "pretrain_from_scratch.py", "memory_analysis.py",
-                "predict_structure.py"}
+                "predict_structure.py", "trace_export.py"}
     present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
     assert expected <= present, expected - present

@@ -151,6 +151,21 @@ class TestTiledFlash:
         assert np.all(np.isfinite(tiled))
         assert np.allclose(tiled, direct, atol=1e-4)
 
+    def test_fully_masked_row_eager_vs_flash(self):
+        """A query row with EVERY key masked to -inf must come out all-zero
+        on both the eager (ops.softmax) and flash (tiled) paths — no NaN,
+        no overflow warning (RuntimeWarnings are errors under pytest)."""
+        q, k, v = arr(1, 1, 4, 4), arr(1, 1, 8, 4), arr(1, 1, 8, 4)
+        bias = np.zeros((1, 1, 4, 8), np.float32)
+        bias[..., 1, :] = -np.inf  # query row 1: all keys masked
+        tiled = flash_attention_tiled(q, k, v, bias=bias, block_q=2, block_k=3)
+        eager = F.attention(Tensor(q), Tensor(k), Tensor(v),
+                            biases=[Tensor(bias)]).numpy()
+        assert np.all(np.isfinite(tiled)) and np.all(np.isfinite(eager))
+        assert np.all(tiled[..., 1, :] == 0.0)
+        assert np.all(eager[..., 1, :] == 0.0)
+        assert np.allclose(tiled, eager, atol=1e-5)
+
     @given(st.integers(1, 12), st.integers(1, 12))
     @settings(max_examples=25, deadline=None)
     def test_block_size_invariance(self, bq, bk):

@@ -1,0 +1,83 @@
+"""Flame rollup conservation and percentage edge cases.
+
+The scope flame attributes every simulated second to exactly one frame, so
+the root total must equal the simulated step time; percentage helpers must
+survive an empty (zero-time) trace instead of dividing by zero.
+"""
+
+import pytest
+
+from repro.framework.tracer import Trace
+from repro.hardware.gpu import get_gpu
+from repro.model.config import AlphaFoldConfig, KernelPolicy
+from repro.perf.profiler import (FlameNode, scope_flame, table1_breakdown,
+                                 top_kernels)
+from repro.perf.trace_builder import StepTrace, build_step_trace
+
+
+@pytest.fixture(scope="module")
+def tiny_step():
+    policy = KernelPolicy.reference()
+    return build_step_trace(policy=policy, cfg=AlphaFoldConfig.tiny(policy))
+
+
+def _empty_step(policy=None):
+    policy = policy or KernelPolicy.reference()
+    return StepTrace(trace=Trace("empty"), policy=policy, n_recycle=0,
+                     n_params=0, param_shapes=[])
+
+
+class TestScopeFlame:
+    def test_rollup_conserves_simulated_step_time(self, tiny_step):
+        gpu = get_gpu("A100")
+        flame = scope_flame(tiny_step, gpu)
+        total = table1_breakdown(tiny_step, gpu).total_seconds
+        assert total > 0
+        assert abs(flame.total_seconds - total) <= 1e-6 * total
+
+    def test_interior_frames_hold_no_self_time(self, tiny_step):
+        flame = scope_flame(tiny_step, get_gpu("A100"))
+        def walk(node):
+            if node.children:
+                # Module frames only aggregate; kernels are the leaves.
+                for child in node.children.values():
+                    walk(child)
+            else:
+                assert node.self_seconds > 0
+        for child in flame.children.values():
+            walk(child)
+
+    def test_folded_lines_sum_to_total(self, tiny_step):
+        flame = scope_flame(tiny_step, get_gpu("A100"))
+        folded = flame.folded()
+        assert all(";" in line or line.startswith("step ")
+                   for line in folded)
+        total_us = sum(float(line.rsplit(" ", 1)[1]) for line in folded)
+        assert total_us == pytest.approx(flame.total_seconds * 1e6, rel=1e-6)
+
+    def test_format_prunes_small_frames(self, tiny_step):
+        flame = scope_flame(tiny_step, get_gpu("A100"))
+        text = flame.format(max_depth=2, min_pct=5.0)
+        assert "step" in text and "100.00%" in text
+
+    def test_empty_trace_gives_empty_flame(self):
+        flame = scope_flame(_empty_step(), get_gpu("A100"))
+        assert flame.total_seconds == 0.0
+        assert flame.children == {}
+        assert flame.format()  # no ZeroDivisionError formatting 0-total
+
+    def test_flame_node_child_reuse(self):
+        root = FlameNode("root")
+        assert root.child("a") is root.child("a")
+
+
+class TestZeroTimePercentages:
+    def test_table1_on_empty_trace_returns_zero_rows(self):
+        """Regression: an empty trace used to ZeroDivisionError."""
+        table = table1_breakdown(_empty_step(), get_gpu("A100"))
+        assert table.total_seconds == 0.0
+        assert all(row.runtime_pct == 0.0 for row in table.rows)
+        assert table.format()
+
+    def test_top_kernels_on_empty_trace(self):
+        assert top_kernels(_empty_step(), get_gpu("A100")) == []
