@@ -6,6 +6,8 @@ observability stack::
     python -m repro trace export -o step.json   # chrome://tracing JSON
     python -m repro trace top                   # nsys-style top kernels
     python -m repro trace flame                 # per-scope time rollup
+    python -m repro trace cache                 # cache hit/miss report
+    python -m repro bench                       # simulation benchmarks
 """
 
 from __future__ import annotations
@@ -28,12 +30,36 @@ def _build_profile_trace(config_name: str, scalefold: bool):
     return build_step_trace(policy=policy, cfg=cfg)
 
 
+def cache_report(clear: bool = False) -> int:
+    """Print disk-store and in-memory cache statistics."""
+    from .framework.caching import cache_registry
+    from .framework.trace_io import default_store
+
+    store = default_store()
+    if clear:
+        removed = store.clear()
+        print(f"removed {removed} disk cache entries")
+    s = store.stats()
+    state = "enabled" if s["enabled"] else "disabled"
+    print(f"disk store ({state}): {s['root']}")
+    print(f"  entries={s['entries']} bytes={s['bytes']:,} "
+          f"traces={s['trace_hits']}h/{s['trace_misses']}m "
+          f"arrays={s['array_hits']}h/{s['array_misses']}m "
+          f"writes={s['writes']}")
+    print("in-memory caches:")
+    for name, st in sorted(cache_registry().items()):
+        print(f"  {name:<16} size={st.size}/{st.capacity} "
+              f"hits={st.hits} misses={st.misses} "
+              f"evictions={st.evictions} hit_rate={st.hit_rate:.0%}")
+    return 0
+
+
 def trace_command(argv: List[str]) -> int:
-    """``repro trace {export,top,flame}`` — observability subcommands."""
+    """``repro trace {export,top,flame,cache}`` — observability subcommands."""
     parser = argparse.ArgumentParser(
         prog="repro trace",
         description="Export and analyze simulated kernel traces.")
-    parser.add_argument("action", choices=("export", "top", "flame"))
+    parser.add_argument("action", choices=("export", "top", "flame", "cache"))
     parser.add_argument("--config", default="small",
                         choices=("tiny", "small", "full"),
                         help="model size preset (default: small)")
@@ -57,7 +83,12 @@ def trace_command(argv: List[str]) -> int:
                         help="[flame] prune frames below this %% of step")
     parser.add_argument("--folded", action="store_true",
                         help="[flame] emit folded stacks for flamegraph.pl")
+    parser.add_argument("--clear", action="store_true",
+                        help="[cache] delete every on-disk cache entry")
     args = parser.parse_args(argv)
+
+    if args.action == "cache":
+        return cache_report(clear=args.clear)
 
     from .hardware.gpu import get_gpu
     from .perf.profiler import scope_flame, top_kernels
@@ -99,10 +130,45 @@ def trace_command(argv: List[str]) -> int:
     return 0
 
 
+def bench_command(argv: List[str]) -> int:
+    """``repro bench`` — time the simulation pipeline, write a JSON report.
+
+    Exits nonzero if the fast and event engines disagree on any simulated
+    number (the bit-identity contract the fast path is built on).
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Benchmark the simulation pipeline (trace build, "
+                    "step simulation engines, 64-rank estimate, ladder "
+                    "sweep) and write BENCH_simulation.json.")
+    parser.add_argument("--gpu", default="H100", help="GPU spec name")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sweep for CI (fewer ladder rungs)")
+    parser.add_argument("--skip-ladder", action="store_true",
+                        help="skip the optimization-ladder sweep stage")
+    parser.add_argument("--output", "-o", default="BENCH_simulation.json",
+                        help="report path (default: BENCH_simulation.json)")
+    args = parser.parse_args(argv)
+
+    from .perf.bench import format_bench, run_bench, write_bench
+
+    report = run_bench(gpu=args.gpu, quick=args.quick,
+                       skip_ladder=args.skip_ladder)
+    write_bench(args.output, report)
+    print(format_bench(report))
+    print(f"wrote {args.output}")
+    if not report["golden_match"]:
+        print("FAIL: fast and event engines diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "trace":
         return trace_command(argv[1:])
+    if argv and argv[0] == "bench":
+        return bench_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ScaleFold reproduction: regenerate the paper's tables "

@@ -22,11 +22,23 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..framework.tracer import KernelCategory, KernelRecord
 from ..kernels.autotune import DEFAULT_CONFIG, Autotuner, KernelConfig
 from .gpu import MATMUL_DTYPE_FOR_FP32, GpuSpec
+
+#: Bump when any cost formula or constant changes: part of the on-disk
+#: cost-array cache key, so stale cached seconds can never be replayed
+#: against a newer model.
+COST_MODEL_VERSION = 1
+
+#: Stable limiter encoding shared by the scalar path, the batched path and
+#: the persisted cost arrays.
+LIMITERS: Tuple[str, ...] = ("math", "memory", "latency")
+_LIM_MATH, _LIM_MEMORY, _LIM_LATENCY = 0, 1, 2
 
 # ----------------------------------------------------------------------
 # Generic (non-tunable) efficiency curves
@@ -184,3 +196,47 @@ class CostModel:
         "X% of theoretical performance" claims."""
         return max(flops / self.gpu.peak_flops(_math_dtype(dtype)),
                    bytes_moved / self.gpu.membw())
+
+    # ------------------------------------------------------------------
+    # Batched generic path (vectorized costing fast path)
+    # ------------------------------------------------------------------
+    def generic_cost_arrays(self, flops: np.ndarray, bytes_moved: np.ndarray,
+                            category_codes: np.ndarray,
+                            math_category_code: int,
+                            memop_category_code: int,
+                            peak_flops: np.ndarray
+                            ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`_generic_cost` over whole kernel arrays.
+
+        Every elementwise operation mirrors the scalar formula in the same
+        order, so each output element is *bit-identical* to what
+        ``kernel_cost`` returns for that record (IEEE-754 double arithmetic
+        is deterministic per operation; only re-association would change
+        results, and none happens here).  Returns ``(seconds, limiter
+        codes)`` with limiters encoded per :data:`LIMITERS`.
+        """
+        latency = self.gpu.gpu_launch_latency_us * 1e-6
+        # flops == 0 flows through as 0/half -> eff 0.02 -> 0/(peak*0.02)
+        # == 0.0, exactly the scalar early-out value, with no 0/0 anywhere.
+        math_eff = np.maximum(
+            MATH_MAX_EFF * (flops / (flops + MATH_HALF_SAT_FLOPS)), 0.02)
+        math_time = flops / (peak_flops * math_eff)
+        mem_max_eff = np.where(category_codes == memop_category_code,
+                               MEMOP_MAX_EFF, MEM_MAX_EFF)
+        mem_eff = np.maximum(
+            mem_max_eff * (bytes_moved / (bytes_moved + MEM_HALF_SAT_BYTES)),
+            0.02)
+        mem_time = bytes_moved / (self.gpu.membw() * mem_eff)
+
+        math_wins = ((category_codes == math_category_code)
+                     & (math_time >= mem_time))
+        best = np.maximum(math_time, mem_time)
+        seconds = np.where(
+            math_wins, np.maximum(math_time, latency),
+            np.where(best <= latency, latency, best))
+        limiters = np.where(
+            math_wins,
+            np.where(math_time > latency, _LIM_MATH, _LIM_LATENCY),
+            np.where(best <= latency, _LIM_LATENCY,
+                     np.where(math_time > mem_time, _LIM_MATH, _LIM_MEMORY)))
+        return seconds, limiters.astype(np.int8)

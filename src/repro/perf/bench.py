@@ -1,0 +1,261 @@
+"""Simulation-pipeline benchmark: ``repro bench`` and BENCH_simulation.json.
+
+Times the four workloads the fast-path/caching work targets and writes one
+machine-readable report:
+
+* **trace build** — cold meta-build, warm in-memory hit, and (when the disk
+  cache is enabled) a fresh-process-style load from the content-addressed
+  store;
+* **single-rank step simulation** — the vectorized closed-form engine vs
+  the discrete-event engine over the same ~100k-kernel trace, with an exact
+  field-by-field equality check;
+* **64-rank estimate** — the golden DAP-8 x DP-8 scenario through
+  :func:`estimate_step_time` under each engine (warm caches), recording the
+  event-engine baseline and the fast/event speedup;
+* **ladder sweep** — the Figure-8 optimization ladder through
+  :func:`estimate_many`, cold and estimate-cache-warm.
+
+The two engines must agree bit-for-bit on every simulated number;
+``golden_match`` is false (and the CLI exits nonzero) if any field differs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..framework.caching import cache_registry
+from ..framework.trace_io import default_store
+from ..hardware.gpu import get_gpu
+from ..hardware.roofline import CostModel
+from ..model.config import KernelPolicy
+from .scaling import (Scenario, StepEstimate, clear_estimate_cache,
+                      clear_partition_cache, estimate_many,
+                      estimate_step_time, optimization_ladder)
+from .step_time import SIM_ENGINE_ENV, StepTimeBreakdown, simulate_step
+from .trace_builder import build_step_trace, clear_cache
+from .vector_cost import clear_cost_cache, trace_cost_arrays
+
+BENCH_VERSION = 1
+
+#: The fast path must beat the event engine by at least this factor on the
+#: warm-cache 64-rank estimate (the workload every figure re-runs).
+SPEEDUP_TARGET = 5.0
+
+#: How many ladder rungs a ``--quick`` (CI) run sweeps.
+QUICK_LADDER_RUNGS = 3
+
+
+def golden_scenario(gpu: str = "H100") -> Scenario:
+    """The 64-rank pretraining configuration (DAP-8 x DP-8, all opts on)."""
+    return Scenario(policy=KernelPolicy.scalefold(checkpointing=False),
+                    gpu=gpu, dap_n=8, dp_degree=8, cuda_graphs=True,
+                    gc_disabled=True, torch_compile=True,
+                    nonblocking_pipeline=True)
+
+
+def _timed(fn: Callable[[], object]) -> Tuple[float, object]:
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def breakdowns_equal(a: StepTimeBreakdown, b: StepTimeBreakdown) -> bool:
+    """Exact (bit-level) equality of two step-time breakdowns."""
+    if (a.total_s != b.total_s or a.gpu_busy_s != b.gpu_busy_s
+            or a.cpu_exposed_s != b.cpu_exposed_s
+            or a.dispatch_total_s != b.dispatch_total_s
+            or a.kernel_count != b.kernel_count
+            or a.category_seconds != b.category_seconds
+            or a.category_calls != b.category_calls
+            or a.limiter_seconds != b.limiter_seconds
+            or len(a.segments) != len(b.segments)):
+        return False
+    return all(dataclasses.astuple(x) == dataclasses.astuple(y)
+               for x, y in zip(a.segments, b.segments))
+
+
+def estimates_equal(a: StepEstimate, b: StepEstimate) -> bool:
+    """Exact equality of every numeric field of two step estimates."""
+    return a.as_dict() == b.as_dict()
+
+
+def _bench_trace_build(policy: KernelPolicy) -> Dict[str, object]:
+    store = default_store()
+    was_enabled = store.enabled
+    store.enabled = False
+    try:
+        clear_cache()
+        cold_s, step = _timed(lambda: build_step_trace(policy))
+        warm_s, again = _timed(lambda: build_step_trace(policy))
+        assert again is step  # memory hit returns the same object
+    finally:
+        store.enabled = was_enabled
+    result: Dict[str, object] = {
+        "n_records": len(step.trace.records),
+        "cold_s": cold_s,
+        "warm_memory_s": warm_s,
+    }
+    if store.enabled:
+        clear_cache()
+        build_step_trace(policy)       # populate the disk entry
+        clear_cache()
+        disk_s, _ = _timed(lambda: build_step_trace(policy))
+        result["disk_s"] = disk_s
+    return result
+
+
+def _bench_step_sim(policy: KernelPolicy, gpu: str) -> Dict[str, object]:
+    gpu_spec = get_gpu(gpu)
+    cost = CostModel(gpu_spec, autotune=True)
+    records = list(build_step_trace(policy).trace.records)
+    costs = trace_cost_arrays(records, cost)
+    event_s, event_bd = _timed(
+        lambda: simulate_step(records, gpu_spec, cost, engine="event"))
+    fast_s, fast_bd = _timed(
+        lambda: simulate_step(records, gpu_spec, cost, engine="fast",
+                              costs=costs))
+    return {
+        "n_records": len(records),
+        "event_s": event_s,
+        "fast_s": fast_s,
+        "speedup": event_s / max(fast_s, 1e-12),
+        "total_s": fast_bd.total_s,
+        "match": breakdowns_equal(event_bd, fast_bd),
+    }
+
+
+def _with_engine(name: str, fn: Callable[[], object]) -> object:
+    previous = os.environ.get(SIM_ENGINE_ENV)
+    os.environ[SIM_ENGINE_ENV] = name
+    try:
+        return fn()
+    finally:
+        if previous is None:
+            os.environ.pop(SIM_ENGINE_ENV, None)
+        else:
+            os.environ[SIM_ENGINE_ENV] = previous
+
+
+def _bench_estimate(gpu: str) -> Dict[str, object]:
+    scenario = golden_scenario(gpu)
+    estimate_step_time(scenario)       # warm traces, cost arrays, splits
+
+    # Pre-PR-equivalent baseline: event engine with every derived cache
+    # dropped and the disk store bypassed, so the call re-partitions,
+    # re-costs and event-walks the trace exactly as every call used to.
+    # (The trace meta-build memo existed pre-PR and stays warm.  Costing
+    # still goes through the vectorized evaluator, which is *faster* than
+    # the old scalar split loop, so this baseline understates the true
+    # pre-PR cost.)
+    store = default_store()
+    was_enabled = store.enabled
+    store.enabled = False
+    try:
+        clear_estimate_cache()
+        clear_partition_cache()
+        clear_cost_cache()
+        baseline_s, baseline_est = _with_engine(
+            "event", lambda: _timed(lambda: estimate_step_time(scenario)))
+    finally:
+        store.enabled = was_enabled
+
+    # Warm-cache runs of both engines (what sweeps actually pay per call).
+    estimate_step_time(scenario)       # re-warm partitions and arrays
+    clear_estimate_cache()
+    event_s, event_est = _with_engine(
+        "event", lambda: _timed(lambda: estimate_step_time(scenario)))
+    clear_estimate_cache()
+    fast_s, fast_est = _with_engine(
+        "fast", lambda: _timed(lambda: estimate_step_time(scenario)))
+    speedup = baseline_s / max(fast_s, 1e-12)
+    return {
+        "scenario": scenario.label(),
+        "world_size": scenario.world_size,
+        "kernel_count": fast_est.kernel_count,
+        "total_s": fast_est.total_s,
+        "baseline_s": baseline_s,
+        "event_warm_s": event_s,
+        "fast_s": fast_s,
+        "speedup": speedup,
+        "speedup_vs_warm_event": event_s / max(fast_s, 1e-12),
+        "speedup_target": SPEEDUP_TARGET,
+        "meets_target": speedup >= SPEEDUP_TARGET,
+        "match": (estimates_equal(event_est, fast_est)
+                  and estimates_equal(baseline_est, fast_est)),
+    }
+
+
+def _bench_ladder(gpu: str, quick: bool) -> Dict[str, object]:
+    ladder = optimization_ladder(gpu=gpu)
+    if quick:
+        ladder = ladder[:QUICK_LADDER_RUNGS]
+    clear_estimate_cache()
+    cold_s, _ = _timed(lambda: estimate_many(ladder))
+    warm_s, _ = _timed(lambda: estimate_many(ladder))
+    return {
+        "n_scenarios": len(ladder),
+        "quick": quick,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+    }
+
+
+def run_bench(gpu: str = "H100", quick: bool = False,
+              skip_ladder: bool = False) -> Dict[str, object]:
+    """Run every benchmark stage; returns the BENCH_simulation payload."""
+    policy = KernelPolicy.scalefold(checkpointing=False)
+    report: Dict[str, object] = {
+        "version": BENCH_VERSION,
+        "gpu": gpu,
+        "quick": quick,
+        "trace_build": _bench_trace_build(policy),
+        "step_sim": _bench_step_sim(policy, gpu),
+        "estimate_64rank": _bench_estimate(gpu),
+    }
+    if not skip_ladder:
+        report["ladder_sweep"] = _bench_ladder(gpu, quick)
+    report["caches"] = {name: stats.as_dict()
+                        for name, stats in sorted(cache_registry().items())}
+    report["disk_store"] = default_store().stats()
+    report["golden_match"] = bool(report["step_sim"]["match"]
+                                  and report["estimate_64rank"]["match"])
+    return report
+
+
+def write_bench(path: str, report: Dict[str, object]) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def format_bench(report: Dict[str, object]) -> str:
+    lines: List[str] = []
+    tb = report["trace_build"]
+    lines.append(f"trace build ({tb['n_records']:,} records): "
+                 f"cold {tb['cold_s']:.3f}s, memory {tb['warm_memory_s']*1e3:.2f}ms"
+                 + (f", disk {tb['disk_s']:.3f}s" if "disk_s" in tb else ""))
+    ss = report["step_sim"]
+    lines.append(f"step sim ({ss['n_records']:,} records): "
+                 f"event {ss['event_s']:.3f}s, fast {ss['fast_s']:.3f}s "
+                 f"({ss['speedup']:.1f}x), match={ss['match']}")
+    est = report["estimate_64rank"]
+    lines.append(f"64-rank estimate ({est['scenario']}): "
+                 f"baseline {est['baseline_s']:.3f}s, "
+                 f"warm event {est['event_warm_s']:.3f}s, "
+                 f"warm fast {est['fast_s']:.3f}s "
+                 f"({est['speedup']:.1f}x vs target {est['speedup_target']:.0f}x), "
+                 f"match={est['match']}")
+    if "ladder_sweep" in report:
+        ls = report["ladder_sweep"]
+        lines.append(f"ladder sweep ({ls['n_scenarios']} scenarios): "
+                     f"cold {ls['cold_s']:.3f}s, warm {ls['warm_s']*1e3:.2f}ms")
+    store = report["disk_store"]
+    lines.append(f"disk store: {store['entries']} entries, {store['bytes']:,} B "
+                 f"at {store['root']} "
+                 f"({'enabled' if store['enabled'] else 'disabled'})")
+    lines.append(f"golden_match: {report['golden_match']}")
+    return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""Closed-form vectorized two-clock kernel timing (the DES fast path).
+
+The event engine in :mod:`repro.perf.step_time` is numerically a two-clock
+recurrence over the executable kernels::
+
+    cpu_clock += dispatch                      # launch cost
+    start      = max(cpu_clock, gpu_free)      # stream ordering
+    gpu_free   = start + device_seconds        # kernel end
+
+with one extra rule: at phase boundaries (and only when not graph-replayed)
+the CPU drains its launch lead, ``cpu_clock = max(cpu_clock, gpu_free)``.
+
+This module evaluates that recurrence with numpy while staying
+*bit-identical* to the event engine — every output double is produced by
+the same IEEE-754 operations in the same order:
+
+* the CPU clock within one drain block is a seeded sequential ``np.cumsum``
+  (``ufunc.accumulate`` adds strictly left to right, exactly like the
+  engine's repeated ``now + dispatch``);
+* the GPU clock alternates between two closed-form regimes — **starved**
+  runs, where every kernel waits on its own launch (``end = c + s``,
+  elementwise) and **saturated** runs, where the stream is back-to-back
+  (``end`` is a seeded sequential cumsum of device seconds) — found by
+  scanning regime breaks with doubling windows, so the whole pass stays
+  O(m) in vectorized chunks.
+
+Anything pairwise-summed (``np.sum``, ``np.add.reduce``) is deliberately
+avoided: pairwise association produces different last-bit rounding than the
+engine's sequential additions.  ``tests/perf/test_fast_path_golden.py``
+pins exact (``==``) equality against the event engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Initial regime-scan window; doubles on every miss so a trace that is one
+#: long saturated run costs O(log m) vector ops, not O(m) python iterations.
+_CHUNK = 64
+
+
+def two_clock_times(seconds: np.ndarray, dispatch: float,
+                    drain_mask: Optional[np.ndarray] = None
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+    """Dispatch-completion and execution-end times for every kernel.
+
+    Args:
+        seconds: float64[m] device time per executable kernel, trace order.
+        dispatch: per-kernel CPU launch cost (seconds).
+        drain_mask: optional bool[m]; True where the CPU performs the
+            phase-boundary drain *before* dispatching that kernel (pass
+            ``None`` for graph replay, which never drains).
+
+    Returns:
+        ``(c, ends)``: ``c[k]`` is the time the CPU finishes launching
+        kernel ``k``; ``ends[k]`` is the time the GPU finishes executing it.
+        Both bit-identical to the event engine's timestamps.
+    """
+    m = int(seconds.shape[0])
+    c = np.empty(m, dtype=np.float64)
+    ends = np.empty(m, dtype=np.float64)
+    if m == 0:
+        return c, ends
+
+    if drain_mask is not None and drain_mask.any():
+        starts = np.flatnonzero(drain_mask)
+        if starts[0] != 0:
+            starts = np.concatenate(([0], starts))
+        bounds = np.append(starts, m)
+    else:
+        bounds = np.array([0, m], dtype=np.int64)
+
+    cpu = 0.0
+    gpu_free = 0.0
+    for bi in range(bounds.shape[0] - 1):
+        b0 = int(bounds[bi])
+        b1 = int(bounds[bi + 1])
+        # Drain: wait for every dispatched kernel to finish.  The engine
+        # only blocks when the GPU is behind; when it is not, gpu_free <=
+        # cpu already, so max() reproduces both branches exactly.
+        if gpu_free > cpu:
+            cpu = gpu_free
+        seed = np.empty(b1 - b0, dtype=np.float64)
+        seed[0] = cpu + dispatch
+        seed[1:] = dispatch
+        cblk = np.cumsum(seed)
+        c[b0:b1] = cblk
+        cpu = float(cblk[-1])
+        gpu_free = _fill_ends(cblk, seconds[b0:b1], ends[b0:b1], gpu_free)
+    return c, ends
+
+
+def _fill_ends(c: np.ndarray, s: np.ndarray, out: np.ndarray,
+               gpu_free: float) -> float:
+    """Fill ``out`` with kernel end times for one drain block."""
+    m = c.shape[0]
+    i = 0
+    while i < m:
+        if c[i] > gpu_free:
+            # Starved: the stream waits on each launch, end = c + s with a
+            # single addition per kernel — exactly the engine's
+            # start-at-dispatch path.
+            j = _starved_run_end(c, s, i)
+            np.add(c[i:j], s[i:j], out=out[i:j])
+        else:
+            # Saturated: back-to-back execution, each end is the previous
+            # end plus this kernel's device time.
+            j = _saturated_fill(c, s, i, out, gpu_free)
+        gpu_free = float(out[j - 1])
+        i = j
+    return gpu_free
+
+
+def _starved_run_end(c: np.ndarray, s: np.ndarray, i: int) -> int:
+    """First index ``> i`` that is *not* starved (``c[k] <= end[k-1]``)."""
+    m = c.shape[0]
+    k = i + 1
+    w = _CHUNK
+    while k < m:
+        stop = min(k + w, m)
+        # Inside a starved run end[k-1] == c[k-1] + s[k-1].
+        saturated = c[k:stop] <= c[k - 1:stop - 1] + s[k - 1:stop - 1]
+        hits = np.flatnonzero(saturated)
+        if hits.size:
+            return k + int(hits[0])
+        k = stop
+        w <<= 1
+    return m
+
+
+def _saturated_fill(c: np.ndarray, s: np.ndarray, i: int, out: np.ndarray,
+                    gpu_free: float) -> int:
+    """Fill the saturated run starting at ``i``; returns its end index."""
+    m = c.shape[0]
+    prev = gpu_free
+    k = i
+    w = _CHUNK
+    while k < m:
+        if k > i and c[k] > prev:
+            return k  # the run ended exactly at a window boundary
+        stop = min(k + w, m)
+        seed = s[k:stop].copy()
+        seed[0] = prev + s[k]
+        ew = np.cumsum(seed)
+        # Kernel k+t leaves the run when its launch lands after the
+        # previous end: c[k+t] > end[k+t-1].
+        breaks = np.flatnonzero(c[k + 1:stop] > ew[:stop - k - 1])
+        if breaks.size:
+            t = int(breaks[0]) + 1
+            out[k:k + t] = ew[:t]
+            return k + t
+        out[k:stop] = ew
+        prev = float(ew[-1])
+        k = stop
+        w <<= 1
+    return m

@@ -29,6 +29,8 @@ hand-tuned subtraction.
 from __future__ import annotations
 
 import dataclasses
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -42,6 +44,7 @@ from ..distributed.dap import DapStepTrace, partition_step
 from ..distributed.ddp import DdpConfig, bucket_schedule, ddp_cost
 from ..distributed.straggler import ImbalanceInputs, StragglerModel
 from ..distributed.topology import ClusterTopology
+from ..framework.caching import LruCache, register_cache
 from ..framework.dtypes import bfloat16
 from ..framework.tracer import KernelCategory, KernelRecord
 from ..hardware.cpu import CpuJitterConfig
@@ -51,7 +54,10 @@ from ..model.config import AlphaFoldConfig, KernelPolicy
 from ..sim.des import Barrier, Event, Process, Resource, Simulator, Timeline
 from .step_time import simulate_step
 from .torchcompile import apply_torch_compile
-from .trace_builder import StepTrace, build_step_trace
+from .trace_builder import (StepTrace, build_step_trace, trace_key,
+                            trace_store_material)
+from .vector_cost import (TraceCostArrays, cost_cache_material,
+                          trace_cost_arrays)
 
 #: Rank-level simulation horizon: warmup steps absorb loader cold start and
 #: are excluded from the reported means.
@@ -133,19 +139,46 @@ class StepEstimate:
 
 
 # Shared straggler RNG cache keyed by seed so estimates are deterministic.
-_PREP_CACHE: Dict[int, np.ndarray] = {}
+_PREP_CACHE = register_cache(LruCache(capacity=8, name="prep-series"))
 
 
 def _prep_times(seed: int = 5, n: int = 1024) -> np.ndarray:
-    if seed not in _PREP_CACHE:
+    def build() -> np.ndarray:
         cfg = AlphaFoldConfig.full()
         dataset = SyntheticProteinDataset(cfg, size=max(n, 1024))
-        _PREP_CACHE[seed] = prep_time_series(dataset, n=n, seed=seed)
-    return _PREP_CACHE[seed]
+        return prep_time_series(dataset, n=n, seed=seed)
+    return _PREP_CACHE.get_or_create((seed, n), build)
 
 
-def _split_serial_parallel(dap: DapStepTrace, cost: CostModel) -> (float, float):
+#: Serial/parallel device-time splits are pure functions of the cost-array
+#: key, so they are memoized alongside the arrays.
+_SPLIT_CACHE = register_cache(LruCache(capacity=64, name="serial-split"))
+
+
+def _split_serial_parallel(dap: DapStepTrace, cost: CostModel,
+                           costs: Optional[TraceCostArrays] = None,
+                           cache_key: Optional[Tuple] = None
+                           ) -> Tuple[float, float]:
     from ..distributed.dap import is_shardable
+    if costs is not None:
+        if cache_key is not None:
+            hit = _SPLIT_CACHE.get(cache_key)
+            if hit is not None:
+                return hit
+        # Masked sequential sums over the precomputed per-kernel seconds:
+        # np.cumsum adds left to right, so each total is bit-identical to
+        # the scalar accumulation over the same subsequence.
+        recs = dap.records
+        shardable = np.fromiter(
+            (is_shardable(recs[i]) for i in costs.exec_idx.tolist()),
+            dtype=bool, count=costs.m)
+        par = costs.seconds[shardable]
+        ser = costs.seconds[~shardable]
+        result = (float(np.cumsum(ser)[-1]) if ser.size else 0.0,
+                  float(np.cumsum(par)[-1]) if par.size else 0.0)
+        if cache_key is not None:
+            _SPLIT_CACHE.put(cache_key, result)
+        return result
     serial = parallel = 0.0
     for r in dap.records:
         if r.category is KernelCategory.COMM:
@@ -371,11 +404,24 @@ def _scenario_key(scenario: Scenario) -> Tuple:
             scenario.n_recycle, scenario.imbalance_enabled, scenario.seed)
 
 
-_ESTIMATE_CACHE: Dict[Tuple, "StepEstimate"] = {}
+_ESTIMATE_CACHE = register_cache(LruCache(capacity=256, name="step-estimates"))
+
+#: DAP partitioning + the torch.compile record transform are pure
+#: deterministic functions of (trace identity, DAP degree, compile flag);
+#: the resulting record lists are immutable by convention, so scenarios
+#: sharing a partitioned trace share one list instead of re-partitioning
+#: ~150k records per estimate.
+_DAP_CACHE = register_cache(LruCache(capacity=16, name="dap-partitions"))
 
 
 def clear_estimate_cache() -> None:
     _ESTIMATE_CACHE.clear()
+
+
+def clear_partition_cache() -> None:
+    """Drop cached DAP partitions and the splits derived from them."""
+    _DAP_CACHE.clear()
+    _SPLIT_CACHE.clear()
 
 
 def estimate_step_time(scenario: Scenario,
@@ -391,29 +437,53 @@ def estimate_step_time(scenario: Scenario,
 
     gpu = get_gpu(scenario.gpu)
     topo = topo or ClusterTopology(gpu=gpu, n_gpus=scenario.world_size)
+    own_trace = trace is None
     trace = trace or build_step_trace(scenario.policy,
                                       n_recycle=scenario.n_recycle)
     cfg = AlphaFoldConfig.full(scenario.policy)
 
-    dap = partition_step(trace, scenario.dap_n, cfg, emit_comm_records=True)
-    records = dap.records
-    if scenario.torch_compile:
-        records = apply_torch_compile(records)
+    records_id = None
+    if own_trace:
+        records_id = ("dap-records",
+                      trace_key(scenario.policy, n_recycle=scenario.n_recycle),
+                      scenario.dap_n, scenario.torch_compile)
+
+    def build_partition():
+        dap = partition_step(trace, scenario.dap_n, cfg,
+                             emit_comm_records=True)
+        recs = dap.records
+        if scenario.torch_compile:
+            recs = apply_torch_compile(recs)
+        return recs, dap.comm_events, dap.dap_n
+
+    if records_id is not None:
+        records, comm_events, dap_n = _DAP_CACHE.get_or_create(
+            records_id, build_partition)
+    else:
+        records, comm_events, dap_n = build_partition()
 
     # --- kernel level: dispatch vs compute streams, segment marks at every
     # collective position and phase boundary ---
     cost = CostModel(gpu, autotune=True)
-    marks = [i for i, r in enumerate(records)
-             if r.category is KernelCategory.COMM]
-    marks += [i for i in range(1, len(records))
-              if records[i].phase != records[i - 1].phase]
+    # The per-kernel cost arrays depend only on (trace identity, DAP degree,
+    # compile transform, GPU, autotune): one evaluation shared by every
+    # scenario over the same partitioned trace — and, via the on-disk store,
+    # by every fresh process.
+    cost_key = None
+    material = None
+    if records_id is not None:
+        cost_key = (records_id, scenario.gpu)
+        material = cost_cache_material(repr(records_id), gpu, True)
+    costs = trace_cost_arrays(records, cost, cache_key=cost_key,
+                              store_material=material)
     breakdown = simulate_step(records, gpu, cost,
                               graphed=scenario.cuda_graphs,
-                              segment_marks=marks)
+                              segment_marks=costs.default_marks,
+                              costs=costs)
     plan = _build_step_plan(records, breakdown.segments, topo)
     serial_s, parallel_s = _split_serial_parallel(
-        DapStepTrace(records=records, comm_events=dap.comm_events,
-                     dap_n=dap.dap_n), cost)
+        DapStepTrace(records=records, comm_events=comm_events,
+                     dap_n=dap_n), cost, costs=costs, cache_key=cost_key)
 
     itemsize = 2 if scenario.policy.dtype.name in ("bf16", "fp16") else 4
     param_bytes = trace.n_params * itemsize
@@ -500,8 +570,36 @@ def estimate_step_time(scenario: Scenario,
         timeline=timeline,
     )
     if cacheable:
-        _ESTIMATE_CACHE[key] = estimate
+        _ESTIMATE_CACHE.put(key, estimate)
     return estimate
+
+
+def estimate_many(scenarios: Sequence[Scenario],
+                  max_workers: Optional[int] = None) -> List[StepEstimate]:
+    """Estimate a batch of scenarios, fanning out over worker threads.
+
+    Workers share every process-level cache — step traces, cost arrays,
+    prep series, autotune results embedded in the arrays — so each distinct
+    (policy, DAP, GPU) combination is costed once no matter how many
+    scenarios sweep over it.  Shared inputs (traces and cost arrays) are
+    pre-warmed serially to keep concurrent misses from duplicating the
+    expensive meta-build.  The rank-level DES is pure Python, so the win
+    comes from overlapping the numpy/cost phases; workers default to a
+    modest pool.
+    """
+    scenarios = list(scenarios)
+    if max_workers is None:
+        max_workers = min(4, len(scenarios), os.cpu_count() or 1)
+    if max_workers <= 1 or len(scenarios) <= 1:
+        return [estimate_step_time(s) for s in scenarios]
+    seen = set()
+    for s in scenarios:
+        warm_key = (_policy_signature(s.policy), s.n_recycle)
+        if warm_key not in seen:
+            seen.add(warm_key)
+            build_step_trace(s.policy, n_recycle=s.n_recycle)
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(estimate_step_time, scenarios))
 
 
 # ----------------------------------------------------------------------

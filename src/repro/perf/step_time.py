@@ -25,18 +25,39 @@ the multi-rank distributed simulation and can report *segment marks*: the
 GPU-timeline timestamps at arbitrary trace positions, which the distributed
 model uses to place DAP collectives and DDP buckets at their actual
 positions inside the step.
+
+Two engines produce the breakdown:
+
+* ``engine="event"`` — the generator-based DES above, kernel by kernel;
+* ``engine="fast"`` (default) — the closed-form vectorized recurrence in
+  :mod:`repro.perf.fast_step` over precomputed cost arrays
+  (:mod:`repro.perf.vector_cost`), which is **bit-identical** to the event
+  engine (including segments, timelines and ``on_kernel`` replay) at a
+  small fraction of the wall time.
+
+Set ``REPRO_SIM_ENGINE=event`` (or ``fast``) to override the default
+process-wide; an explicit ``engine=`` argument always wins.
 """
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..framework.tracer import KernelCategory, KernelRecord, Trace
 from ..hardware.gpu import GpuSpec
 from ..hardware.roofline import CostModel
 from ..sim.des import Event, Simulator, Timeline
+from .fast_step import two_clock_times
+from .vector_cost import TraceCostArrays, compute_cost_arrays
+
+#: Environment override for the default simulation engine.
+SIM_ENGINE_ENV = "REPRO_SIM_ENGINE"
+_ENGINES = ("auto", "fast", "event")
 
 
 @dataclass
@@ -79,6 +100,34 @@ def _executable(record: KernelRecord) -> bool:
     return True
 
 
+def default_segment_marks(records: Sequence[KernelRecord]) -> List[int]:
+    """Trace positions where the distributed layer needs timeline stamps:
+    every COMM record and every phase boundary, in one pass (replaces the
+    two O(n) scans ``estimate_step_time`` historically did per call).
+    Positions may repeat; :func:`simulate_step` dedups."""
+    marks: List[int] = []
+    prev_phase: Optional[str] = None
+    for i, r in enumerate(records):
+        if r.category is KernelCategory.COMM:
+            marks.append(i)
+        if i and r.phase != prev_phase:
+            marks.append(i)
+        prev_phase = r.phase
+    return marks
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Normalize the engine choice: argument > $REPRO_SIM_ENGINE > fast."""
+    choice = engine if engine is not None else os.environ.get(
+        SIM_ENGINE_ENV, "auto")
+    choice = choice.strip().lower() or "auto"
+    if choice not in _ENGINES:
+        raise ValueError(
+            f"unknown simulation engine {choice!r}; expected one of "
+            f"{_ENGINES}")
+    return "fast" if choice == "auto" else choice
+
+
 def simulate_step(records: Iterable[KernelRecord], gpu: GpuSpec,
                   cost_model: Optional[CostModel] = None,
                   graphed: bool = False,
@@ -88,9 +137,11 @@ def simulate_step(records: Iterable[KernelRecord], gpu: GpuSpec,
                   timeline: Optional[Timeline] = None,
                   rank: int = 0,
                   on_kernel: Optional[
-                      Callable[[KernelRecord, float, float], None]] = None
+                      Callable[[KernelRecord, float, float], None]] = None,
+                  engine: Optional[str] = None,
+                  costs: Optional[TraceCostArrays] = None
                   ) -> StepTimeBreakdown:
-    """Event-simulate one step over the kernel trace.
+    """Simulate one step over the kernel trace.
 
     Args:
         graphed: replay from a captured CUDA Graph (tiny dispatch cost,
@@ -108,11 +159,132 @@ def simulate_step(records: Iterable[KernelRecord], gpu: GpuSpec,
             end_s)`` with the kernel's GPU-timeline execution span, in
             execution order — the chrome-trace exporter and the flame
             rollup consume exactly the simulated timestamps.
+        engine: ``"fast"`` (vectorized closed form, default), ``"event"``
+            (generator DES), or ``"auto"``; ``None`` defers to
+            ``$REPRO_SIM_ENGINE``.
+        costs: precomputed cost arrays for ``records`` (from
+            :func:`repro.perf.vector_cost.trace_cost_arrays`); the fast
+            engine computes them on the fly when absent.
     """
+    recs = records if isinstance(records, list) else list(records)
+    if resolve_engine(engine) == "event":
+        return _simulate_step_event(
+            recs, gpu, cost_model, graphed, cpu_slowdown, extra_host_s,
+            segment_marks, timeline, rank, on_kernel)
+    return _simulate_step_fast(
+        recs, gpu, cost_model, graphed, cpu_slowdown, extra_host_s,
+        segment_marks, timeline, rank, on_kernel, costs)
+
+
+# ----------------------------------------------------------------------
+# Fast engine: closed-form vectorized recurrence over cost arrays
+# ----------------------------------------------------------------------
+def _simulate_step_fast(recs: List[KernelRecord], gpu: GpuSpec,
+                        cost_model: Optional[CostModel], graphed: bool,
+                        cpu_slowdown: float, extra_host_s: float,
+                        segment_marks: Optional[Sequence[int]],
+                        timeline: Optional[Timeline], rank: int,
+                        on_kernel: Optional[Callable],
+                        costs: Optional[TraceCostArrays]
+                        ) -> StepTimeBreakdown:
+    if costs is None:
+        costs = compute_cost_arrays(recs, cost_model or CostModel(gpu))
+    elif costs.n_records != len(recs):
+        raise ValueError(
+            f"cost arrays cover {costs.n_records} records but the trace "
+            f"has {len(recs)}")
+
+    dispatch = gpu.dispatch_seconds(graphed=graphed, cpu_slowdown=cpu_slowdown)
+    m = costs.m
+    sec = costs.seconds
+
+    if m:
+        drain_mask: Optional[np.ndarray] = None
+        if not graphed:
+            pc = costs.phase_codes
+            drain_mask = np.empty(m, dtype=bool)
+            drain_mask[0] = True
+            np.not_equal(pc[1:], pc[:-1], out=drain_mask[1:])
+        c, ends = two_clock_times(sec, dispatch, drain_mask)
+        last_end = float(ends[-1])
+        busy = float(costs.sec_cumsum[-1])
+    else:
+        c = ends = np.empty(0, dtype=np.float64)
+        last_end = 0.0
+        busy = 0.0
+
+    # Timeline intervals and on_kernel replay, interleaved exactly like the
+    # event engine: a starvation span (the GPU waiting on a launch) is
+    # logged right before the kernel that ends it executes.
+    if (timeline is not None or on_kernel is not None) and m:
+        c_list = c.tolist()
+        end_list = ends.tolist()
+        prev_end = 0.0
+        exec_positions = costs.exec_idx.tolist()
+        for k in range(m):
+            ck = c_list[k]
+            ek = end_list[k]
+            if timeline is not None and ck > prev_end:
+                timeline.record("gpu", "dispatch_wait", prev_end, ck, rank)
+            if on_kernel is not None:
+                started = ck if ck > prev_end else prev_end
+                on_kernel(recs[exec_positions[k]], started, ek)
+            prev_end = ek
+
+    segments: List[SegmentSpan] = []
+    if segment_marks is not None:
+        marks = sorted(set(int(x) for x in segment_marks))
+        if not marks or marks[-1] != len(recs):
+            marks.append(len(recs))
+        thresholds = np.searchsorted(
+            costs.exec_idx, np.asarray(marks, dtype=np.int64), side="left")
+        sec_cumsum = costs.sec_cumsum
+        phase_codes = costs.phase_codes
+        phase_names = costs.phase_names
+        prev_t = 0.0
+        prev_busy = 0.0
+        prev_count = 0
+        prev_phase = "forward"
+        for idx, count in zip(marks, thresholds.tolist()):
+            t = float(ends[count - 1]) if count else 0.0
+            b = float(sec_cumsum[count - 1]) if count else 0.0
+            # The segment phase is the phase of its first executed kernel
+            # (None-fallback to the previous segment, as the event engine's
+            # pre-pass does).
+            phase = (phase_names[int(phase_codes[prev_count])]
+                     if count > prev_count else prev_phase)
+            segments.append(SegmentSpan(end_index=idx, phase=phase,
+                                        wall_s=t - prev_t,
+                                        gpu_busy_s=b - prev_busy,
+                                        kernel_count=count - prev_count))
+            prev_t, prev_busy, prev_count, prev_phase = t, b, count, phase
+
+    total = last_end + extra_host_s
+    return StepTimeBreakdown(
+        total_s=total,
+        gpu_busy_s=busy,
+        cpu_exposed_s=max(total - busy, 0.0),
+        dispatch_total_s=dispatch * m,
+        kernel_count=m,
+        category_seconds=dict(costs.category_seconds),
+        category_calls=dict(costs.category_calls),
+        limiter_seconds=dict(costs.limiter_seconds),
+        segments=segments,
+    )
+
+
+# ----------------------------------------------------------------------
+# Event engine: the generator-based DES (reference semantics)
+# ----------------------------------------------------------------------
+def _simulate_step_event(recs: List[KernelRecord], gpu: GpuSpec,
+                         cost_model: Optional[CostModel], graphed: bool,
+                         cpu_slowdown: float, extra_host_s: float,
+                         segment_marks: Optional[Sequence[int]],
+                         timeline: Optional[Timeline], rank: int,
+                         on_kernel: Optional[Callable]
+                         ) -> StepTimeBreakdown:
     cost_model = cost_model or CostModel(gpu)
     dispatch = gpu.dispatch_seconds(graphed=graphed, cpu_slowdown=cpu_slowdown)
-
-    recs = records if isinstance(records, list) else list(records)
 
     # ------------------------------------------------------------------
     # Optional pre-pass: translate trace positions into executed-kernel

@@ -5,6 +5,12 @@ one rank: forward (with recycling), backward (with checkpoint recompute when
 enabled), and the optimizer update.  Built by executing the real model in
 meta (shape-only) mode, so the trace is exactly what the numeric model would
 launch — not a hand-written approximation.
+
+Built traces are memoized two ways: a bounded in-process LRU (same object
+returned on every hit), and the content-addressed on-disk store
+(:mod:`repro.framework.trace_io`) keyed by the full policy+config signature,
+so a fresh process — a CLI run, an example, a bench session — loads the
+serialized trace in a fraction of the meta-build time.
 """
 
 from __future__ import annotations
@@ -14,8 +20,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..framework import dtypes
+from ..framework.caching import LruCache, register_cache
 from ..framework.module import meta_build
 from ..framework.tracer import Trace, phase, trace
+from ..framework.trace_io import default_store
 from ..datapipe.samples import meta_batch
 from ..model.alphafold import AlphaFold
 from ..model.config import AlphaFoldConfig, KernelPolicy
@@ -58,7 +66,26 @@ def _cfg_key(cfg: AlphaFoldConfig) -> Tuple:
                  if f.name != "kernel_policy")
 
 
-_CACHE: Dict[Tuple, StepTrace] = {}
+def trace_key(policy: Optional[KernelPolicy] = None,
+              n_recycle: int = 1,
+              include_optimizer: bool = True,
+              cfg: Optional[AlphaFoldConfig] = None) -> Tuple:
+    """Full cache identity of one step trace (policy + config signature)."""
+    policy = policy or KernelPolicy.reference()
+    cfg = cfg or AlphaFoldConfig.full(policy)
+    if cfg.kernel_policy is not policy:
+        cfg = cfg.replace(kernel_policy=policy)
+    return _policy_key(policy, n_recycle, include_optimizer) + _cfg_key(cfg)
+
+
+def trace_store_material(key: Tuple) -> str:
+    """Content-address material for one step-trace cache entry."""
+    return repr(("step-trace", key))
+
+
+#: Bounded trace memo: each entry holds a ~150k-record trace, so the cap is
+#: small; repeated lookups return the *same* StepTrace object.
+_CACHE = register_cache(LruCache(capacity=8, name="step-traces"))
 
 
 def build_step_trace(policy: Optional[KernelPolicy] = None,
@@ -69,16 +96,26 @@ def build_step_trace(policy: Optional[KernelPolicy] = None,
     """Trace one full-size training step under the given kernel policy.
 
     Results are memoized per (policy, config) signature (building a trace
-    costs a few seconds of shape propagation over ~100k ops).
+    costs a few seconds of shape propagation over ~100k ops) — in memory
+    and, unless ``REPRO_TRACE_CACHE=0``, in the on-disk trace store.
     """
     policy = policy or KernelPolicy.reference()
     cfg = cfg or AlphaFoldConfig.full(policy)
     if cfg.kernel_policy is not policy:
         cfg = cfg.replace(kernel_policy=policy)
     key = _policy_key(policy, n_recycle, include_optimizer) + _cfg_key(cfg)
-    cacheable = use_cache
-    if cacheable and key in _CACHE:
-        return _CACHE[key]
+    material = trace_store_material(key)
+    if use_cache:
+        hit = _CACHE.get(key)
+        if hit is not None:
+            return hit
+        stored = default_store().get_trace(material)
+        if stored is not None:
+            t, meta = stored
+            result = _from_stored(t, meta, policy, n_recycle)
+            if result is not None:
+                _CACHE.put(key, result)
+                return result
 
     with meta_build():
         model = AlphaFold(cfg)
@@ -102,9 +139,29 @@ def build_step_trace(policy: Optional[KernelPolicy] = None,
     result = StepTrace(trace=t, policy=policy, n_recycle=n_recycle,
                        n_params=model.num_parameters(),
                        param_shapes=param_shapes)
-    if cacheable:
-        _CACHE[key] = result
+    if use_cache:
+        _CACHE.put(key, result)
+        default_store().put_trace(material, t, meta={
+            "kind": "step-trace",
+            "n_params": result.n_params,
+            "param_shapes": [list(s) for s in param_shapes],
+        })
     return result
+
+
+def _from_stored(t: Trace, meta: Optional[dict], policy: KernelPolicy,
+                 n_recycle: int) -> Optional[StepTrace]:
+    """Reassemble a StepTrace from a disk-cache hit (None if meta is off)."""
+    if not meta or meta.get("kind") != "step-trace":
+        return None
+    try:
+        n_params = int(meta["n_params"])
+        param_shapes = [tuple(int(d) for d in s)
+                        for s in meta["param_shapes"]]
+    except (KeyError, TypeError, ValueError):
+        return None
+    return StepTrace(trace=t, policy=policy, n_recycle=n_recycle,
+                     n_params=n_params, param_shapes=param_shapes)
 
 
 def clear_cache() -> None:

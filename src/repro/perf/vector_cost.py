@@ -1,0 +1,296 @@
+"""Vectorized per-kernel costing: numpy cost arrays shared across scenarios.
+
+Every simulated figure used to walk the kernel trace through
+:meth:`CostModel.kernel_cost` once *per simulation* — ~150k Python calls
+per scenario, repeated for every DAP degree, ladder rung and simulated
+rank.  This module evaluates a trace's costs exactly once per ``(records,
+gpu, autotune)`` key into flat numpy arrays (:class:`TraceCostArrays`) that
+the batched step-time fast path, the serial/parallel splitter and the
+profiler aggregate from without re-touching the cost model.
+
+Bit-exactness contract: ``arrays.seconds[k]`` equals
+``cost_model.kernel_cost(record).seconds`` for the k-th executable record,
+to the last bit.  Generic kernels go through
+:meth:`CostModel.generic_cost_arrays` (same IEEE operations in the same
+order); tunable kernels are evaluated through the real scalar path once per
+unique ``(family, shape, dtype, flops, bytes)`` signature and scattered
+back (the autotuner is deterministic, so deduplication cannot change a
+value).
+
+Arrays are cached in a bounded LRU keyed by the caller's cache key, and —
+when key material is provided — persisted to the content-addressed
+on-disk store so fresh processes skip the evaluation entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..framework.caching import LruCache, register_cache
+from ..framework.tracer import KernelCategory, KernelRecord
+from ..framework.trace_io import TraceCacheStore, default_store
+from ..hardware.roofline import (COST_MODEL_VERSION, LIMITERS, CostModel,
+                                 _math_dtype)
+
+#: Bump when the array layout changes (invalidates persisted entries).
+ARRAYS_FORMAT_VERSION = 1
+
+#: Stable category encoding (enum definition order).
+CATEGORY_ORDER: Tuple[KernelCategory, ...] = tuple(KernelCategory)
+_CATEGORY_CODE = {cat: i for i, cat in enumerate(CATEGORY_ORDER)}
+_MATH_CODE = _CATEGORY_CODE[KernelCategory.MATH]
+_MEMOP_CODE = _CATEGORY_CODE[KernelCategory.MEMORY_OP]
+
+
+def _executable(record: KernelRecord) -> bool:
+    """Mirror of :func:`repro.perf.step_time._executable` (COMM and
+    comm-hidden records are costed by the distributed layer)."""
+    if record.category is KernelCategory.COMM:
+        return False
+    if record.tags and record.tags.get("hidden_by_comm"):
+        return False
+    return True
+
+
+@dataclass
+class TraceCostArrays:
+    """Flat per-kernel cost data for one (record list, GPU, policy) key.
+
+    All per-kernel arrays are over the *executable* subsequence (COMM and
+    comm-hidden records excluded), in trace order.  ``exec_idx`` maps each
+    executable kernel back to its position in the full record list.
+    """
+
+    n_records: int
+    exec_idx: np.ndarray           # int64[m]: positions in the record list
+    seconds: np.ndarray            # float64[m]: device time per kernel
+    sec_cumsum: np.ndarray         # float64[m]: sequential running sum
+    phase_codes: np.ndarray        # int32[m]: index into phase_names
+    phase_names: Tuple[str, ...]
+    category_codes: np.ndarray     # int8[m]: index into CATEGORY_ORDER
+    limiter_codes: np.ndarray      # int8[m]: index into LIMITERS
+    #: Default segment-mark positions over the *full* record list: every
+    #: COMM record and every phase boundary (what estimate_step_time used
+    #: to rebuild with two O(n) scans per call; may contain duplicates,
+    #: simulate_step dedups).
+    default_marks: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+    # Aggregates identical to what the event engine accumulates kernel by
+    # kernel (np.bincount adds weights sequentially in input order).
+    category_seconds: Dict[str, float] = field(default_factory=dict)
+    category_calls: Dict[str, int] = field(default_factory=dict)
+    limiter_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def m(self) -> int:
+        """Number of executable kernels."""
+        return int(self.seconds.shape[0])
+
+    def __post_init__(self) -> None:
+        if not self.category_seconds and self.m:
+            self._build_aggregates()
+
+    def _build_aggregates(self) -> None:
+        cat_sec = np.bincount(self.category_codes, weights=self.seconds,
+                              minlength=len(CATEGORY_ORDER))
+        cat_calls = np.bincount(self.category_codes,
+                                minlength=len(CATEGORY_ORDER))
+        lim_sec = np.bincount(self.limiter_codes, weights=self.seconds,
+                              minlength=len(LIMITERS))
+        lim_calls = np.bincount(self.limiter_codes, minlength=len(LIMITERS))
+        for i, cat in enumerate(CATEGORY_ORDER):
+            if cat_calls[i]:
+                self.category_seconds[cat.value] = float(cat_sec[i])
+                self.category_calls[cat.value] = int(cat_calls[i])
+        for i, name in enumerate(LIMITERS):
+            if lim_calls[i]:
+                self.limiter_seconds[name] = float(lim_sec[i])
+
+    # ------------------------------------------------------------------
+    # Persistence (numpy-only payload; no pickled objects)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        return {
+            "format": np.array([ARRAYS_FORMAT_VERSION, self.n_records],
+                               dtype=np.int64),
+            "exec_idx": self.exec_idx,
+            "seconds": self.seconds,
+            "phase_codes": self.phase_codes,
+            "phase_names": np.array(self.phase_names, dtype=np.str_),
+            "category_codes": self.category_codes,
+            "limiter_codes": self.limiter_codes,
+            "default_marks": self.default_marks,
+        }
+
+    @classmethod
+    def from_arrays(cls, data: Dict[str, np.ndarray]
+                    ) -> Optional["TraceCostArrays"]:
+        header = data.get("format")
+        if header is None or int(header[0]) != ARRAYS_FORMAT_VERSION:
+            return None
+        seconds = np.ascontiguousarray(data["seconds"], dtype=np.float64)
+        return cls(
+            n_records=int(header[1]),
+            exec_idx=data["exec_idx"].astype(np.int64, copy=False),
+            seconds=seconds,
+            sec_cumsum=np.cumsum(seconds),
+            phase_codes=data["phase_codes"].astype(np.int32, copy=False),
+            phase_names=tuple(str(p) for p in data["phase_names"]),
+            category_codes=data["category_codes"].astype(np.int8, copy=False),
+            limiter_codes=data["limiter_codes"].astype(np.int8, copy=False),
+            default_marks=data["default_marks"].astype(np.int64, copy=False),
+        )
+
+
+def compute_cost_arrays(records: Sequence[KernelRecord],
+                        cost_model: CostModel) -> TraceCostArrays:
+    """Evaluate every executable kernel's cost into flat arrays (uncached)."""
+    n = len(records)
+    exec_idx: List[int] = []
+    flops: List[float] = []
+    bytes_moved: List[float] = []
+    cat_codes: List[int] = []
+    phase_codes: List[int] = []
+    phase_names: List[str] = []
+    phase_code_of: Dict[str, int] = {}
+    tunable_positions: List[int] = []  # indices into the executable arrays
+    marks: List[int] = []
+    last_phase: Optional[str] = None
+
+    for i, r in enumerate(records):
+        if r.category is KernelCategory.COMM:
+            marks.append(i)
+        if i and r.phase != last_phase:
+            marks.append(i)
+        last_phase = r.phase
+        if not _executable(r):
+            continue
+        exec_idx.append(i)
+        flops.append(r.flops)
+        bytes_moved.append(r.bytes)
+        cat_codes.append(_CATEGORY_CODE[r.category])
+        code = phase_code_of.get(r.phase)
+        if code is None:
+            code = phase_code_of[r.phase] = len(phase_names)
+            phase_names.append(r.phase)
+        phase_codes.append(code)
+        if r.tunable is not None:
+            tunable_positions.append(len(exec_idx) - 1)
+
+    m = len(exec_idx)
+    exec_idx_arr = np.asarray(exec_idx, dtype=np.int64)
+    flops_arr = np.asarray(flops, dtype=np.float64)
+    bytes_arr = np.asarray(bytes_moved, dtype=np.float64)
+    cat_arr = np.asarray(cat_codes, dtype=np.int8)
+    phase_arr = np.asarray(phase_codes, dtype=np.int32)
+
+    if m:
+        # Per-record peak FLOP/s resolved per unique dtype (tiny set).
+        peak_of: Dict[str, float] = {}
+        dtype_peaks = np.empty(m, dtype=np.float64)
+        for k, pos in enumerate(exec_idx):
+            dt = records[pos].dtype
+            peak = peak_of.get(dt)
+            if peak is None:
+                peak = peak_of[dt] = cost_model.gpu.peak_flops(_math_dtype(dt))
+            dtype_peaks[k] = peak
+        seconds, limiters = cost_model.generic_cost_arrays(
+            flops_arr, bytes_arr, cat_arr.astype(np.int64),
+            _MATH_CODE, _MEMOP_CODE, dtype_peaks)
+    else:
+        seconds = np.zeros(0, dtype=np.float64)
+        limiters = np.zeros(0, dtype=np.int8)
+
+    # Tunable kernels: real scalar path, memoized per unique signature.
+    if tunable_positions:
+        lim_code = {name: i for i, name in enumerate(LIMITERS)}
+        memo: Dict[Tuple, Tuple[float, int]] = {}
+        for k in tunable_positions:
+            r = records[int(exec_idx_arr[k])]
+            key = (r.tunable, r.shape, r.dtype, r.flops, r.bytes,
+                   r.category)
+            hit = memo.get(key)
+            if hit is None:
+                cost = cost_model.kernel_cost(r)
+                hit = memo[key] = (cost.seconds, lim_code[cost.limiter])
+            seconds[k] = hit[0]
+            limiters[k] = hit[1]
+
+    return TraceCostArrays(
+        n_records=n,
+        exec_idx=exec_idx_arr,
+        seconds=seconds,
+        sec_cumsum=np.cumsum(seconds),
+        phase_codes=phase_arr,
+        phase_names=tuple(phase_names),
+        category_codes=cat_arr,
+        limiter_codes=limiters,
+        default_marks=np.asarray(marks, dtype=np.int64),
+    )
+
+
+# ----------------------------------------------------------------------
+# Caching front end
+# ----------------------------------------------------------------------
+_ARRAY_CACHE = register_cache(LruCache(capacity=32, name="cost-arrays"))
+
+
+def cost_cache_material(trace_material: str, gpu, autotune: bool) -> str:
+    """Key material for one cost-array entry: the trace identity plus
+    everything the cost model reads (full GPU spec, autotune flag, model
+    and layout versions)."""
+    gpu_sig = tuple(sorted((name, repr(getattr(gpu, name)))
+                           for name in gpu.__dataclass_fields__))
+    return repr(("cost-arrays", ARRAYS_FORMAT_VERSION, COST_MODEL_VERSION,
+                 trace_material, gpu_sig, autotune))
+
+
+def trace_cost_arrays(records: Sequence[KernelRecord],
+                      cost_model: CostModel,
+                      cache_key: Optional[Tuple] = None,
+                      store_material: Optional[str] = None,
+                      store: Optional[TraceCacheStore] = None
+                      ) -> TraceCostArrays:
+    """Cost arrays for ``records``, cached in memory and (optionally) on
+    disk.
+
+    ``cache_key`` enables the in-memory LRU; ``store_material`` enables the
+    persistent store.  Callers that cannot produce a stable identity (ad
+    hoc record lists) pass neither and pay one evaluation.
+    """
+    if cache_key is not None:
+        cached = _ARRAY_CACHE.get(cache_key)
+        if cached is not None and cached.n_records == len(records):
+            return cached
+
+    arrays: Optional[TraceCostArrays] = None
+    if store_material is not None:
+        cache_store = store if store is not None else default_store()
+        payload = cache_store.get_arrays(store_material)
+        if payload is not None:
+            arrays = TraceCostArrays.from_arrays(payload)
+            if arrays is not None and arrays.n_records != len(records):
+                arrays = None  # stale entry for different-shaped records
+
+    fresh = arrays is None
+    if fresh:
+        arrays = compute_cost_arrays(records, cost_model)
+
+    if cache_key is not None:
+        _ARRAY_CACHE.put(cache_key, arrays)
+    if fresh and store_material is not None:
+        cache_store = store if store is not None else default_store()
+        cache_store.put_arrays(store_material, arrays.to_arrays())
+    return arrays
+
+
+def clear_cost_cache() -> None:
+    _ARRAY_CACHE.clear()
+
+
+def cost_cache_stats():
+    return _ARRAY_CACHE.stats

@@ -1,0 +1,115 @@
+"""LruCache semantics: recency, eviction, stats, and the zero-capacity off
+switch."""
+
+import pytest
+
+from repro.framework.caching import LruCache, cache_registry, register_cache
+
+
+class TestLruSemantics:
+    def test_get_put_roundtrip(self):
+        cache = LruCache(capacity=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", 42) == 42
+
+    def test_least_recently_used_is_evicted(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)          # evicts "a"
+        assert "a" not in cache
+        assert cache.get("b") == 2 and cache.get("c") == 3
+
+    def test_get_refreshes_recency(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")             # "b" is now least recent
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1
+
+    def test_put_refreshes_recency_and_overwrites(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)         # refresh + overwrite
+        cache.put("c", 3)          # evicts "b"
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_zero_capacity_disables_storage(self):
+        cache = LruCache(capacity=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            LruCache(capacity=-1)
+
+    def test_get_or_create_builds_once(self):
+        cache = LruCache(capacity=4)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return "built"
+
+        assert cache.get_or_create("k", factory) == "built"
+        assert cache.get_or_create("k", factory) == "built"
+        assert len(calls) == 1
+
+    def test_none_values_are_cacheable(self):
+        cache = LruCache(capacity=4)
+        calls = []
+
+        def factory():
+            calls.append(1)
+
+        assert cache.get_or_create("k", factory) is None
+        assert cache.get_or_create("k", factory) is None
+        assert len(calls) == 1
+
+    def test_clear(self):
+        cache = LruCache(capacity=4)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0 and "a" not in cache
+
+
+class TestStats:
+    def test_counters(self):
+        cache = LruCache(capacity=2, name="t")
+        cache.get("a")             # miss
+        cache.put("a", 1)
+        cache.get("a")             # hit
+        cache.put("b", 2)
+        cache.put("c", 3)          # eviction
+        s = cache.stats
+        assert (s.hits, s.misses, s.evictions) == (1, 1, 1)
+        assert s.size == 2 and s.capacity == 2
+        assert s.lookups == 2 and s.hit_rate == 0.5
+
+    def test_reset_stats_keeps_entries(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.reset_stats()
+        s = cache.stats
+        assert (s.hits, s.misses, s.evictions) == (0, 0, 0)
+        assert cache.get("a") == 1
+
+    def test_as_dict(self):
+        stats = LruCache(capacity=3).stats
+        d = stats.as_dict()
+        assert d["capacity"] == 3 and d["hit_rate"] == 0.0
+
+    def test_registry_reports_registered_caches(self):
+        cache = register_cache(LruCache(capacity=1, name="test-registry-x"))
+        cache.put("a", 1)
+        cache.get("a")
+        registry = cache_registry()
+        assert registry["test-registry-x"].hits == 1

@@ -1,0 +1,190 @@
+"""Persistent trace/cost cache: round-trips, key invalidation, env control."""
+
+import dataclasses
+import glob
+import gzip
+import os
+
+import numpy as np
+import pytest
+
+from repro.framework.trace_io import (CACHE_DIR_ENV, CACHE_DISABLE_ENV,
+                                      TraceCacheStore, cache_enabled,
+                                      content_key, default_cache_dir,
+                                      default_store, reset_default_store)
+from repro.hardware.gpu import get_gpu
+from repro.hardware.roofline import CostModel
+from repro.framework.caching import LruCache
+from repro.model.config import AlphaFoldConfig, KernelPolicy
+from repro.perf import trace_builder
+from repro.perf.trace_builder import (build_step_trace, trace_key,
+                                      trace_store_material)
+from repro.perf.vector_cost import (cost_cache_material, compute_cost_arrays,
+                                    TraceCostArrays)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return TraceCacheStore(root=str(tmp_path / "cache"), enabled=True)
+
+
+@pytest.fixture
+def cache_env(tmp_path, monkeypatch):
+    """Point the process-wide default store at a temp dir for one test."""
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "cache"))
+    monkeypatch.delenv(CACHE_DISABLE_ENV, raising=False)
+    reset_default_store()
+    yield str(tmp_path / "cache")
+    reset_default_store()
+
+
+def _tiny_trace():
+    policy = KernelPolicy.reference()
+    cfg = AlphaFoldConfig.tiny(policy)
+    return build_step_trace(policy, cfg=cfg), policy, cfg
+
+
+class TestStoreRoundTrip:
+    def test_trace_roundtrip_with_meta(self, store):
+        step, _, _ = _tiny_trace()
+        store.put_trace("k1", step.trace, meta={"kind": "step-trace", "n": 3})
+        loaded, meta = store.get_trace("k1")
+        assert meta == {"kind": "step-trace", "n": 3}
+        assert len(loaded.records) == len(step.trace.records)
+        assert all(a.name == b.name and a.flops == b.flops
+                   for a, b in zip(loaded.records, step.trace.records))
+        assert store.trace_hits == 1 and store.writes == 1
+
+    def test_missing_entry_is_a_counted_miss(self, store):
+        assert store.get_trace("nope") is None
+        assert store.get_arrays("nope") is None
+        assert store.trace_misses == 1 and store.array_misses == 1
+
+    def test_corrupt_entry_dropped_and_missed(self, store):
+        step, _, _ = _tiny_trace()
+        path = store.put_trace("k1", step.trace)
+        with gzip.open(path, "wt") as handle:
+            handle.write('{"version": 2, "records": 99')
+        assert store.get_trace("k1") is None
+        assert not os.path.exists(path)
+
+    def test_arrays_roundtrip(self, store):
+        cost = CostModel(get_gpu("A100"), autotune=True)
+        step, _, _ = _tiny_trace()
+        arrays = compute_cost_arrays(list(step.trace.records), cost)
+        store.put_arrays("ak", arrays.to_arrays())
+        reloaded = TraceCostArrays.from_arrays(store.get_arrays("ak"))
+        np.testing.assert_array_equal(reloaded.seconds, arrays.seconds)
+        np.testing.assert_array_equal(reloaded.exec_idx, arrays.exec_idx)
+        np.testing.assert_array_equal(reloaded.default_marks,
+                                      arrays.default_marks)
+        assert reloaded.category_seconds == arrays.category_seconds
+        assert reloaded.limiter_seconds == arrays.limiter_seconds
+
+    def test_disabled_store_never_touches_disk(self, tmp_path):
+        disabled = TraceCacheStore(root=str(tmp_path / "c"), enabled=False)
+        step, _, _ = _tiny_trace()
+        assert disabled.put_trace("k", step.trace) is None
+        assert disabled.get_trace("k") is None
+        assert not os.path.exists(str(tmp_path / "c"))
+
+    def test_clear_and_stats(self, store):
+        step, _, _ = _tiny_trace()
+        store.put_trace("a", step.trace)
+        store.put_trace("b", step.trace)
+        stats = store.stats()
+        assert stats["entries"] == 2 and stats["bytes"] > 0
+        assert store.clear() == 2
+        assert store.stats()["entries"] == 0
+
+
+class TestKeyInvalidation:
+    def test_policy_flags_change_the_key(self):
+        base = KernelPolicy.reference()
+        keys = {trace_key(base)}
+        for flag in ("batched_gemm", "fused_mha", "fused_layernorm",
+                     "fused_adam_swa", "activation_checkpointing"):
+            changed = base.replace(**{flag: not getattr(base, flag)})
+            keys.add(trace_key(changed))
+        assert len(keys) == 6
+
+    def test_cfg_fields_change_the_key(self):
+        policy = KernelPolicy.reference()
+        cfg = AlphaFoldConfig.tiny(policy)
+        keys = {trace_key(policy, cfg=cfg)}
+        for f in ("evoformer_blocks", "n_res", "c_m"):
+            bumped = cfg.replace(**{f: getattr(cfg, f) + 1})
+            keys.add(trace_key(policy, cfg=bumped))
+        assert len(keys) == 4
+
+    def test_n_recycle_changes_the_key(self):
+        policy = KernelPolicy.reference()
+        assert trace_key(policy, n_recycle=1) != trace_key(policy, n_recycle=3)
+
+    def test_materials_hash_distinctly(self):
+        policy = KernelPolicy.reference()
+        m1 = trace_store_material(trace_key(policy))
+        m2 = trace_store_material(trace_key(policy.replace(fused_mha=True)))
+        assert content_key(m1) != content_key(m2)
+
+    def test_cost_material_covers_gpu_and_autotune(self):
+        a100, h100 = get_gpu("A100"), get_gpu("H100")
+        materials = {cost_cache_material("t", a100, True),
+                     cost_cache_material("t", a100, False),
+                     cost_cache_material("t", h100, True),
+                     cost_cache_material("t2", a100, True)}
+        assert len(materials) == 4
+
+    def test_gpu_spec_field_changes_cost_material(self):
+        gpu = get_gpu("A100")
+        tweaked = dataclasses.replace(gpu, mem_bw_gbps=gpu.mem_bw_gbps * 2)
+        assert (cost_cache_material("t", gpu, True)
+                != cost_cache_material("t", tweaked, True))
+
+
+@pytest.fixture
+def fresh_memo(monkeypatch):
+    """Give the trace builder an empty in-memory memo for one test (the
+    process-wide one holds session-scoped fixtures other tests rely on)."""
+    def reset():
+        monkeypatch.setattr(trace_builder, "_CACHE",
+                            LruCache(capacity=8, name="step-traces-test"))
+    reset()
+    return reset
+
+
+class TestBuilderIntegration:
+    def test_trace_persisted_and_reloaded(self, cache_env, fresh_memo):
+        policy = KernelPolicy.reference()
+        cfg = AlphaFoldConfig.tiny(policy)
+        first = build_step_trace(policy, cfg=cfg)
+        assert glob.glob(os.path.join(cache_env, "*.trace.gz"))
+        fresh_memo()  # drop the in-memory memo: force the disk path
+        second = build_step_trace(policy, cfg=cfg)
+        assert second is not first
+        assert default_store().trace_hits >= 1
+        assert second.n_params == first.n_params
+        assert second.param_shapes == first.param_shapes
+        recs1, recs2 = first.trace.records, second.trace.records
+        assert len(recs1) == len(recs2)
+        assert all(a.name == b.name and a.flops == b.flops
+                   and a.bytes == b.bytes and a.phase == b.phase
+                   for a, b in zip(recs1, recs2))
+
+    def test_kill_switch_disables_the_store(self, tmp_path, monkeypatch,
+                                            fresh_memo):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "cache"))
+        monkeypatch.setenv(CACHE_DISABLE_ENV, "0")
+        reset_default_store()
+        try:
+            assert not cache_enabled()
+            assert not default_store().enabled
+            policy = KernelPolicy.reference()
+            build_step_trace(policy, cfg=AlphaFoldConfig.tiny(policy))
+            assert not os.path.exists(str(tmp_path / "cache"))
+        finally:
+            reset_default_store()
+
+    def test_cache_dir_env_respected(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == str(tmp_path / "elsewhere")

@@ -1,0 +1,42 @@
+"""Parallel scenario sweeps must return exactly the serial results."""
+
+import pytest
+
+from repro.model.config import KernelPolicy
+from repro.perf.scaling import (Scenario, clear_estimate_cache,
+                                estimate_many, estimate_step_time)
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    policy = KernelPolicy.reference()
+    return [
+        Scenario(policy=policy, gpu="A100", dap_n=1, dp_degree=8),
+        Scenario(policy=policy, gpu="A100", dap_n=2, dp_degree=4),
+        Scenario(policy=policy, gpu="A100", dap_n=1, dp_degree=8,
+                 imbalance_enabled=False),
+    ]
+
+
+class TestEstimateMany:
+    def test_parallel_matches_serial_exactly(self, scenarios):
+        clear_estimate_cache()
+        parallel = estimate_many(scenarios, max_workers=3)
+        clear_estimate_cache()    # force the serial pass to recompute
+        serial = [estimate_step_time(s) for s in scenarios]
+        assert len(parallel) == len(serial)
+        for p, s in zip(parallel, serial):
+            assert p.as_dict() == s.as_dict()
+
+    def test_single_worker_falls_back_to_serial(self, scenarios):
+        results = estimate_many(scenarios[:1], max_workers=1)
+        assert len(results) == 1
+        assert results[0].as_dict() == estimate_step_time(
+            scenarios[0]).as_dict()
+
+    def test_empty_sweep(self):
+        assert estimate_many([]) == []
+
+    def test_results_keep_input_order(self, scenarios):
+        labels = [e.scenario_label for e in estimate_many(scenarios)]
+        assert labels == [s.label() for s in scenarios]
