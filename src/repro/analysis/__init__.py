@@ -1,0 +1,40 @@
+"""Static analysis suite: graph checker, trace lint, DES schedule analyzer.
+
+ScaleFold's methodology is diagnosis before optimisation — profile the
+kernel stream, find the unfused chains, the launch-overhead, the stalls.
+This package turns those one-off profiling insights into enforceable,
+baseline-gated checks over the artifacts the rest of the reproduction
+already produces:
+
+* :mod:`repro.analysis.graph` — symbolic shape/dtype propagation over
+  ``framework.ops`` autograd graphs, without executing;
+* :mod:`repro.analysis.tracelint` — fusion / launch-overhead / recompute /
+  budget rules over :class:`~repro.framework.tracer.Trace` streams;
+* :mod:`repro.analysis.sched` — deadlock and lost-wakeup detection over
+  audited :mod:`repro.sim.des` schedules;
+* :mod:`repro.analysis.runner` — the ``repro lint`` engine: drives the
+  analyzers against the real model, applies the committed baseline
+  (``LINT_BASELINE.json``), and gates CI on new findings.
+"""
+
+from .baseline import Baseline, BaselineEntry
+from .findings import Finding, Severity, max_severity, sort_findings
+from .graph import GraphCapture, capture_graph, check_graph
+from .rules import Rule, RuleConfig, all_rules, get_rule, register_rule
+from .runner import (ANALYZERS, LintReport, format_rule_catalogue,
+                     lint_graph_for, lint_sched_for, lint_trace_for,
+                     run_lint, write_findings_json)
+from .sched import ScheduleRecorder, SchedEvent, analyze_schedule
+from .tracelint import lint_trace, normalize_scope
+
+__all__ = [
+    "Baseline", "BaselineEntry",
+    "Finding", "Severity", "max_severity", "sort_findings",
+    "GraphCapture", "capture_graph", "check_graph",
+    "Rule", "RuleConfig", "all_rules", "get_rule", "register_rule",
+    "ANALYZERS", "LintReport", "format_rule_catalogue",
+    "lint_graph_for", "lint_sched_for", "lint_trace_for",
+    "run_lint", "write_findings_json",
+    "ScheduleRecorder", "SchedEvent", "analyze_schedule",
+    "lint_trace", "normalize_scope",
+]

@@ -1,0 +1,155 @@
+"""Baseline suppression file: existing debt must not block CI.
+
+The baseline is a JSON file listing finding fingerprints that are *known and
+accepted* — either pre-existing debt captured with ``--write-baseline``, or
+explicit waivers with a justification.  Applying a baseline marks matching
+findings ``waived``; the CI gate then fails only on NEW findings.
+
+Every entry keeps the rule/location/key alongside the fingerprint so the
+file is reviewable in a diff, and ``justification`` records *why* a waived
+finding is intentional (e.g. "reference policy: unfused LN chain is the
+paper's measured baseline").
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+#: Default committed baseline location (repo root), mirroring
+#: BENCH_simulation.json.
+DEFAULT_BASELINE_NAME = "LINT_BASELINE.json"
+
+
+@dataclass
+class BaselineEntry:
+    fingerprint: str
+    rule_id: str
+    location: str
+    key: str = ""
+    justification: str = ""
+
+    def to_dict(self) -> Dict[str, str]:
+        out = {"fingerprint": self.fingerprint, "rule": self.rule_id,
+               "location": self.location}
+        if self.key:
+            out["key"] = self.key
+        if self.justification:
+            out["justification"] = self.justification
+        return out
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, str]) -> "BaselineEntry":
+        return cls(fingerprint=str(d["fingerprint"]), rule_id=str(d["rule"]),
+                   location=str(d["location"]), key=str(d.get("key", "")),
+                   justification=str(d.get("justification", "")))
+
+    @classmethod
+    def from_finding(cls, finding: Finding,
+                     justification: str = "") -> "BaselineEntry":
+        return cls(fingerprint=finding.fingerprint(),
+                   rule_id=finding.rule_id, location=finding.location,
+                   key=finding.key, justification=justification)
+
+
+@dataclass
+class Baseline:
+    """An ordered, fingerprint-indexed set of accepted findings."""
+
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_fp = {e.fingerprint: e for e in self.entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._by_fp
+
+    def add(self, entry: BaselineEntry) -> None:
+        if entry.fingerprint not in self._by_fp:
+            self.entries.append(entry)
+            self._by_fp[entry.fingerprint] = entry
+
+    def waive(self, finding: Finding, justification: str) -> BaselineEntry:
+        """Record an explicit waiver for ``finding`` with a reason."""
+        entry = BaselineEntry.from_finding(finding, justification)
+        existing = self._by_fp.get(entry.fingerprint)
+        if existing is not None:
+            existing.justification = justification
+            return existing
+        self.add(entry)
+        return entry
+
+    def apply(self, findings: Iterable[Finding]
+              ) -> Tuple[List[Finding], List[Finding]]:
+        """Mark baselined findings waived; return ``(new, waived)``.
+
+        Mutates each matched finding in place (sets ``waived`` and copies
+        the justification) so formatted reports show the waiver.
+        """
+        new: List[Finding] = []
+        waived: List[Finding] = []
+        for f in findings:
+            entry = self._by_fp.get(f.fingerprint())
+            if entry is None:
+                new.append(f)
+            else:
+                f.waived = True
+                f.waiver_justification = entry.justification or None
+                waived.append(f)
+        return new, waived
+
+    def stale_fingerprints(self, findings: Iterable[Finding]) -> List[str]:
+        """Baseline entries that no current finding matches (fixed debt)."""
+        seen = {f.fingerprint() for f in findings}
+        return [e.fingerprint for e in self.entries
+                if e.fingerprint not in seen]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": BASELINE_VERSION,
+            "entries": [e.to_dict() for e in sorted(
+                self.entries, key=lambda e: (e.rule_id, e.location, e.key))],
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "Baseline":
+        version = d.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(f"unsupported baseline version {version!r}")
+        return cls(entries=[BaselineEntry.from_dict(e)
+                            for e in d.get("entries", [])])
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+    @classmethod
+    def load_or_empty(cls, path: Optional[str]) -> "Baseline":
+        if path and os.path.exists(path):
+            return cls.load(path)
+        return cls()
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding],
+                      justification: str = "") -> "Baseline":
+        baseline = cls()
+        for f in findings:
+            baseline.add(BaselineEntry.from_finding(f, justification))
+        return baseline

@@ -1,0 +1,131 @@
+"""Findings: the common currency of every static analyzer.
+
+A :class:`Finding` is one diagnosed defect — a rule id, a severity, a
+*location* (scope path, kernel index, resource name...), a human message and
+an optional fix hint.  Findings are designed to survive two round trips:
+
+* **JSON**: ``repro lint --format json`` emits the exact schema pinned by
+  ``tests/analysis/test_findings_baseline.py`` so CI tooling can parse it.
+* **Baseline**: a finding's :meth:`Finding.fingerprint` hashes only its
+  *stable identity* (rule, location, key) — never the message, which may
+  embed counts or simulated times that drift with the cost model — so a
+  baseline entry keeps suppressing the same defect across cost-model tweaks.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+
+class Severity(enum.IntEnum):
+    """Ordered so comparisons read naturally: ERROR > WARNING > INFO."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, name: str) -> "Severity":
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {name!r}; choose from "
+                f"{[s.name.lower() for s in cls]}") from None
+
+
+@dataclass
+class Finding:
+    """One diagnosed defect.
+
+    Attributes:
+        rule_id: registered rule, e.g. ``"TL001"``.
+        severity: how bad (may differ from the rule default via config).
+        location: where — a scope path (``"evoformer/blocks.0"``), a graph
+            op (``"add@evoformer/blocks.0"``), or a DES object name.
+        message: human-readable diagnosis (free to change between runs).
+        key: stable disambiguator when one rule fires several times at one
+            location (e.g. the kernel name of a tiny-kernel finding).
+            Part of the fingerprint; empty is fine for one-per-location.
+        fix_hint: optional remediation, e.g. the fused op to route through.
+        analyzer: which analyzer produced it (``graph``/``trace``/``sched``).
+        waived: set by baseline application, never by analyzers.
+        waiver_justification: copied from the matching baseline entry.
+    """
+
+    rule_id: str
+    severity: Severity
+    location: str
+    message: str
+    key: str = ""
+    fix_hint: Optional[str] = None
+    analyzer: str = ""
+    waived: bool = field(default=False, compare=False)
+    waiver_justification: Optional[str] = field(default=None, compare=False)
+
+    def fingerprint(self) -> str:
+        """Stable identity hash: rule + location + key (NOT the message)."""
+        material = "\x1f".join((self.rule_id, self.location, self.key))
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "analyzer": self.analyzer,
+            "location": self.location,
+            "key": self.key,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+            "waived": self.waived,
+        }
+        if self.fix_hint:
+            out["fix_hint"] = self.fix_hint
+        if self.waiver_justification:
+            out["waiver_justification"] = self.waiver_justification
+        return out
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "Finding":
+        return cls(
+            rule_id=str(d["rule"]),
+            severity=Severity.parse(str(d["severity"])),
+            location=str(d["location"]),
+            message=str(d["message"]),
+            key=str(d.get("key", "")),
+            fix_hint=str(d["fix_hint"]) if d.get("fix_hint") else None,
+            analyzer=str(d.get("analyzer", "")),
+            waived=bool(d.get("waived", False)),
+            waiver_justification=(str(d["waiver_justification"])
+                                  if d.get("waiver_justification") else None),
+        )
+
+    def format(self) -> str:
+        mark = " [waived]" if self.waived else ""
+        hint = f"\n    hint: {self.fix_hint}" if self.fix_hint else ""
+        return (f"{self.rule_id} {self.severity}{mark} at {self.location}"
+                f"{f' ({self.key})' if self.key else ''}: {self.message}{hint}")
+
+
+def max_severity(findings: Iterable[Finding],
+                 include_waived: bool = False) -> Optional[Severity]:
+    """Highest severity present (``None`` for an empty / all-waived list)."""
+    best: Optional[Severity] = None
+    for f in findings:
+        if f.waived and not include_waived:
+            continue
+        if best is None or f.severity > best:
+            best = f.severity
+    return best
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Deterministic report order: severity desc, then rule, then location."""
+    return sorted(findings,
+                  key=lambda f: (-int(f.severity), f.rule_id, f.location, f.key))

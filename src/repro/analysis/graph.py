@@ -1,0 +1,424 @@
+"""Graph checker: symbolic shape/dtype validation of autograd graphs.
+
+Walks the :class:`~repro.framework.autograd.Node` graph hanging off a root
+tensor (typically the loss of a meta-mode model build) and *re-derives* each
+op's output shape and dtype from its inputs using per-op symbolic rules —
+without executing anything.  This complements meta execution: meta mode
+computes shapes by running the forward ops, so a bug in an op's own shape
+logic is self-consistent and invisible; the checker re-checks every edge
+against an independent statement of the op's contract.
+
+Checks (rule catalogue in DESIGN.md):
+
+* ``GC001`` shape-mismatch — recorded output shape disagrees with the shape
+  derived from the inputs (fires at paper-scale crops even when the tiny
+  test config happens to be degenerate-compatible).
+* ``GC002`` silent-broadcast — a binary op broadcast a non-scalar operand
+  that was not an explicit ``broadcast_to``.
+* ``GC003`` low-precision-accumulation — a large reduction or GEMM
+  accumulates in bf16/fp16 (§3.4: bf16 training needs fp32 accumulation).
+* ``GC004`` dtype-mismatch — output dtype disagrees with promotion rules.
+* ``GC005`` unused-differentiable — a ``requires_grad`` intermediate no one
+  consumes: dead forward compute AND a gradient that will never flow.
+* ``GC006`` duplicate-input — one tensor appears twice in a single node's
+  inputs (gradient accumulates inside one op; legal but usually a missed
+  ``square``/rewrite and a double-count hazard).
+* ``GC007`` backward-contract — invoking the node's backward symbolically
+  with a meta cotangent returns the wrong grad count or shapes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..framework import autograd, dtypes
+from ..framework.autograd import Node
+from ..framework.tensor import Tensor
+from .findings import Finding, Severity
+from .rules import RuleConfig, register_rule
+
+register_rule("GC001", "graph", Severity.ERROR, "shape-mismatch",
+              "Output shape disagrees with the shape derived symbolically "
+              "from the op's inputs.")
+register_rule("GC002", "graph", Severity.INFO, "silent-broadcast",
+              "A binary op implicitly broadcast a non-scalar operand "
+              "(no explicit broadcast_to in the graph).")
+register_rule("GC003", "graph", Severity.WARNING, "low-precision-accumulation",
+              "A reduction/GEMM accumulates many bf16/fp16 elements; "
+              "accumulate in fp32 instead (paper §3.4).")
+register_rule("GC004", "graph", Severity.ERROR, "dtype-mismatch",
+              "Output dtype disagrees with the promotion of the input "
+              "dtypes.")
+register_rule("GC005", "graph", Severity.WARNING, "unused-differentiable",
+              "A requires_grad intermediate is never consumed: dead forward "
+              "compute and a gradient that never flows.")
+register_rule("GC006", "graph", Severity.INFO, "duplicate-input",
+              "The same tensor appears more than once in one op's inputs; "
+              "its gradient accumulates inside a single op.")
+register_rule("GC007", "graph", Severity.ERROR, "backward-contract",
+              "The op's backward function returns the wrong number of "
+              "gradients, wrong shapes, or raises, when driven with a "
+              "symbolic (meta) cotangent.")
+
+#: Reduction factor (input elements per output element) above which a
+#: low-precision accumulation is flagged.
+DEFAULT_ACCUM_THRESHOLD = 1024
+#: Node-count cap for the (linear but per-node) backward-contract check.
+DEFAULT_BACKWARD_CHECK_MAX_NODES = 250_000
+
+_ELEMENTWISE_BINARY = {"add", "sub", "mul", "div", "maximum", "minimum"}
+_ELEMENTWISE_UNARY = {
+    "neg", "exp", "log", "sqrt", "rsqrt", "square", "reciprocal", "abs",
+    "sign", "relu", "sigmoid", "tanh", "gelu", "clamp", "pow", "softmax",
+    "masked_fill",
+}
+_REDUCTIONS = {"reduce_sum", "reduce_mean", "reduce_max", "reduce_min"}
+_MATMUL_NAMES = {"matmul", "batched_gemm"}
+_LOW_PRECISION = {"bf16", "fp16"}
+
+
+# ----------------------------------------------------------------------
+# Graph capture (for unused-intermediate detection)
+# ----------------------------------------------------------------------
+@dataclass
+class GraphCapture:
+    """All tensors that got an autograd node while the capture was active."""
+
+    tensors: List[Tensor] = field(default_factory=list)
+
+
+@contextlib.contextmanager
+def capture_graph() -> Iterator[GraphCapture]:
+    """Record every node-carrying tensor created inside the block.
+
+    Needed by GC005: an unused intermediate is by definition unreachable
+    from the loss root, so the checker must see creations, not just the
+    reachable graph.
+    """
+    capture = GraphCapture()
+    original = autograd.attach
+
+    def recording_attach(out, op_name, inputs, backward_fn):
+        result = original(out, op_name, inputs, backward_fn)
+        if result.node is not None:
+            capture.tensors.append(result)
+        return result
+
+    autograd.attach = recording_attach
+    try:
+        yield capture
+    finally:
+        autograd.attach = original
+
+
+# ----------------------------------------------------------------------
+# Symbolic shape derivation per op
+# ----------------------------------------------------------------------
+def _broadcast_shape(shapes: Sequence[Tuple[int, ...]]
+                     ) -> Optional[Tuple[int, ...]]:
+    try:
+        return tuple(np.broadcast_shapes(*shapes))
+    except ValueError:
+        return None
+
+
+def _size(shape: Tuple[int, ...]) -> int:
+    n = 1
+    for s in shape:
+        n *= s
+    return n
+
+
+def _derive_shape(node: Node, out: Tensor) -> Optional[Tuple[int, ...]]:
+    """Expected output shape, or ``None`` when not derivable for this op."""
+    name = node.op_name
+    shapes = [t.shape for t in node.inputs]
+    if name in _ELEMENTWISE_BINARY or name in ("where",):
+        return _broadcast_shape(shapes)
+    if name == "masked_fill":
+        return _broadcast_shape(shapes)
+    if name in _ELEMENTWISE_UNARY and len(shapes) == 1:
+        return shapes[0]
+    if name in ("cast", "copy"):
+        return shapes[0] if shapes else None
+    if name in _MATMUL_NAMES and len(shapes) == 2:
+        a, b = shapes
+        if len(a) < 2 or len(b) < 2 or a[-1] != b[-2]:
+            return ()  # sentinel: definitely inconsistent
+        batch = _broadcast_shape([a[:-2], b[:-2]])
+        if batch is None:
+            return ()
+        return batch + (a[-2], b[-1])
+    if name == "fused_layernorm":
+        return shapes[0] if shapes else None
+    if name == "fused_mha":
+        # out = softmax(qk^T + biases) v: q (..., Lq, d), v (..., Lk, d).
+        return shapes[0] if shapes else None
+    return None
+
+
+def _check_shape(node: Node, out: Tensor, cfg: RuleConfig, loc: str,
+                 emit: Callable[[Optional[Finding]], None]) -> None:
+    name = node.op_name
+    shapes = [t.shape for t in node.inputs]
+    derived = _derive_shape(node, out)
+    if derived is not None and tuple(derived) != out.shape:
+        if name in _MATMUL_NAMES and derived == ():
+            emit(cfg.finding(
+                "GC001", loc,
+                f"matmul operands {shapes[0]} @ {shapes[1]} are "
+                "incompatible (inner/batch dims do not align)",
+                key=f"{name}:{shapes[0]}x{shapes[1]}"))
+        else:
+            emit(cfg.finding(
+                "GC001", loc,
+                f"{name} output recorded as {out.shape} but inputs "
+                f"{shapes} derive {tuple(derived)}",
+                key=f"{name}:{out.shape}"))
+        return
+    # Ops with only partial symbolic contracts.
+    if name in _REDUCTIONS and len(shapes) == 1:
+        in_size, out_size = _size(shapes[0]), _size(out.shape)
+        if out_size == 0 or in_size % out_size != 0 or out_size > in_size:
+            emit(cfg.finding(
+                "GC001", loc,
+                f"{name} output {out.shape} is not a reduction of input "
+                f"{shapes[0]}", key=f"{name}:{out.shape}"))
+    elif name == "reshape" and shapes:
+        if _size(shapes[0]) != _size(out.shape):
+            emit(cfg.finding(
+                "GC001", loc,
+                f"reshape changes element count: {shapes[0]} -> {out.shape}",
+                key=f"reshape:{out.shape}"))
+    elif name == "permute" and shapes:
+        if sorted(shapes[0]) != sorted(out.shape):
+            emit(cfg.finding(
+                "GC001", loc,
+                f"permute output {out.shape} is not a permutation of "
+                f"input {shapes[0]}", key=f"permute:{out.shape}"))
+    elif name == "broadcast" and shapes:
+        if _broadcast_shape([shapes[0], out.shape]) != out.shape:
+            emit(cfg.finding(
+                "GC001", loc,
+                f"broadcast output {out.shape} unreachable from input "
+                f"{shapes[0]}", key=f"broadcast:{out.shape}"))
+    elif name == "concat" and shapes:
+        if sum(_size(s) for s in shapes) != _size(out.shape):
+            emit(cfg.finding(
+                "GC001", loc,
+                f"concat output {out.shape} does not hold the "
+                f"{len(shapes)} input element counts",
+                key=f"concat:{out.shape}"))
+
+
+def _check_dtype(node: Node, out: Tensor, cfg: RuleConfig, loc: str,
+                 emit: Callable[[Optional[Finding]], None]) -> None:
+    name = node.op_name
+    ins = node.inputs
+    if name in _ELEMENTWISE_BINARY and len(ins) == 2:
+        expected = dtypes.promote(ins[0].dtype, ins[1].dtype)
+        if out.dtype.is_floating and expected.is_floating \
+                and out.dtype is not expected:
+            emit(cfg.finding(
+                "GC004", loc,
+                f"{name}({ins[0].dtype.name}, {ins[1].dtype.name}) "
+                f"produced {out.dtype.name}, promotion says "
+                f"{expected.name}", key=f"{name}:{out.dtype.name}"))
+    elif name in _ELEMENTWISE_UNARY and len(ins) == 1 and name != "masked_fill":
+        if ins[0].dtype.is_floating and out.dtype is not ins[0].dtype:
+            emit(cfg.finding(
+                "GC004", loc,
+                f"{name} changed dtype {ins[0].dtype.name} -> "
+                f"{out.dtype.name} (only cast may)",
+                key=f"{name}:{out.dtype.name}"))
+
+
+def _check_accumulation(node: Node, out: Tensor, cfg: RuleConfig, loc: str,
+                        emit: Callable[[Optional[Finding]], None]) -> None:
+    threshold = int(cfg.param("accum_threshold", DEFAULT_ACCUM_THRESHOLD))
+    name = node.op_name
+    if name in ("reduce_sum", "reduce_mean") and node.inputs:
+        src = node.inputs[0]
+        if src.dtype.name in _LOW_PRECISION and out.size > 0:
+            factor = src.size // max(out.size, 1)
+            if factor >= threshold:
+                emit(cfg.finding(
+                    "GC003", loc,
+                    f"{name} accumulates {factor} {src.dtype.name} "
+                    "elements per output; accumulate in fp32",
+                    key=f"{name}:{src.shape}",
+                    fix_hint="cast to fp32 before the reduction or use a "
+                             "fused kernel with fp32 accumulators"))
+    elif name in _MATMUL_NAMES and len(node.inputs) == 2:
+        a, b = node.inputs
+        k = a.shape[-1] if a.ndim >= 2 else 0
+        if (a.dtype.name in _LOW_PRECISION and b.dtype.name in _LOW_PRECISION
+                and out.dtype.name in _LOW_PRECISION and k >= threshold):
+            emit(cfg.finding(
+                "GC003", loc,
+                f"{name} with K={k} accumulates in {out.dtype.name}; "
+                "tensor-core GEMMs should accumulate fp32",
+                key=f"{name}:k{k}"))
+
+
+def _check_silent_broadcast(node: Node, out: Tensor, cfg: RuleConfig,
+                            loc: str,
+                            emit: Callable[[Optional[Finding]], None]) -> None:
+    if node.op_name not in _ELEMENTWISE_BINARY or len(node.inputs) != 2:
+        return
+    a, b = node.inputs
+    if a.shape == b.shape:
+        return
+    for operand in (a, b):
+        if operand.shape != out.shape and operand.size > 1:
+            # Explicit broadcast_to in the graph means the author opted in.
+            if operand.node is not None and operand.node.op_name == "broadcast":
+                continue
+            emit(cfg.finding(
+                "GC002", loc,
+                f"{node.op_name} implicitly broadcast operand "
+                f"{operand.shape} to {out.shape}",
+                key=f"{node.op_name}:{operand.shape}->{out.shape}",
+                fix_hint="make the expansion explicit with broadcast_to "
+                         "so the traffic is visible in the trace"))
+
+
+def _check_backward_contract(node: Node, out: Tensor, cfg: RuleConfig,
+                             loc: str,
+                             emit: Callable[[Optional[Finding]], None]) -> None:
+    cotangent = Tensor(None, out.shape, out.dtype)
+    try:
+        with autograd.no_grad():
+            grads = node.backward_fn(cotangent)
+    except Exception as exc:  # noqa: BLE001 - any failure is the finding
+        emit(cfg.finding(
+            "GC007", loc,
+            f"{node.op_name} backward raised {type(exc).__name__}: {exc}",
+            key=f"{node.op_name}:raise"))
+        return
+    if len(grads) != len(node.inputs):
+        emit(cfg.finding(
+            "GC007", loc,
+            f"{node.op_name} backward returned {len(grads)} grads for "
+            f"{len(node.inputs)} inputs", key=f"{node.op_name}:arity"))
+        return
+    for i, (parent, g) in enumerate(zip(node.inputs, grads)):
+        if g is None:
+            continue
+        if g.shape != parent.shape:
+            emit(cfg.finding(
+                "GC007", loc,
+                f"{node.op_name} backward grad #{i} has shape {g.shape} "
+                f"for input of shape {parent.shape}",
+                key=f"{node.op_name}:grad{i}"))
+
+
+# ----------------------------------------------------------------------
+# Walk + entry point
+# ----------------------------------------------------------------------
+def _reachable(roots: Sequence[Tensor]) -> List[Tensor]:
+    """Every node-carrying tensor reachable from ``roots`` (iterative)."""
+    seen: Dict[int, Tensor] = {}
+    stack = list(roots)
+    visited = set()
+    while stack:
+        t = stack.pop()
+        if id(t) in visited:
+            continue
+        visited.add(id(t))
+        if t.node is not None:
+            seen[id(t)] = t
+            for parent in t.node.inputs:
+                stack.append(parent)
+    return list(seen.values())
+
+
+def check_graph(roots: Sequence[Tensor],
+                config: Optional[RuleConfig] = None,
+                capture: Optional[GraphCapture] = None,
+                check_backward: bool = True) -> List[Finding]:
+    """Run every graph rule over the autograd graph under ``roots``.
+
+    ``capture`` (from :func:`capture_graph`) additionally enables GC005 for
+    intermediates that are unreachable from the roots.  Findings identical
+    in (rule, location, key) are merged with an occurrence count.
+    """
+    cfg = config or RuleConfig()
+    tensors = _reachable(roots)
+    merged: Dict[Tuple[str, str, str], Finding] = {}
+    counts: Dict[Tuple[str, str, str], int] = {}
+
+    def emit(f: Optional[Finding]) -> None:
+        if f is None:
+            return
+        fp = (f.rule_id, f.location, f.key)
+        if fp in merged:
+            counts[fp] += 1
+        else:
+            merged[fp] = f
+            counts[fp] = 1
+
+    # Consumption accounting covers captured-but-unreachable nodes too, so a
+    # tensor feeding only a dead subgraph is still "consumed" (the dead
+    # subgraph's own head gets the GC005 finding instead).
+    consumers: Dict[int, int] = {}
+    consumer_sources = list(tensors)
+    if capture is not None:
+        reachable_now = {id(t) for t in tensors}
+        consumer_sources += [t for t in capture.tensors
+                             if id(t) not in reachable_now]
+    for t in consumer_sources:
+        for parent in t.node.inputs:
+            consumers[id(parent)] = consumers.get(id(parent), 0) + 1
+
+    backward_budget = int(cfg.param("backward_check_max_nodes",
+                                    DEFAULT_BACKWARD_CHECK_MAX_NODES))
+    do_backward = check_backward and len(tensors) <= backward_budget
+
+    for t in tensors:
+        node = t.node
+        loc = f"{node.op_name}@{node.scope or '<top>'}"
+        _check_shape(node, t, cfg, loc, emit)
+        _check_dtype(node, t, cfg, loc, emit)
+        _check_accumulation(node, t, cfg, loc, emit)
+        _check_silent_broadcast(node, t, cfg, loc, emit)
+        if do_backward:
+            _check_backward_contract(node, t, cfg, loc, emit)
+        seen_ids = set()
+        for parent in node.inputs:
+            if id(parent) in seen_ids:
+                emit(cfg.finding(
+                    "GC006", loc,
+                    f"{node.op_name} consumes the same tensor "
+                    f"{parent.shape} twice; its gradient accumulates "
+                    "inside one op", key=f"{node.op_name}:dup"))
+                break
+            seen_ids.add(id(parent))
+
+    if capture is not None:
+        root_ids = {id(r) for r in roots}
+        reachable_ids = {id(t) for t in tensors}
+        for t in capture.tensors:
+            if id(t) in root_ids or not t.requires_grad:
+                continue
+            if consumers.get(id(t), 0) == 0 and id(t) not in reachable_ids:
+                node = t.node
+                loc = f"{node.op_name}@{node.scope or '<top>'}"
+                emit(cfg.finding(
+                    "GC005", loc,
+                    f"differentiable {node.op_name} output {t.shape} is "
+                    "never consumed and unreachable from any root",
+                    key=f"{node.op_name}:{t.shape}",
+                    fix_hint="drop the computation or detach it with "
+                             "no_grad() if only its value is needed"))
+
+    out: List[Finding] = []
+    for fp, f in merged.items():
+        if counts[fp] > 1:
+            f.message += f" ({counts[fp]} occurrences)"
+        out.append(f)
+    return out

@@ -1,0 +1,86 @@
+"""Rule registry and per-run configuration.
+
+Every check an analyzer can perform is declared once as a :class:`Rule` in
+the module-level registry, so ``repro lint --list-rules`` is the catalogue,
+severities have one source of truth, and enabling/disabling is uniform
+across analyzers.  Analyzers never construct findings directly — they go
+through :meth:`RuleConfig.finding`, which applies severity overrides and
+drops findings for disabled rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .findings import Finding, Severity
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered check."""
+
+    rule_id: str       # e.g. "TL001"
+    analyzer: str      # "graph" | "trace" | "sched"
+    severity: Severity  # default; overridable per run
+    title: str
+    description: str
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(rule_id: str, analyzer: str, severity: Severity,
+                  title: str, description: str) -> Rule:
+    if rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_id!r}")
+    rule = Rule(rule_id, analyzer, severity, title, description)
+    _REGISTRY[rule_id] = rule
+    return rule
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise ValueError(f"unknown rule {rule_id!r}") from None
+
+
+def all_rules(analyzer: Optional[str] = None) -> List[Rule]:
+    rules = sorted(_REGISTRY.values(), key=lambda r: r.rule_id)
+    if analyzer is not None:
+        rules = [r for r in rules if r.analyzer == analyzer]
+    return rules
+
+
+@dataclass
+class RuleConfig:
+    """Per-run rule switches and thresholds.
+
+    ``disabled`` drops a rule's findings entirely; ``severity_overrides``
+    re-grades a rule (e.g. demote TL003 to INFO while triaging);
+    ``params`` carries per-rule thresholds (chain length, budgets, ...) that
+    analyzers read with :meth:`param`.
+    """
+
+    disabled: frozenset = frozenset()
+    severity_overrides: Dict[str, Severity] = field(default_factory=dict)
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def enabled(self, rule_id: str) -> bool:
+        return rule_id not in self.disabled
+
+    def param(self, name: str, default):
+        return self.params.get(name, default)
+
+    def finding(self, rule_id: str, location: str, message: str,
+                key: str = "", fix_hint: Optional[str] = None
+                ) -> Optional[Finding]:
+        """Build a finding for ``rule_id`` (``None`` when disabled)."""
+        if not self.enabled(rule_id):
+            return None
+        rule = get_rule(rule_id)
+        severity = self.severity_overrides.get(rule_id, rule.severity)
+        return Finding(rule_id=rule_id, severity=severity, location=location,
+                       message=message, key=key, fix_hint=fix_hint,
+                       analyzer=rule.analyzer)

@@ -1,0 +1,204 @@
+"""Lint orchestration: drive the analyzers against the real model,
+apply the baseline, format reports, compute the CI exit code.
+
+This is the engine behind ``repro lint``.  Each analyzer gets a
+``lint_*`` entry point that builds its artifact from the actual
+reproduction (meta-mode autograd graph, cached step trace, audited DES
+runs) so the suite fires on the model we simulate, not on toy fixtures.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .baseline import Baseline
+from .findings import Finding, Severity, max_severity, sort_findings
+from .graph import capture_graph, check_graph
+from .rules import RuleConfig, all_rules
+from .sched import ScheduleRecorder, analyze_schedule
+from .tracelint import lint_trace
+
+ANALYZERS = ("graph", "trace", "sched")
+
+
+# ----------------------------------------------------------------------
+# Analyzer drivers
+# ----------------------------------------------------------------------
+def lint_graph_for(config_name: str = "small", scalefold: bool = False,
+                   rule_config: Optional[RuleConfig] = None,
+                   check_backward: bool = True) -> List[Finding]:
+    """Build the model's autograd graph in meta mode and check it.
+
+    No kernels run and no trace is recorded — the graph is walked
+    symbolically, which is the point: this catches contract violations that
+    meta *execution* is self-consistently blind to.
+    """
+    from ..datapipe.samples import meta_batch
+    from ..framework import dtypes, tracer
+    from ..framework.module import meta_build
+    from ..model.alphafold import AlphaFold
+    from ..model.config import AlphaFoldConfig, KernelPolicy
+    from ..model.loss import AlphaFoldLoss
+
+    policy = (KernelPolicy.scalefold(checkpointing=True) if scalefold
+              else KernelPolicy.reference())
+    cfg = getattr(AlphaFoldConfig, config_name)(policy)
+    with meta_build():
+        model = AlphaFold(cfg)
+    if policy.dtype is not dtypes.float32:
+        model.to_dtype(policy.dtype)
+    batch = meta_batch(cfg, dtype=policy.dtype)
+    loss_fn = AlphaFoldLoss(cfg)
+    # An active trace is needed for nodes to capture their module scope, so
+    # findings point at "evoformer/blocks.0/..." rather than "<top>".
+    with capture_graph() as capture, tracer.trace():
+        outputs = model(batch, n_recycle=1)
+        loss, _ = loss_fn(outputs, batch)
+    return check_graph([loss], config=rule_config, capture=capture,
+                       check_backward=check_backward)
+
+
+def lint_trace_for(config_name: str = "small", scalefold: bool = False,
+                   gpu_name: str = "A100",
+                   rule_config: Optional[RuleConfig] = None) -> List[Finding]:
+    """Lint the (cached) step trace of the given config/policy."""
+    from ..hardware.gpu import get_gpu
+    from ..model.config import AlphaFoldConfig, KernelPolicy
+    from ..perf.trace_builder import build_step_trace
+
+    policy = (KernelPolicy.scalefold(checkpointing=True) if scalefold
+              else KernelPolicy.reference())
+    cfg = getattr(AlphaFoldConfig, config_name)(policy)
+    step = build_step_trace(policy=policy, cfg=cfg)
+    return lint_trace(step.trace, get_gpu(gpu_name), config=rule_config)
+
+
+def lint_sched_for(config_name: str = "small", scalefold: bool = False,
+                   gpu_name: str = "A100",
+                   rule_config: Optional[RuleConfig] = None) -> List[Finding]:
+    """Audit the two real DES workloads and analyze their schedules:
+
+    1. the multi-rank distributed-step simulation (DAP barrier, per-rank
+       NIC resources, DDP bucket processes) of the given config;
+    2. the cluster-level training-run simulation (serial eval pool).
+    """
+    from ..model.config import AlphaFoldConfig, KernelPolicy
+    from ..perf.scaling import Scenario, estimate_step_time
+    from ..perf.trace_builder import build_step_trace
+    from ..sim.cluster import ClusterSimConfig, run_cluster_simulation
+    from ..train.evaluation import EvalConfig
+
+    policy = (KernelPolicy.scalefold(checkpointing=True) if scalefold
+              else KernelPolicy.reference())
+    cfg = getattr(AlphaFoldConfig, config_name)(policy)
+    step = build_step_trace(policy=policy, cfg=cfg)
+
+    recorder = ScheduleRecorder()
+    with recorder.recording():
+        # Passing the trace explicitly bypasses the scenario memo cache, so
+        # the rank-level DES actually runs (and gets audited) every time.
+        scenario = Scenario(policy=policy, gpu=gpu_name, dap_n=2, dp_degree=2,
+                            imbalance_enabled=False)
+        estimate_step_time(scenario, trace=step)
+        run_cluster_simulation(ClusterSimConfig(
+            step_seconds=0.5, n_sync_ranks=4, max_steps=12,
+            eval=EvalConfig(eval_every_steps=5), target_lddt=2.0))
+    return analyze_schedule(recorder.events, config=rule_config)
+
+
+# ----------------------------------------------------------------------
+# Report
+# ----------------------------------------------------------------------
+@dataclass
+class LintReport:
+    """One lint run: findings plus baseline bookkeeping."""
+
+    findings: List[Finding]               # all, sorted; waived are marked
+    analyzers: List[str]
+    stale_baseline: List[str] = field(default_factory=list)
+
+    @property
+    def new_findings(self) -> List[Finding]:
+        return [f for f in self.findings if not f.waived]
+
+    @property
+    def waived_findings(self) -> List[Finding]:
+        return [f for f in self.findings if f.waived]
+
+    def exit_code(self, fail_on: Severity = Severity.WARNING) -> int:
+        worst = max_severity(self.new_findings)
+        return 1 if worst is not None and worst >= fail_on else 0
+
+    def to_dict(self) -> Dict[str, object]:
+        counts: Dict[str, int] = {}
+        for f in self.new_findings:
+            counts[str(f.severity)] = counts.get(str(f.severity), 0) + 1
+        return {
+            "analyzers": list(self.analyzers),
+            "findings": [f.to_dict() for f in self.findings],
+            "new_counts": counts,
+            "n_new": len(self.new_findings),
+            "n_waived": len(self.waived_findings),
+            "stale_baseline": list(self.stale_baseline),
+        }
+
+    def format_text(self, show_waived: bool = False) -> str:
+        lines: List[str] = []
+        for f in self.findings:
+            if f.waived and not show_waived:
+                continue
+            lines.append(f.format())
+        new, waived = self.new_findings, self.waived_findings
+        lines.append(
+            f"{len(new)} new finding(s), {len(waived)} waived by baseline"
+            + (f", {len(self.stale_baseline)} stale baseline entr(ies)"
+               if self.stale_baseline else ""))
+        return "\n".join(lines)
+
+
+def run_lint(analyzers: Sequence[str] = ANALYZERS,
+             config_name: str = "small", scalefold: bool = False,
+             gpu_name: str = "A100",
+             rule_config: Optional[RuleConfig] = None,
+             baseline: Optional[Baseline] = None) -> LintReport:
+    """Run the requested analyzers and apply the baseline."""
+    unknown = set(analyzers) - set(ANALYZERS)
+    if unknown:
+        raise ValueError(f"unknown analyzer(s) {sorted(unknown)}; "
+                         f"choose from {list(ANALYZERS)}")
+    findings: List[Finding] = []
+    if "graph" in analyzers:
+        findings += lint_graph_for(config_name, scalefold,
+                                   rule_config=rule_config)
+    if "trace" in analyzers:
+        findings += lint_trace_for(config_name, scalefold, gpu_name,
+                                   rule_config=rule_config)
+    if "sched" in analyzers:
+        findings += lint_sched_for(config_name, scalefold, gpu_name,
+                                   rule_config=rule_config)
+    stale: List[str] = []
+    if baseline is not None and len(baseline):
+        baseline.apply(findings)
+        if set(analyzers) == set(ANALYZERS):
+            # A partial run can't see other analyzers' findings, so staleness
+            # is only meaningful when everything ran.
+            stale = baseline.stale_fingerprints(findings)
+    return LintReport(findings=sort_findings(findings),
+                      analyzers=list(analyzers), stale_baseline=stale)
+
+
+def format_rule_catalogue() -> str:
+    """``repro lint --list-rules`` output."""
+    lines = [f"{'Rule':<7}{'Analyzer':<10}{'Default':<9}Title"]
+    for r in all_rules():
+        lines.append(f"{r.rule_id:<7}{r.analyzer:<10}{str(r.severity):<9}"
+                     f"{r.title}")
+    return "\n".join(lines)
+
+
+def write_findings_json(path: str, report: LintReport) -> None:
+    with open(path, "w") as fh:
+        json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,13 +1,15 @@
 """Command-line entry point: ``python -m repro <experiment-id>``.
 
 Besides the experiment runner, a ``trace`` subcommand fronts the
-observability stack::
+observability stack and ``lint`` fronts the static analysis suite::
 
     python -m repro trace export -o step.json   # chrome://tracing JSON
     python -m repro trace top                   # nsys-style top kernels
     python -m repro trace flame                 # per-scope time rollup
     python -m repro trace cache                 # cache hit/miss report
     python -m repro bench                       # simulation benchmarks
+    python -m repro lint                        # graph+trace+sched analysis
+    python -m repro lint trace --format json    # one analyzer, CI-parseable
 """
 
 from __future__ import annotations
@@ -130,6 +132,92 @@ def trace_command(argv: List[str]) -> int:
     return 0
 
 
+def lint_command(argv: List[str]) -> int:
+    """``repro lint [graph|trace|sched ...]`` — static analysis suite.
+
+    Exit code 1 when any *new* (non-baselined) finding at or above
+    ``--fail-on`` severity is produced; 0 otherwise.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Static analysis over the reproduction's artifacts: "
+                    "autograd graph shape/dtype checks, kernel-trace fusion "
+                    "and launch-overhead lint, DES schedule deadlock "
+                    "detection.")
+    parser.add_argument("analyzers", nargs="*", metavar="analyzer",
+                        help="subset of {graph,trace,sched} "
+                             "(default: all three)")
+    parser.add_argument("--config", default="small",
+                        choices=("tiny", "small", "full"),
+                        help="model size preset (default: small)")
+    parser.add_argument("--scalefold", action="store_true",
+                        help="lint the fused ScaleFold kernel policy "
+                             "(default: eager reference)")
+    parser.add_argument("--gpu", default="A100", help="GPU spec name")
+    parser.add_argument("--format", default="text", choices=("text", "json"),
+                        help="report format (default: text)")
+    parser.add_argument("--output", "-o", default=None,
+                        help="also write the JSON report to this path")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="baseline file of waived findings "
+                             "(default: LINT_BASELINE.json if present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write all current findings to the baseline "
+                             "file and exit 0")
+    parser.add_argument("--fail-on", default="warning",
+                        choices=("info", "warning", "error"),
+                        help="minimum new-finding severity that fails the "
+                             "run (default: warning)")
+    parser.add_argument("--show-waived", action="store_true",
+                        help="[text] include baselined findings in output")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    from .analysis import (ANALYZERS, Baseline, Severity,
+                           format_rule_catalogue, run_lint,
+                           write_findings_json)
+    from .analysis.baseline import DEFAULT_BASELINE_NAME
+
+    if args.list_rules:
+        print(format_rule_catalogue())
+        return 0
+
+    analyzers = tuple(args.analyzers) or ANALYZERS
+    unknown = set(analyzers) - set(ANALYZERS)
+    if unknown:
+        parser.error(f"unknown analyzer(s): {', '.join(sorted(unknown))} "
+                     f"(choose from {', '.join(ANALYZERS)})")
+
+    baseline_path = args.baseline or DEFAULT_BASELINE_NAME
+    baseline = None
+    if not args.no_baseline and not args.write_baseline:
+        baseline = Baseline.load_or_empty(baseline_path)
+
+    report = run_lint(analyzers=analyzers, config_name=args.config,
+                      scalefold=args.scalefold, gpu_name=args.gpu,
+                      baseline=baseline)
+
+    if args.write_baseline:
+        Baseline.from_findings(
+            report.findings,
+            justification="baselined by --write-baseline; triage pending",
+        ).save(baseline_path)
+        print(f"wrote {len(report.findings)} finding(s) to {baseline_path}")
+        return 0
+
+    if args.output:
+        write_findings_json(args.output, report)
+    if args.format == "json":
+        import json as _json
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format_text(show_waived=args.show_waived))
+    return report.exit_code(fail_on=Severity.parse(args.fail_on))
+
+
 def bench_command(argv: List[str]) -> int:
     """``repro bench`` — time the simulation pipeline, write a JSON report.
 
@@ -169,6 +257,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return trace_command(argv[1:])
     if argv and argv[0] == "bench":
         return bench_command(argv[1:])
+    if argv and argv[0] == "lint":
+        return lint_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ScaleFold reproduction: regenerate the paper's tables "

@@ -126,11 +126,17 @@ class Trace:
         tunable: Optional[str] = None,
         tags: Optional[Dict[str, object]] = None,
     ) -> KernelRecord:
+        flops = float(flops)
+        bytes_moved = float(bytes_moved)
+        if flops < 0 or bytes_moved < 0:
+            raise ValueError(
+                f"kernel {name!r}: flops and bytes must be non-negative, "
+                f"got flops={flops}, bytes={bytes_moved}")
         record = KernelRecord(
             name=name,
             category=category,
-            flops=float(flops),
-            bytes=float(bytes_moved),
+            flops=flops,
+            bytes=bytes_moved,
             shape=tuple(int(s) for s in shape),
             dtype=dtype,
             scope="/".join(self._scope_stack),
@@ -147,6 +153,16 @@ class Trace:
     # ------------------------------------------------------------------
     @contextlib.contextmanager
     def scope(self, name: str) -> Iterator[None]:
+        """Push one module-path component.
+
+        The scope string is ``/``-joined, so a component containing ``/``
+        (or an empty one) would silently corrupt ``scope_parts`` and every
+        prefix query downstream — rejected here instead.
+        """
+        if not name or "/" in name:
+            raise ValueError(
+                f"invalid scope component {name!r}: must be non-empty and "
+                f"must not contain '/' (nest scope() calls instead)")
         self._scope_stack.append(name)
         try:
             yield
@@ -155,6 +171,14 @@ class Trace:
 
     @contextlib.contextmanager
     def phase(self, name: str) -> Iterator[None]:
+        """Set the phase for records emitted in the block.
+
+        Phases nest: the innermost active phase wins, and the outer phase
+        is restored on exit — even on exception — so a backward pass that
+        raises cannot leave the trace stuck in ``"backward"``.
+        """
+        if not name:
+            raise ValueError("phase name must be non-empty")
         self._phase_stack.append(name)
         try:
             yield
@@ -164,6 +188,11 @@ class Trace:
     @property
     def current_scope(self) -> str:
         return "/".join(self._scope_stack)
+
+    @property
+    def current_phase(self) -> str:
+        """The innermost active phase (``"forward"`` at rest)."""
+        return self._phase_stack[-1]
 
     # ------------------------------------------------------------------
     # Queries
@@ -226,7 +255,20 @@ class Trace:
         return sum(r.bytes for r in self.records)
 
     def extend(self, other: Iterable[KernelRecord]) -> None:
-        self.records.extend(other)
+        """Append prebuilt records (e.g. from another :class:`Trace`).
+
+        Validates every element up front and appends atomically: a bad
+        element leaves the trace untouched instead of corrupting the cost
+        model with a half-applied batch far from the call site.
+        """
+        incoming = list(other)
+        for r in incoming:
+            if not isinstance(r, KernelRecord):
+                raise TypeError(
+                    f"Trace.extend expects KernelRecord elements, got "
+                    f"{type(r).__name__!r} (emit() builds records; extend() "
+                    f"only transplants existing ones)")
+        self.records.extend(incoming)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Trace({self.name!r}, {len(self.records)} kernels)"
@@ -288,7 +330,15 @@ def emit(
 
 @contextlib.contextmanager
 def scope(name: str) -> Iterator[None]:
-    """Push a module scope onto the active trace (no-op when not tracing)."""
+    """Push a module scope onto the active trace (no-op when not tracing).
+
+    Name validation applies either way, so an invalid component fails even
+    in untraced runs rather than only once tracing is turned on.
+    """
+    if not name or "/" in name:
+        raise ValueError(
+            f"invalid scope component {name!r}: must be non-empty and "
+            f"must not contain '/' (nest scope() calls instead)")
     t = current_trace()
     if t is None:
         yield
@@ -299,7 +349,14 @@ def scope(name: str) -> Iterator[None]:
 
 @contextlib.contextmanager
 def phase(name: str) -> Iterator[None]:
-    """Mark records as forward/backward/update for the active trace."""
+    """Mark records as forward/backward/update for the active trace.
+
+    Nested phases follow :meth:`Trace.phase` semantics: innermost wins,
+    outer phase restored on exit.  Validation applies even when no trace
+    is active.
+    """
+    if not name:
+        raise ValueError("phase name must be non-empty")
     t = current_trace()
     if t is None:
         yield

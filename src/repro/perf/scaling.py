@@ -246,7 +246,7 @@ def _run_distributed_step(plan: List[_PlanOp],
     returned per-(step, rank) arrays tile each step's wall time.
     """
     sim = Simulator()
-    barrier = Barrier(sim, n_ranks)
+    barrier = Barrier(sim, n_ranks, name="dap-sync")
     backward_wall = sum(op.seconds for op in plan
                         if op.kind == "compute" and op.phase == "backward")
     update_start: Optional[int] = next(

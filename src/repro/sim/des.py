@@ -30,20 +30,80 @@ Boundary semantics of :meth:`Simulator.run` (pinned by
 
 from __future__ import annotations
 
+import contextlib
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, Iterator, List, Optional, Tuple
+
+# ----------------------------------------------------------------------
+# Schedule auditing.  When a hook is installed (repro.analysis.sched does
+# this), Resource and Barrier emit structured events — acquire/release and
+# barrier arrivals attributed to the process that performed them — which the
+# schedule analyzer turns into a resource-acquisition-order graph and
+# barrier-participation accounting.  With no hook installed the cost is one
+# ``is None`` check per operation.
+# ----------------------------------------------------------------------
+_AUDIT_HOOK: Optional[Callable[[Dict[str, Any]], None]] = None
+_PROCESS_STACK: List["Process"] = []
+
+
+def current_process() -> Optional["Process"]:
+    """The :class:`Process` whose generator is currently executing.
+
+    Event callbacks run synchronously inside ``succeed``, so a process
+    resumed by another's release executes nested; the innermost wins.
+    """
+    return _PROCESS_STACK[-1] if _PROCESS_STACK else None
+
+
+def set_audit(hook: Optional[Callable[[Dict[str, Any]], None]]) -> None:
+    """Install (or with ``None`` remove) the global schedule-audit hook."""
+    global _AUDIT_HOOK
+    _AUDIT_HOOK = hook
+
+
+@contextlib.contextmanager
+def audit(hook: Callable[[Dict[str, Any]], None]) -> Iterator[None]:
+    """Install ``hook`` for the duration of the block (not re-entrant)."""
+    if _AUDIT_HOOK is not None:
+        raise RuntimeError("a schedule audit hook is already installed")
+    set_audit(hook)
+    try:
+        yield
+    finally:
+        set_audit(None)
+
+
+def _actor_name() -> str:
+    proc = current_process()
+    return proc.name or f"process#{id(proc):x}" if proc is not None else ""
+
+
+def _audit_event(kind: str, obj: str, actor: Optional[str] = None,
+                 **extra: Any) -> None:
+    if _AUDIT_HOOK is None:
+        return
+    event: Dict[str, Any] = {"kind": kind, "object": obj,
+                             "actor": _actor_name() if actor is None else actor}
+    event.update(extra)
+    _AUDIT_HOOK(event)
 
 
 class Simulator:
     """Event loop over simulated seconds."""
+
+    _instance_counter = itertools.count()
 
     def __init__(self) -> None:
         self.now = 0.0
         self._heap: List[Tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
         self._running = False
+        # Distinguishes audit events from different simulator instances that
+        # reuse the same resource/barrier names (e.g. every distributed-step
+        # simulation names its DAP barrier "dap-sync").
+        self.audit_id = next(Simulator._instance_counter)
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` ``delay`` seconds from now."""
@@ -144,43 +204,69 @@ class Process:
 
     def _advance(self, value: Any = None) -> None:
         # Loop instead of recursing so that yielding an already-triggered
-        # event resumes inline without re-entering the generator.
-        while True:
-            try:
-                cmd = self.gen.send(value)
-            except StopIteration as stop:
-                self.done.succeed(getattr(stop, "value", None))
-                return
-            if isinstance(cmd, (int, float)):
-                self.sim.schedule(float(cmd), self._advance)
-                return
-            if isinstance(cmd, Process):
-                cmd = cmd.done
-            if isinstance(cmd, Event):
-                if cmd.triggered:
-                    value = cmd.value
-                    continue
-                cmd._callbacks.append(self._advance)
-                return
-            raise TypeError(f"process {self.name!r} yielded {cmd!r}; expected "
-                            "a delay (seconds), Event, or Process")
+        # event resumes inline without re-entering the generator.  The
+        # process stack (for ``current_process`` attribution) must be
+        # push/popped around the generator body: event callbacks fire
+        # synchronously inside ``succeed``, so a process resumed by another
+        # process's release executes nested inside the releaser's frame.
+        _PROCESS_STACK.append(self)
+        try:
+            while True:
+                try:
+                    cmd = self.gen.send(value)
+                except StopIteration as stop:
+                    self.done.succeed(getattr(stop, "value", None))
+                    return
+                if isinstance(cmd, (int, float)):
+                    self.sim.schedule(float(cmd), self._advance)
+                    return
+                if isinstance(cmd, Process):
+                    cmd = cmd.done
+                if isinstance(cmd, Event):
+                    if cmd.triggered:
+                        value = cmd.value
+                        continue
+                    cmd._callbacks.append(self._advance)
+                    return
+                raise TypeError(f"process {self.name!r} yielded {cmd!r}; "
+                                "expected a delay (seconds), Event, or Process")
+        finally:
+            _PROCESS_STACK.pop()
 
 
 class Resource:
     """A serially-shared resource (NIC, eval pool, ...) with FIFO grants."""
+
+    _anon_counter = itertools.count()
 
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = "") -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.sim = sim
         self.capacity = capacity
-        self.name = name
+        # Anonymous resources get a deterministic per-run name so audit
+        # events (and finding fingerprints) stay stable across runs.
+        self.name = name or f"resource#{next(Resource._anon_counter)}"
         self.in_use = 0
         self._waiting: List[Event] = []
+
+    @property
+    def waiting_count(self) -> int:
+        """Pending acquires (post-run liveness checks read this)."""
+        return len(self._waiting)
 
     def acquire(self) -> Event:
         """Event that fires when the caller holds one capacity slot."""
         event = Event(self.sim)
+        if _AUDIT_HOOK is not None:
+            actor = _actor_name()
+            _audit_event("acquire_request", self.name, actor=actor,
+                         capacity=self.capacity, sim=self.sim.audit_id)
+            # Registered before any grant below (and before the process
+            # parks on the event), so the grant is recorded — attributed to
+            # the *requesting* actor — the moment the slot is handed over.
+            event.wait(lambda _v, a=actor: _audit_event(
+                "acquire_grant", self.name, actor=a, sim=self.sim.audit_id))
         if self.in_use < self.capacity:
             self.in_use += 1
             event.succeed(self)
@@ -191,6 +277,7 @@ class Resource:
     def release(self) -> None:
         if self.in_use <= 0:
             raise RuntimeError(f"release of idle resource {self.name!r}")
+        _audit_event("release", self.name, sim=self.sim.audit_id)
         if self._waiting:
             # Hand the slot straight to the next waiter.
             self._waiting.pop(0).succeed(self)
@@ -201,21 +288,35 @@ class Resource:
 class Barrier:
     """Cyclic synchronization barrier for ``parties`` processes."""
 
-    def __init__(self, sim: Simulator, parties: int) -> None:
+    _anon_counter = itertools.count()
+
+    def __init__(self, sim: Simulator, parties: int, name: str = "") -> None:
         if parties < 1:
             raise ValueError("parties must be >= 1")
         self.sim = sim
         self.parties = parties
+        self.name = name or f"barrier#{next(Barrier._anon_counter)}"
         self.generation = 0
         self._arrived: List[Event] = []
+
+    @property
+    def waiting_count(self) -> int:
+        """Arrivals parked in the current (incomplete) generation."""
+        return len(self._arrived)
 
     def arrive(self) -> Event:
         """Event firing when all parties of this generation have arrived."""
         event = Event(self.sim)
+        _audit_event("barrier_arrive", self.name,
+                     generation=self.generation, parties=self.parties,
+                     sim=self.sim.audit_id)
         self._arrived.append(event)
         if len(self._arrived) == self.parties:
             arrived, self._arrived = self._arrived, []
             self.generation += 1
+            _audit_event("barrier_release", self.name, actor="",
+                         generation=self.generation - 1, parties=self.parties,
+                         sim=self.sim.audit_id)
             for ev in arrived:
                 ev.succeed(self.generation)
         return event

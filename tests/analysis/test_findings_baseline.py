@@ -1,0 +1,140 @@
+"""Rule framework: finding fingerprints, severity ordering, baseline
+round-trips, and the JSON schema CI tooling parses."""
+
+import json
+
+import pytest
+
+from repro.analysis import (Baseline, Finding, Severity, max_severity,
+                            sort_findings)
+from repro.analysis.baseline import BASELINE_VERSION, BaselineEntry
+
+
+def _finding(rule="TL001", severity=Severity.WARNING, location="blk",
+             message="msg", key="k"):
+    return Finding(rule_id=rule, severity=severity, location=location,
+                   message=message, key=key, analyzer="trace")
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+    def test_parse_roundtrip(self):
+        for s in Severity:
+            assert Severity.parse(str(s)) is s
+        assert Severity.parse("ERROR") is Severity.ERROR
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+    def test_max_severity_skips_waived(self):
+        f1, f2 = _finding(severity=Severity.ERROR), _finding(key="k2")
+        f1.waived = True
+        assert max_severity([f1, f2]) is Severity.WARNING
+        assert max_severity([f1, f2], include_waived=True) is Severity.ERROR
+        f2.waived = True
+        assert max_severity([f1, f2]) is None
+
+
+class TestFingerprint:
+    def test_stable_under_message_drift(self):
+        # Messages embed counts/times that move with the cost model; the
+        # fingerprint must not.
+        a = _finding(message="chain of 9 kernels, 1.23 GB")
+        b = _finding(message="chain of 12 kernels, 4.56 GB")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_distinguishes_identity_fields(self):
+        base = _finding()
+        assert base.fingerprint() != _finding(rule="TL002").fingerprint()
+        assert base.fingerprint() != _finding(location="blk2").fingerprint()
+        assert base.fingerprint() != _finding(key="other").fingerprint()
+
+    def test_no_concatenation_collisions(self):
+        # "ab"+"c" must not collide with "a"+"bc".
+        a = Finding("R", Severity.INFO, "ab", "m", key="c")
+        b = Finding("R", Severity.INFO, "a", "m", key="bc")
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestJsonSchema:
+    def test_finding_dict_keys_are_pinned(self):
+        # CI parses this schema; additions are fine via the optional keys,
+        # removals/renames are not.
+        d = _finding().to_dict()
+        assert set(d) == {"rule", "severity", "analyzer", "location", "key",
+                          "message", "fingerprint", "waived"}
+        f = _finding()
+        f.fix_hint = "fuse it"
+        f.waived = True
+        f.waiver_justification = "known"
+        d = f.to_dict()
+        assert set(d) == {"rule", "severity", "analyzer", "location", "key",
+                          "message", "fingerprint", "waived", "fix_hint",
+                          "waiver_justification"}
+
+    def test_dict_roundtrip(self):
+        f = _finding(severity=Severity.ERROR)
+        f.fix_hint = "hint"
+        back = Finding.from_dict(json.loads(json.dumps(f.to_dict())))
+        assert back == f
+        assert back.fingerprint() == f.fingerprint()
+
+    def test_sort_is_severity_desc_then_stable(self):
+        fs = [_finding(rule="B", severity=Severity.INFO, key=""),
+              _finding(rule="A", severity=Severity.ERROR, key=""),
+              _finding(rule="A", severity=Severity.INFO, key="")]
+        assert [(f.rule_id, f.severity) for f in sort_findings(fs)] == [
+            ("A", Severity.ERROR), ("A", Severity.INFO),
+            ("B", Severity.INFO)]
+
+
+class TestBaseline:
+    def test_apply_marks_waived_and_copies_justification(self):
+        f_old, f_new = _finding(), _finding(key="fresh")
+        baseline = Baseline()
+        baseline.waive(f_old, "paper's measured reference chain")
+        new, waived = baseline.apply([f_old, f_new])
+        assert new == [f_new] and waived == [f_old]
+        assert f_old.waived
+        assert f_old.waiver_justification == "paper's measured reference chain"
+        assert not f_new.waived
+
+    def test_save_load_roundtrip(self, tmp_path):
+        baseline = Baseline()
+        baseline.waive(_finding(), "why")
+        baseline.add(BaselineEntry.from_finding(_finding(key="k2")))
+        path = str(tmp_path / "LINT_BASELINE.json")
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert len(loaded) == 2
+        assert _finding().fingerprint() in loaded
+        # The file itself is reviewable JSON with a version gate.
+        raw = json.loads(open(path).read())
+        assert raw["version"] == BASELINE_VERSION
+        assert all({"fingerprint", "rule", "location"} <= set(e)
+                   for e in raw["entries"])
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"version": 999, "entries": []}))
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(str(path))
+
+    def test_load_or_empty_missing_file(self, tmp_path):
+        assert len(Baseline.load_or_empty(str(tmp_path / "nope.json"))) == 0
+
+    def test_stale_entries_reported(self):
+        baseline = Baseline()
+        baseline.waive(_finding(key="gone"), "fixed since")
+        stale = baseline.stale_fingerprints([_finding(key="still-here")])
+        assert stale == [_finding(key="gone").fingerprint()]
+
+    def test_waive_is_idempotent_and_updates_reason(self):
+        baseline = Baseline()
+        baseline.waive(_finding(), "old reason")
+        baseline.waive(_finding(), "new reason")
+        assert len(baseline) == 1
+        assert baseline.entries[0].justification == "new reason"

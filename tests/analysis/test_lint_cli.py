@@ -1,0 +1,96 @@
+"""``repro lint`` CLI: exit codes, JSON output, baseline workflow."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListRules:
+    def test_catalogue_lists_every_rule(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("GC001", "TL001", "TL002", "SC001"):
+            assert rule_id in out
+
+
+class TestArgumentValidation:
+    def test_unknown_analyzer_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["lint", "nonsense"])
+        assert exc.value.code == 2
+        assert "unknown analyzer" in capsys.readouterr().err
+
+
+class TestExitCodes:
+    def test_findings_without_baseline_fail(self, capsys):
+        # The seed trace has warnings; with no baseline they are all new.
+        code = main(["lint", "trace", "--config", "tiny", "--no-baseline"])
+        assert code == 1
+        assert "new finding(s)" in capsys.readouterr().out
+
+    def test_fail_on_error_tolerates_warnings(self, capsys):
+        code = main(["lint", "trace", "--config", "tiny", "--no-baseline",
+                     "--fail-on", "error"])
+        assert code == 0
+
+    def test_committed_baseline_gates_the_seed_green(self, capsys):
+        # The acceptance criterion: all three analyzers on the seed model
+        # exit 0 against the committed LINT_BASELINE.json.  The baseline is
+        # written for the default (small) config, so run exactly that.
+        code = main(["lint"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "0 new finding(s)" in out
+
+
+class TestJsonOutput:
+    def test_schema_and_artifact(self, capsys, tmp_path):
+        artifact = str(tmp_path / "findings.json")
+        code = main(["lint", "trace", "--config", "tiny", "--no-baseline",
+                     "--format", "json", "-o", artifact])
+        assert code == 1
+        parsed = json.loads(capsys.readouterr().out)
+        on_disk = json.loads(open(artifact).read())
+        assert parsed == on_disk
+        assert set(parsed) == {"analyzers", "findings", "new_counts",
+                               "n_new", "n_waived", "stale_baseline"}
+        assert parsed["analyzers"] == ["trace"]
+        assert parsed["n_new"] == len(parsed["findings"])
+        assert all(f["rule"].startswith("TL") for f in parsed["findings"])
+
+
+class TestBaselineWorkflow:
+    def test_write_then_gate_roundtrip(self, capsys, tmp_path):
+        baseline = str(tmp_path / "baseline.json")
+        # Capture current findings as accepted debt...
+        assert main(["lint", "trace", "--config", "tiny",
+                     "--write-baseline", "--baseline", baseline]) == 0
+        capsys.readouterr()
+        # ...and the same run now gates green, with everything waived.
+        code = main(["lint", "trace", "--config", "tiny",
+                     "--baseline", baseline])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 new finding(s)" in out
+        assert "waived by baseline" in out
+
+    def test_show_waived_prints_the_suppressed(self, capsys, tmp_path):
+        baseline = str(tmp_path / "baseline.json")
+        main(["lint", "trace", "--config", "tiny",
+              "--write-baseline", "--baseline", baseline])
+        capsys.readouterr()
+        main(["lint", "trace", "--config", "tiny", "--baseline", baseline,
+              "--show-waived"])
+        assert "[waived]" in capsys.readouterr().out
+
+
+class TestPartialRunStaleness:
+    def test_partial_run_reports_no_stale_entries(self, capsys):
+        # A sched-only run cannot see graph/trace findings; the committed
+        # baseline's entries for them must not be called stale.
+        code = main(["lint", "sched", "--config", "tiny"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stale" not in out

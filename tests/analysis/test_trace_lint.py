@@ -1,0 +1,187 @@
+"""Trace lint: each rule fires on an injected defect stream and stays quiet
+on fused/clean streams."""
+
+import pytest
+
+from repro.analysis import Severity, lint_trace, normalize_scope
+from repro.analysis.rules import RuleConfig
+from repro.framework.tracer import KernelCategory, Trace
+from repro.hardware import A100
+
+
+def _rules(findings):
+    return {f.rule_id for f in findings}
+
+
+def _emit_elementwise(t, name="mul", n_elems=1 << 20, fused=False):
+    # Large enough that device time far exceeds dispatch: immune to TL002.
+    t.emit(name, KernelCategory.MEMORY, n_elems, 8.0 * n_elems,
+           (n_elems,), "fp32", fused=fused)
+
+
+class TestNormalizeScope:
+    def test_block_indices_collapse(self):
+        assert normalize_scope("evoformer/blocks.17/msa") == \
+            "evoformer/blocks.*/msa"
+
+    def test_empty_scope_is_top(self):
+        assert normalize_scope("") == "<top>"
+
+
+class TestFusableChain:
+    def test_injected_unfused_chain_fires_tl001(self):
+        t = Trace()
+        with t.scope("blk"):
+            for _ in range(8):
+                _emit_elementwise(t)
+        findings = lint_trace(t, A100)
+        tl1 = [f for f in findings if f.rule_id == "TL001"]
+        assert len(tl1) == 1
+        assert tl1[0].location == "blk"
+        assert "8-kernel" in tl1[0].message
+
+    def test_fused_kernels_do_not_chain(self):
+        t = Trace()
+        with t.scope("blk"):
+            for _ in range(8):
+                _emit_elementwise(t, fused=True)
+        assert "TL001" not in _rules(lint_trace(t, A100))
+
+    def test_math_kernel_breaks_the_chain(self):
+        t = Trace()
+        with t.scope("blk"):
+            for _ in range(4):
+                _emit_elementwise(t)
+            t.emit("matmul", KernelCategory.MATH, 1e9, 1e6, (64, 64), "fp32")
+            for _ in range(4):
+                _emit_elementwise(t)
+        # Two runs of 4 < default min length 6: no chain.
+        assert "TL001" not in _rules(lint_trace(t, A100))
+
+    def test_scope_change_breaks_the_chain(self):
+        t = Trace()
+        for blk in ("a", "b"):
+            with t.scope(blk):
+                for _ in range(4):
+                    _emit_elementwise(t)
+        assert "TL001" not in _rules(lint_trace(t, A100))
+
+    def test_repeated_blocks_merge_into_one_finding(self):
+        t = Trace()
+        for i in range(4):
+            with t.scope(f"blocks.{i}"):
+                for _ in range(8):
+                    _emit_elementwise(t)
+        tl1 = [f for f in lint_trace(t, A100) if f.rule_id == "TL001"]
+        assert len(tl1) == 1
+        assert tl1[0].location == "blocks.*"
+        assert "4 occurrence(s)" in tl1[0].message
+
+    def test_chain_length_param(self):
+        t = Trace()
+        with t.scope("blk"):
+            for _ in range(4):
+                _emit_elementwise(t)
+        cfg = RuleConfig(params={"chain_min_length": 3})
+        assert "TL001" in _rules(lint_trace(t, A100, config=cfg))
+
+
+class TestLaunchBound:
+    def test_injected_tiny_kernels_fire_tl002(self):
+        # 1-element MEMORY_OP kernels: device time orders of magnitude below
+        # the 12 us dispatch cost.
+        t = Trace()
+        for _ in range(64):
+            t.emit("scalar_update", KernelCategory.MEMORY_OP, 0, 8.0,
+                   (1,), "fp32")
+        findings = lint_trace(t, A100)
+        tl2 = [f for f in findings if f.rule_id == "TL002"]
+        assert len(tl2) == 1
+        assert tl2[0].location == "kernel:scalar_update"
+        assert "64 launches" in tl2[0].message
+
+    def test_below_min_count_is_quiet(self):
+        t = Trace()
+        for _ in range(63):
+            t.emit("scalar_update", KernelCategory.MEMORY_OP, 0, 8.0,
+                   (1,), "fp32")
+        assert "TL002" not in _rules(lint_trace(t, A100))
+
+    def test_large_kernels_are_not_launch_bound(self):
+        t = Trace()
+        for _ in range(64):
+            t.emit("big", KernelCategory.MEMORY_OP, 0, 1e9, (1 << 27,), "fp32")
+        assert "TL002" not in _rules(lint_trace(t, A100))
+
+
+class TestRecompute:
+    def test_identical_signatures_fire_tl003(self):
+        t = Trace()
+        with t.scope("blk"):
+            for _ in range(8):
+                t.emit("gemm_proj", KernelCategory.MATH, 1e9, 1e6,
+                       (64, 64), "fp32")
+        findings = lint_trace(t, A100)
+        tl3 = [f for f in findings if f.rule_id == "TL003"]
+        assert len(tl3) == 1
+        assert "repeated 8x" in tl3[0].message
+
+    def test_different_shapes_do_not_count(self):
+        t = Trace()
+        with t.scope("blk"):
+            for i in range(8):
+                t.emit("gemm_proj", KernelCategory.MATH, 1e9, 1e6,
+                       (64, 64 + i), "fp32")
+        assert "TL003" not in _rules(lint_trace(t, A100))
+
+
+class TestBudget:
+    def test_scope_budget_fires_tl004(self):
+        t = Trace()
+        with t.scope("blk"):
+            for _ in range(5):
+                t.emit("matmul", KernelCategory.MATH, 1e9, 1e6,
+                       (64, 64), "fp32")
+        cfg = RuleConfig(params={"scope_budgets": {"blk": 4}})
+        tl4 = [f for f in lint_trace(t, A100, config=cfg)
+               if f.rule_id == "TL004"]
+        assert len(tl4) == 1
+        assert tl4[0].severity is Severity.ERROR
+        assert tl4[0].location == "blk"
+
+    def test_total_budget_fires_tl004(self):
+        t = Trace()
+        for _ in range(4):
+            t.emit("matmul", KernelCategory.MATH, 1e9, 1e6, (64, 64), "fp32")
+        cfg = RuleConfig(params={"total_budget": 3})
+        tl4 = [f for f in lint_trace(t, A100, config=cfg)
+               if f.rule_id == "TL004"]
+        assert len(tl4) == 1
+        assert tl4[0].location == "<total>"
+
+    def test_default_budget_tolerates_reference_step(self):
+        # Table 1: ~150k ops/step for the unfused reference; the default
+        # 200k budget leaves headroom, so TL004 must not fire on the seed.
+        from repro.analysis import lint_trace_for
+
+        assert "TL004" not in _rules(lint_trace_for("small"))
+
+
+class TestRealTraceGolden:
+    def test_reference_step_exhibits_the_paper_patterns(self):
+        # The seed model's unfused trace must show the LayerNorm chain the
+        # paper fuses (acceptance criterion: the suite demonstrably fires on
+        # the model we simulate).
+        from repro.analysis import lint_trace_for
+
+        findings = lint_trace_for("small")
+        tl1_scopes = {f.location for f in findings if f.rule_id == "TL001"}
+        assert any("layer_norm" in s for s in tl1_scopes)
+        assert "TL002" in _rules(findings)
+
+    def test_scalefold_policy_kills_the_layernorm_chains(self):
+        from repro.analysis import lint_trace_for
+
+        findings = lint_trace_for("small", scalefold=True)
+        tl1_scopes = {f.location for f in findings if f.rule_id == "TL001"}
+        assert not any("layer_norm" in s for s in tl1_scopes), tl1_scopes

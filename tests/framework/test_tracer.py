@@ -141,3 +141,86 @@ class TestThreadLocality:
             _launch()
         assert results["worker_trace"] is None
         assert len(t) == 1
+
+
+class TestEdgeCases:
+    """Defined behaviour for the tracer's boundary conditions."""
+
+    def test_module_emit_outside_trace_is_documented_noop(self):
+        # No active trace: module-level emit() returns None and records
+        # nothing, so library code can emit unconditionally.
+        assert current_trace() is None
+        assert emit("orphan", KernelCategory.MEMORY, 1.0, 8.0,
+                    (1,), "fp32") is None
+
+    def test_trace_emit_rejects_negative_work(self):
+        t = Trace()
+        with pytest.raises(ValueError, match="non-negative"):
+            t.emit("bad", KernelCategory.MEMORY, -1.0, 8.0, (1,), "fp32")
+        with pytest.raises(ValueError, match="non-negative"):
+            t.emit("bad", KernelCategory.MEMORY, 1.0, -8.0, (1,), "fp32")
+        assert len(t) == 0
+
+    def test_scope_component_with_slash_rejected(self):
+        t = Trace()
+        with pytest.raises(ValueError, match="scope component"):
+            with t.scope("a/b"):
+                pass
+        with pytest.raises(ValueError, match="scope component"):
+            with t.scope(""):
+                pass
+        assert t.current_scope == ""
+
+    def test_module_scope_validates_even_untraced(self):
+        assert current_trace() is None
+        with pytest.raises(ValueError, match="scope component"):
+            with tracer.scope("a/b"):
+                pass
+
+    def test_nested_phases_innermost_wins(self):
+        with trace() as t:
+            assert t.current_phase == "forward"
+            with t.phase("backward"):
+                _launch()
+                with t.phase("update"):
+                    assert t.current_phase == "update"
+                    _launch()
+                assert t.current_phase == "backward"
+                _launch()
+        assert [r.phase for r in t.records] == ["backward", "update",
+                                                "backward"]
+
+    def test_phase_restored_after_exception(self):
+        # A backward pass that raises must not leave the trace stuck in
+        # "backward".
+        t = Trace()
+        with pytest.raises(RuntimeError):
+            with t.phase("backward"):
+                raise RuntimeError("boom")
+        assert t.current_phase == "forward"
+
+    def test_empty_phase_rejected(self):
+        t = Trace()
+        with pytest.raises(ValueError, match="non-empty"):
+            with t.phase(""):
+                pass
+        with pytest.raises(ValueError, match="non-empty"):
+            with tracer.phase(""):
+                pass
+
+    def test_extend_accepts_records_and_whole_traces(self):
+        src = Trace()
+        src.emit("k", KernelCategory.MEMORY, 1.0, 8.0, (1,), "fp32")
+        dst = Trace()
+        dst.extend(src)          # a Trace is an iterable of records
+        dst.extend(src.records)  # and so is a plain list
+        assert len(dst) == 2
+
+    def test_extend_rejects_non_records_atomically(self):
+        src = Trace()
+        src.emit("k", KernelCategory.MEMORY, 1.0, 8.0, (1,), "fp32")
+        dst = Trace()
+        with pytest.raises(TypeError, match="KernelRecord"):
+            dst.extend(list(src.records) + ["not a record"])
+        # The valid prefix must not have been half-applied.
+        assert len(dst) == 0
