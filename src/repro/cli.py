@@ -10,11 +10,14 @@ observability stack and ``lint`` fronts the static analysis suite::
     python -m repro bench                       # simulation benchmarks
     python -m repro lint                        # graph+trace+sched analysis
     python -m repro lint trace --format json    # one analyzer, CI-parseable
+    python -m repro faults                      # failure-aware time-to-train
+    python -m repro faults --mtbf-hours 8760    # ...at 1-year/rank MTBF
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import List, Optional
 
@@ -251,6 +254,194 @@ def bench_command(argv: List[str]) -> int:
     return 0
 
 
+#: Rough AlphaFold parameter count driving the default checkpoint payload.
+_ALPHAFOLD_PARAMS = 93_000_000
+
+
+def faults_command(argv: List[str]) -> int:
+    """``repro faults`` — expected time-to-train under failures.
+
+    Answers "what is the expected MLPerf time-to-train at N ranks with a
+    per-rank MTBF of X hours and a checkpoint every K steps", sweeps the
+    checkpoint interval for its optimum (Young/Daly), and cross-validates
+    the closed-form answer against the fault-injecting discrete-event
+    cluster simulation.  All outputs are deterministic for a fixed seed.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro faults",
+        description="Failure-aware time-to-train: MTBF-driven fault "
+                    "injection, checkpoint-restart modeling and the "
+                    "optimal-checkpoint-interval sweep.")
+    parser.add_argument("--ranks", type=int, nargs="+", default=[256, 2080],
+                        help="total GPU counts to evaluate "
+                             "(default: 256 2080)")
+    parser.add_argument("--mtbf-hours", type=float, default=26280.0,
+                        help="per-rank mean time between faults in hours "
+                             "(default: 26280 = 3 years; 'inf' disables)")
+    parser.add_argument("--switch-mtbf-hours", type=float,
+                        default=float("inf"),
+                        help="per-switch MTBF for correlated node outages "
+                             "(default: inf = disabled)")
+    parser.add_argument("--checkpoint-every", type=int, default=250,
+                        help="checkpoint interval in steps (default: 250)")
+    parser.add_argument("--checkpoint-write-s", type=float, default=None,
+                        help="checkpoint write seconds (default: derived "
+                             "from the ~93M-parameter AlphaFold payload)")
+    parser.add_argument("--async-checkpoint", action="store_true",
+                        help="model asynchronous checkpointing (brief "
+                             "snapshot stall, delayed durability)")
+    parser.add_argument("--snapshot-stall-s", type=float, default=0.05,
+                        help="[async] snapshot stall seconds (default 0.05)")
+    parser.add_argument("--restart-s", type=float, default=180.0,
+                        help="requeue+relaunch+init seconds after an abort")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fault-injection seed (default: 0)")
+    parser.add_argument("--gpu", default="H100", help="GPU spec name")
+    parser.add_argument("--step-seconds", type=float, default=None,
+                        help="override the modeled step time (skips the "
+                             "kernel-level step estimate)")
+    parser.add_argument("--no-sweep", action="store_true",
+                        help="skip the checkpoint-interval sweep")
+    parser.add_argument("--no-sim", action="store_true",
+                        help="skip the DES cross-validation run")
+    parser.add_argument("--sim-max-steps", type=int, default=None,
+                        help="step cap for the DES validation "
+                             "(default: 2000, or 600 with --quick)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced settings for CI smoke runs")
+    parser.add_argument("--runlog", default=None, metavar="PATH",
+                        help="write the DES runs' structured JSONL log")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a chrome-trace JSON of the DES runs' "
+                             "faults, checkpoints and recovery windows")
+    parser.add_argument("--output", "-o", default=None, metavar="PATH",
+                        help="write the full result JSON (deterministic)")
+    args = parser.parse_args(argv)
+
+    from .observability.chrome_trace import (ChromeTrace, faults_to_chrome,
+                                             timeline_to_chrome)
+    from .observability.runlog import RunLogger
+    from .perf.time_to_train import (failure_aware_time_to_train,
+                                     mlperf_time_to_train)
+    from .sim.cluster import ClusterSimConfig, run_cluster_simulation
+    from .sim.faults import (CheckpointPolicy, FaultConfig,
+                             checkpoint_write_seconds)
+    from .train.convergence import MLPERF_CHECKPOINT_SAMPLES
+
+    fault_config = FaultConfig(
+        mtbf_rank_hours=args.mtbf_hours,
+        switch_mtbf_hours=args.switch_mtbf_hours,
+        restart_s=args.restart_s,
+        seed=args.seed)
+    write_s = (args.checkpoint_write_s if args.checkpoint_write_s is not None
+               else checkpoint_write_seconds(_ALPHAFOLD_PARAMS))
+    policy = CheckpointPolicy(
+        every_steps=args.checkpoint_every, write_s=write_s,
+        blocking=not args.async_checkpoint,
+        snapshot_stall_s=args.snapshot_stall_s if args.async_checkpoint
+        else 0.0)
+    sim_max_steps = (args.sim_max_steps if args.sim_max_steps is not None
+                     else (600 if args.quick else 2000))
+
+    run_logger = RunLogger(args.runlog) if args.runlog else None
+    trace_builder = ChromeTrace() if args.trace else None
+    configs = []
+    rows = []
+    for n_ranks in args.ranks:
+        base = mlperf_time_to_train(
+            scalefold=True, async_eval=True, n_gpus=n_ranks, gpu=args.gpu,
+            step_seconds_override=args.step_seconds)
+        fault_aware = failure_aware_time_to_train(
+            base, fault_config, policy, sweep=not args.no_sweep)
+        entry = {"n_ranks": n_ranks, "model": fault_aware.as_dict(),
+                 "sim": None}
+
+        if not args.no_sim:
+            phase = base.phases[0]
+            sim_result = run_cluster_simulation(ClusterSimConfig(
+                step_seconds=phase.step_seconds,
+                n_sync_ranks=phase.train_gpus,
+                n_train_gpus=phase.train_gpus,
+                start_samples=MLPERF_CHECKPOINT_SAMPLES,
+                max_steps=sim_max_steps,
+                seed=args.seed,
+                faults=fault_config,
+                checkpoint=policy), run_logger=run_logger)
+            aborts = [f for f in sim_result.faults if f.downtime_s > 0]
+            entry["sim"] = {
+                "total_seconds": sim_result.total_seconds,
+                "steps": sim_result.steps,
+                "converged": sim_result.converged,
+                "n_faults": len(sim_result.faults),
+                "n_aborts": len(aborts),
+                "lost_steps": sim_result.lost_steps,
+                "downtime_seconds": sim_result.downtime_seconds,
+                "n_checkpoints": len(sim_result.checkpoints),
+                "n_durable": sum(1 for c in sim_result.checkpoints
+                                 if c.durable),
+            }
+            if trace_builder is not None:
+                pid = n_ranks
+                if sim_result.timeline is not None:
+                    timeline_to_chrome(sim_result.timeline, pid_base=pid,
+                                       label=f"faults-{n_ranks}r",
+                                       into=trace_builder)
+                faults_to_chrome(sim_result.faults, sim_result.checkpoints,
+                                 pid=pid, label=f"faults-{n_ranks}r",
+                                 into=trace_builder)
+
+        configs.append(entry)
+        model = entry["model"]
+        sweep = model["sweep"]
+        rows.append((
+            n_ranks,
+            model["fault_free_total_s"] / 60.0,
+            model["expected_total_s"] / 60.0,
+            model["expected_failures"],
+            sweep["best_every_steps"] if sweep else args.checkpoint_every,
+            (sweep["young_daly_steps"] if sweep else None),
+        ))
+
+    header = (f"{'Ranks':>6} {'Fault-free':>12} {'Expected':>12} "
+              f"{'E[fail]':>9} {'Best k':>8} {'Young/Daly k':>13}")
+    print(f"MTBF/rank: {args.mtbf_hours} h | switch MTBF: "
+          f"{args.switch_mtbf_hours} h | checkpoint every "
+          f"{args.checkpoint_every} steps "
+          f"({'async' if args.async_checkpoint else 'blocking'}, "
+          f"write {write_s:.3f}s) | seed {args.seed}")
+    print(header)
+    for n_ranks, free_min, exp_min, fails, best_k, yd_k in rows:
+        yd = f"{yd_k:>13.0f}" if yd_k is not None else f"{'-':>13}"
+        print(f"{n_ranks:>6} {free_min:>10.2f} m {exp_min:>10.2f} m "
+              f"{fails:>9.3f} {best_k:>8}{yd}")
+
+    if run_logger is not None:
+        run_logger.close()
+        print(f"wrote run log to {args.runlog}")
+    if trace_builder is not None:
+        trace_builder.write(args.trace)
+        print(f"wrote {len(trace_builder)} trace events to {args.trace}")
+    if args.output:
+        import json as _json
+        payload = {
+            "mtbf_rank_hours": args.mtbf_hours,
+            "switch_mtbf_hours": (None if math.isinf(args.switch_mtbf_hours)
+                                  else args.switch_mtbf_hours),
+            "checkpoint_every_steps": args.checkpoint_every,
+            "checkpoint_write_s": write_s,
+            "checkpoint_blocking": not args.async_checkpoint,
+            "restart_s": args.restart_s,
+            "seed": args.seed,
+            "gpu": args.gpu,
+            "configs": configs,
+        }
+        with open(args.output, "w") as handle:
+            _json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "trace":
@@ -259,6 +450,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return bench_command(argv[1:])
     if argv and argv[0] == "lint":
         return lint_command(argv[1:])
+    if argv and argv[0] == "faults":
+        return faults_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ScaleFold reproduction: regenerate the paper's tables "

@@ -114,7 +114,8 @@ class NonBlockingLoader(_LoaderBase):
 
 def run_loader(loader: _LoaderBase,
                consume_seconds: float = 0.0,
-               clock: Callable[[], float] = None) -> Tuple[List[int], float]:
+               clock: Optional[Callable[[], float]] = None
+               ) -> Tuple[List[int], float]:
     """Drain a loader, optionally simulating per-step training time.
 
     Returns (delivery order, wall seconds).  Used by tests/benches to show

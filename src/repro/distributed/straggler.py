@@ -16,6 +16,8 @@ grows with group size, which is why DAP-4/-8 suffer most (Figure 3).
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 from dataclasses import dataclass
 from typing import Optional
 
@@ -44,12 +46,27 @@ class StragglerModel:
     def __init__(self, jitter: Optional[CpuJitterConfig] = None,
                  seed: int = 7) -> None:
         self.jitter_config = jitter or CpuJitterConfig()
-        self._rng = np.random.default_rng(seed)
+        self.seed = seed
+
+    def _rng_for(self, inputs: ImbalanceInputs, n_ranks: int,
+                 n_steps: int) -> np.random.Generator:
+        """A fresh generator derived from the seed plus the call's inputs.
+
+        Sharing one generator across ``imbalance_penalty`` and
+        ``mean_delay`` made every result depend on the order the memoized
+        estimator happened to call them in; deriving a per-call stream
+        makes each quantity a pure function of (seed, inputs, shape).
+        """
+        material = repr((self.seed, dataclasses.astuple(inputs),
+                         dataclasses.astuple(self.jitter_config),
+                         n_ranks, n_steps)).encode()
+        digest = hashlib.blake2b(material, digest_size=16).digest()
+        return np.random.default_rng(np.frombuffer(digest, dtype=np.uint64))
 
     def sample_rank_delays(self, inputs: ImbalanceInputs,
                            n_ranks: int, n_steps: int) -> np.ndarray:
         """(n_steps, n_ranks) extra seconds per rank-step."""
-        rng = self._rng
+        rng = self._rng_for(inputs, n_ranks, n_steps)
         cfg = self.jitter_config
         delays = np.zeros((n_steps, n_ranks))
         if not inputs.graphed and inputs.eager_dispatch_s > 0:

@@ -26,7 +26,8 @@ microseconds of simulated time.
 from __future__ import annotations
 
 import json
-from typing import IO, Dict, Iterable, List, Optional, Tuple, Union
+from typing import (IO, TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple,
+                    Union)
 
 from ..framework.tracer import KernelRecord, Trace
 from ..hardware.gpu import GpuSpec, get_gpu
@@ -36,12 +37,16 @@ from ..hardware.roofline import CostModel
 # the exporter functions.  repro.sim.cluster imports this package (for the
 # structured run logger), and repro.perf.step_time itself imports
 # repro.sim.des — eager imports here would close an import cycle.
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..sim.des import Interval, Timeline
+    from ..sim.faults import CheckpointRecord, FaultRecord
 
 #: Seconds -> Trace Event Format microseconds.
 _US = 1e6
 
 #: Stable thread ids for timeline resources (per-rank tracks).
-RESOURCE_TIDS = {"gpu": 0, "nic": 1, "loader": 2, "host": 3}
+RESOURCE_TIDS = {"gpu": 0, "nic": 1, "loader": 2, "host": 3,
+                 "fault": 4, "ckpt": 5}
 
 #: Timeline tags that synchronize the whole DAP group: the i-th occurrence
 #: on every rank belongs to one collective, linked by a flow event.
@@ -260,6 +265,53 @@ def kernel_trace_to_chrome(records: Union[Trace, Iterable[KernelRecord]],
         if interval.resource == "gpu" and interval.tag == "dispatch_wait":
             builder.complete("dispatch_wait", "cpu-overhead", interval.start,
                              interval.duration, pid, 0)
+    return builder
+
+
+# ----------------------------------------------------------------------
+# Fault / checkpoint export (cluster simulation with a FaultConfig)
+# ----------------------------------------------------------------------
+def faults_to_chrome(faults: Iterable[FaultRecord],
+                     checkpoints: Iterable[CheckpointRecord] = (),
+                     pid: int = 0,
+                     label: str = "cluster",
+                     into: Optional[ChromeTrace] = None) -> ChromeTrace:
+    """Export injected failures and checkpoints from a cluster-sim run.
+
+    Each aborting fault becomes a ``downtime`` complete-event slice (its
+    detect+restart+replay window) on the ``fault`` track plus an instant
+    marker at the injection time; slow-node windows become
+    ``slow_window`` slices.  Durable checkpoints appear as ``ckpt_write``
+    slices (trigger -> durable) on the ``ckpt`` track; torn writes appear
+    as instant markers.
+    """
+    builder = into if into is not None else ChromeTrace()
+    builder.process_name(pid, label)
+    builder.thread_name(pid, RESOURCE_TIDS["fault"], "fault")
+    builder.thread_name(pid, RESOURCE_TIDS["ckpt"], "ckpt")
+    tid_fault = RESOURCE_TIDS["fault"]
+    tid_ckpt = RESOURCE_TIDS["ckpt"]
+
+    for record in faults:
+        args = {"kind": record.kind, "rank": record.rank,
+                "ranks": list(record.ranks)}
+        builder.instant(f"fault:{record.kind}", "fault", record.time_s,
+                        pid, tid_fault, args=args)
+        if record.downtime_s > 0:
+            builder.complete(
+                "downtime", "fault", record.time_s, record.downtime_s,
+                pid, tid_fault,
+                args={**args, "lost_steps": record.lost_steps,
+                      "restored_step": record.restored_step})
+    for record in checkpoints:
+        if record.durable:
+            builder.complete(
+                "ckpt_write", "ckpt", record.triggered_at,
+                record.durable_at - record.triggered_at, pid, tid_ckpt,
+                args={"step": record.step})
+        else:
+            builder.instant("ckpt_torn", "ckpt", record.triggered_at, pid,
+                            tid_ckpt, args={"step": record.step})
     return builder
 
 

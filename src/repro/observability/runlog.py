@@ -24,6 +24,9 @@ EPOCH_START = "epoch_start"
 EPOCH_STOP = "epoch_stop"
 STEP = "step"
 EVAL = "eval"
+FAULT = "fault"
+RECOVERY = "recovery"
+CHECKPOINT = "checkpoint"
 
 
 class RunLogger:
@@ -88,6 +91,18 @@ class RunLogger:
 
     def evaluation(self, step: int, **metrics: Any) -> Dict[str, Any]:
         return self.event(EVAL, step=step, **metrics)
+
+    def fault(self, kind: str, **metadata: Any) -> Dict[str, Any]:
+        """An injected failure (crash/hang/slow/switch) hitting the job."""
+        return self.event(FAULT, value=kind, **metadata)
+
+    def recovery(self, step: int, **metadata: Any) -> Dict[str, Any]:
+        """Recovery completed: training resumed from ``step``."""
+        return self.event(RECOVERY, value=step, **metadata)
+
+    def checkpoint(self, step: int, **metadata: Any) -> Dict[str, Any]:
+        """A checkpoint of ``step`` became durable."""
+        return self.event(CHECKPOINT, value=step, **metadata)
 
     # ------------------------------------------------------------------
     # Queries / lifecycle

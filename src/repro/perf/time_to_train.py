@@ -17,6 +17,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..model.config import KernelPolicy
+from ..sim.faults import (CheckpointPolicy, CheckpointSweep, FaultConfig,
+                          FaultTimeEstimate, expected_run_seconds,
+                          optimal_checkpoint_interval, young_daly_interval_s)
 from ..train.convergence import (MLPERF_CHECKPOINT_SAMPLES,
                                  MLPERF_TARGET_LDDT, ConvergenceModel,
                                  CurvePoint, TrainingPhase, simulate_curve)
@@ -209,6 +212,116 @@ def pretraining_time_to_train(scalefold: bool = True,
         eval_interval=eval_cfg.eval_every_steps)
     return TttResult(label=label, init_seconds=init, phases=phases,
                      eval_overheads=overheads, curve=curve)
+
+
+@dataclass
+class FaultAwareTtt:
+    """A :class:`TttResult` re-priced under a failure process.
+
+    Each training phase is pushed through Daly's expected-time model
+    (:func:`repro.sim.faults.expected_run_seconds`) with the phase's own
+    synchronization width; initialization and eval-blocked time are kept
+    as-is (they are short relative to the inter-failure time, and a failure
+    during them is covered by the per-phase restart accounting).
+    """
+
+    base: TttResult
+    faults: FaultConfig
+    checkpoint: CheckpointPolicy
+    n_ranks: int
+    phase_estimates: List[FaultTimeEstimate]
+    sweep: Optional[CheckpointSweep] = None
+
+    @property
+    def expected_train_seconds(self) -> float:
+        return sum(e.expected_s for e in self.phase_estimates)
+
+    @property
+    def expected_total_seconds(self) -> float:
+        return (self.base.init_seconds + self.expected_train_seconds
+                + self.base.eval_blocked_seconds)
+
+    @property
+    def expected_failures(self) -> float:
+        return sum(e.expected_failures for e in self.phase_estimates)
+
+    @property
+    def failure_overhead_seconds(self) -> float:
+        """Expected wall seconds added by failures + checkpointing."""
+        return self.expected_total_seconds - self.base.total_seconds
+
+    @property
+    def optimal_every_steps(self) -> Optional[int]:
+        return self.sweep.best_every_steps if self.sweep else None
+
+    @property
+    def young_daly_steps(self) -> float:
+        """Closed-form reference interval in *steps* (may be inf)."""
+        step_s = self.base.phases[0].step_seconds if self.base.phases else 1.0
+        yd_s = young_daly_interval_s(self.faults, self.checkpoint,
+                                     self.n_ranks)
+        return yd_s / step_s if step_s > 0 else yd_s
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.base.label,
+            "n_ranks": self.n_ranks,
+            "checkpoint_every_steps": self.checkpoint.every_steps,
+            "checkpoint_blocking": self.checkpoint.blocking,
+            "checkpoint_write_s": self.checkpoint.write_s,
+            "fault_free_total_s": self.base.total_seconds,
+            "expected_total_s": self.expected_total_seconds,
+            "expected_failures": self.expected_failures,
+            "failure_overhead_s": self.failure_overhead_seconds,
+            "abort_rate_per_s": (self.phase_estimates[0].abort_rate
+                                 if self.phase_estimates else 0.0),
+            "phases": [{
+                "name": phase.name,
+                "work_s": est.work_s,
+                "expected_s": est.expected_s,
+                "expected_failures": est.expected_failures,
+                "checkpoint_overhead_s": est.checkpoint_overhead_s,
+                "recovery_s": est.recovery_s,
+                "slow_stretch": est.slow_stretch,
+            } for phase, est in zip(self.base.phases, self.phase_estimates)],
+            "sweep": self.sweep.as_dict() if self.sweep else None,
+        }
+
+
+def failure_aware_time_to_train(base: TttResult, faults: FaultConfig,
+                                checkpoint: Optional[CheckpointPolicy] = None,
+                                n_ranks: Optional[int] = None,
+                                gpus_per_node: int = 8,
+                                sweep: bool = True) -> FaultAwareTtt:
+    """Expected time-to-train under failures + checkpoint/restart.
+
+    ``n_ranks`` defaults to each phase's own ``train_gpus`` (the width of
+    the synchronous collective a single failure aborts); pass an explicit
+    value to price all phases at one width.  ``sweep=True`` additionally
+    sweeps the checkpoint interval over the whole run (a shared cadence
+    across phases, evaluated at the longest phase's width) and records the
+    Young/Daly optimum alongside the grid optimum.
+    """
+    policy = checkpoint or CheckpointPolicy()
+    estimates = [
+        expected_run_seconds(
+            work_s=phase.train_seconds, step_s=phase.step_seconds,
+            n_ranks=n_ranks if n_ranks is not None else phase.train_gpus,
+            config=faults, policy=policy, gpus_per_node=gpus_per_node)
+        for phase in base.phases
+    ]
+    interval_sweep = None
+    if sweep and base.phases:
+        dominant = max(base.phases, key=lambda p: p.train_seconds)
+        interval_sweep = optimal_checkpoint_interval(
+            work_s=dominant.train_seconds, step_s=dominant.step_seconds,
+            n_ranks=n_ranks if n_ranks is not None else dominant.train_gpus,
+            config=faults, policy=policy, gpus_per_node=gpus_per_node)
+    return FaultAwareTtt(
+        base=base, faults=faults, checkpoint=policy,
+        n_ranks=(n_ranks if n_ranks is not None
+                 else (base.phases[0].train_gpus if base.phases else 0)),
+        phase_estimates=estimates, sweep=interval_sweep)
 
 
 def curve_with_walltime(result: TttResult) -> List[Tuple[float, float]]:

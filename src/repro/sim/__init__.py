@@ -1,13 +1,23 @@
-"""Discrete-event simulation: the engine and the cluster-level model."""
+"""Discrete-event simulation: the engine, faults, and the cluster model."""
 
 from .cluster import (ClusterRunResult, ClusterSimConfig, EvalRecord,
                       run_cluster_simulation)
 from .des import (Barrier, Event, FifoQueue, Interval, Process, Resource,
-                  Simulator, Timeline)
+                  Simulator, Timeline, any_of, timeout)
+from .faults import (CheckpointPolicy, CheckpointRecord, CheckpointSweep,
+                     FaultConfig, FaultEvent, FaultInjector, FaultRecord,
+                     FaultTimeEstimate, checkpoint_write_seconds,
+                     expected_run_seconds, optimal_checkpoint_interval,
+                     young_daly_interval_s)
 
 __all__ = [
     "ClusterRunResult", "ClusterSimConfig", "EvalRecord",
     "run_cluster_simulation",
     "Barrier", "Event", "FifoQueue", "Interval", "Process", "Resource",
-    "Simulator", "Timeline",
+    "Simulator", "Timeline", "any_of", "timeout",
+    "CheckpointPolicy", "CheckpointRecord", "CheckpointSweep",
+    "FaultConfig", "FaultEvent", "FaultInjector", "FaultRecord",
+    "FaultTimeEstimate", "checkpoint_write_seconds",
+    "expected_run_seconds", "optimal_checkpoint_interval",
+    "young_daly_interval_s",
 ]

@@ -181,6 +181,36 @@ class Event:
             self._callbacks.append(callback)
 
 
+def timeout(sim: Simulator, delay: float, value: Any = None) -> Event:
+    """An :class:`Event` that fires ``delay`` simulated seconds from now."""
+    event = Event(sim)
+    sim.schedule(delay, lambda: event.succeed(value))
+    return event
+
+
+def any_of(sim: Simulator, *events: Event) -> Event:
+    """An :class:`Event` firing when the FIRST of ``events`` fires.
+
+    The combined event's value is ``(index, value)`` of the winner; later
+    firings of the losers are ignored.  This is the race primitive the
+    fault injector uses to interrupt a sleeping process: a training step is
+    ``any_of(timeout(step_wall), fail_event)``.
+    """
+    if not events:
+        raise ValueError("any_of needs at least one event")
+    combined = Event(sim)
+
+    def _winner(index: int) -> Callable[[Any], None]:
+        def callback(value: Any) -> None:
+            if not combined.triggered:
+                combined.succeed((index, value))
+        return callback
+
+    for index, event in enumerate(events):
+        event.wait(_winner(index))
+    return combined
+
+
 class Process:
     """Generator-based coroutine running inside a :class:`Simulator`.
 

@@ -9,7 +9,10 @@ parameters, Adam moments, SWA weights, and counters.
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
+import tempfile
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -53,43 +56,70 @@ def save_checkpoint(path: str, module: Module,
     }
     arrays["__meta__"] = np.frombuffer(
         json.dumps(header).encode(), dtype=np.uint8).copy()
-    np.savez(path, **arrays)
+    # Durability: write to a temp file in the same directory, then
+    # atomically replace.  A crash mid-write leaves the previous checkpoint
+    # intact instead of a truncated archive — which is what makes restart-
+    # from-last-checkpoint modeling honest.  Passing an open handle (not a
+    # path) also stops ``np.savez`` from silently appending ``.npz``, so
+    # the saved file is always exactly ``path``.
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".ckpt-",
+                                    suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **arrays)
+        os.replace(tmp_path, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.remove(tmp_path)
+        raise
 
 
 def load_checkpoint(path: str, module: Module,
                     optimizer: Optional[AlphaFoldOptimizer] = None
                     ) -> CheckpointMeta:
     """Restore model (+ optimizer) state; returns the stored metadata."""
-    data = np.load(path)
-    header = json.loads(bytes(data["__meta__"]).decode())
-    if header.get("version") != FORMAT_VERSION:
-        raise ValueError(f"unsupported checkpoint version "
-                         f"{header.get('version')!r}")
-    own = dict(module.named_parameters())
-    stored = {k[len("param/"):] for k in data.files if k.startswith("param/")}
-    missing = set(own) - stored
-    unexpected = stored - set(own)
-    if missing or unexpected:
-        raise KeyError(f"checkpoint mismatch: missing={sorted(missing)[:5]}, "
-                       f"unexpected={sorted(unexpected)[:5]}")
-    for name, param in own.items():
-        arr = data[f"param/{name}"]
-        if tuple(arr.shape) != param.shape:
-            raise ValueError(f"{name}: checkpoint shape {arr.shape} "
-                             f"!= model shape {param.shape}")
-        param._data = arr.astype(param.dtype.storage).copy()
+    # Context manager: ``np.load`` on an .npz keeps the archive (and any
+    # mmap) open until closed — leaking one descriptor per restart.
+    with np.load(path) as data:
+        header = json.loads(bytes(data["__meta__"]).decode())
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint version "
+                             f"{header.get('version')!r}")
+        own = dict(module.named_parameters())
+        stored = {k[len("param/"):] for k in data.files
+                  if k.startswith("param/")}
+        missing = set(own) - stored
+        unexpected = stored - set(own)
+        if missing or unexpected:
+            raise KeyError(f"checkpoint mismatch: "
+                           f"missing={sorted(missing)[:5]}, "
+                           f"unexpected={sorted(unexpected)[:5]}")
+        for name, param in own.items():
+            arr = data[f"param/{name}"]
+            if tuple(arr.shape) != param.shape:
+                raise ValueError(f"{name}: checkpoint shape {arr.shape} "
+                                 f"!= model shape {param.shape}")
+            param._data = arr.astype(param.dtype.storage).copy()
 
-    if optimizer is not None:
-        if not header.get("has_optimizer"):
-            raise ValueError("checkpoint has no optimizer state")
-        names = [name for name, _ in module.named_parameters()]
-        for i, name in enumerate(names):
-            optimizer._exp_avg[i][...] = data[f"adam_m/{name}"]
-            optimizer._exp_avg_sq[i][...] = data[f"adam_v/{name}"]
-            key = f"swa/{name}"
-            if optimizer._swa[i] is not None and key in data.files:
-                optimizer._swa[i][...] = data[key]
-        optimizer.step_count = int(header["step"])
+        if optimizer is not None:
+            if not header.get("has_optimizer"):
+                raise ValueError("checkpoint has no optimizer state")
+            names = [name for name, _ in module.named_parameters()]
+            for i, name in enumerate(names):
+                optimizer._exp_avg[i][...] = data[f"adam_m/{name}"]
+                optimizer._exp_avg_sq[i][...] = data[f"adam_v/{name}"]
+                key = f"swa/{name}"
+                if optimizer._swa[i] is not None:
+                    # A missing SWA tensor would leave the averaged weights
+                    # half-initialized — that is a corrupt resume, not a
+                    # soft default.
+                    if key not in data.files:
+                        raise KeyError(
+                            f"checkpoint has no SWA state for {name!r} but "
+                            "the optimizer has SWA enabled")
+                    optimizer._swa[i][...] = data[key]
+            optimizer.step_count = int(header["step"])
 
     return CheckpointMeta(step=int(header["step"]),
                           samples_seen=float(header["samples_seen"]),

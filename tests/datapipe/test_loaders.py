@@ -107,3 +107,56 @@ class TestWallClock:
 
     def test_len(self):
         assert len(BlockingLoader(SleepyDataset([0.0] * 7))) == 7
+
+
+class FailingDataset:
+    """Dataset whose __getitem__ raises on selected indices."""
+
+    def __init__(self, n, bad):
+        self.n = n
+        self.bad = set(bad)
+
+    def __len__(self):
+        return self.n
+
+    def __getitem__(self, i):
+        if i in self.bad:
+            raise RuntimeError(f"bad sample {i}")
+        time.sleep(0.001)
+        return i * 10
+
+
+class TestWorkerFailure:
+    def test_nonblocking_propagates_worker_exception(self):
+        """A dying worker must raise in the consumer, not deadlock it."""
+        loader = NonBlockingLoader(FailingDataset(16, bad=[5]),
+                                   num_workers=4, prefetch=8)
+        with pytest.raises(RuntimeError, match="bad sample 5"):
+            for _ in loader:
+                pass
+
+    def test_nonblocking_failure_terminates_promptly(self):
+        """The semaphore wait behind a failed sample must not hang."""
+        loader = NonBlockingLoader(FailingDataset(32, bad=[0]),
+                                   num_workers=2, prefetch=4)
+        start = time.perf_counter()
+        with pytest.raises(RuntimeError):
+            list(loader)
+        assert time.perf_counter() - start < 5.0
+
+    def test_nonblocking_yields_ready_samples_before_failure(self):
+        """Samples already finished ahead of the bad index still arrive."""
+        loader = NonBlockingLoader(FailingDataset(8, bad=[7]),
+                                   num_workers=1, prefetch=2)
+        seen = []
+        with pytest.raises(RuntimeError, match="bad sample 7"):
+            for idx, payload in loader:
+                assert payload == idx * 10
+                seen.append(idx)
+        assert seen == list(range(7))
+
+    def test_blocking_propagates_worker_exception(self):
+        loader = BlockingLoader(FailingDataset(8, bad=[3]),
+                                num_workers=2, prefetch=4)
+        with pytest.raises(RuntimeError, match="bad sample 3"):
+            list(loader)

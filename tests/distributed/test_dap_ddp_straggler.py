@@ -211,3 +211,42 @@ class TestStraggler:
     def test_mean_delay_nonnegative(self):
         model = StragglerModel(seed=5)
         assert model.mean_delay(self._inputs(stall_p=0.02)) >= 0
+
+
+class TestStragglerCallOrderDeterminism:
+    """Results are pure functions of (seed, inputs, shape) — the order a
+    memoizing caller happens to invoke the sampler in must not matter."""
+
+    def _inputs(self, stall_p=0.05):
+        return ImbalanceInputs(eager_dispatch_s=1.0, graphed=False,
+                               data_stall_probability=stall_p,
+                               data_stall_mean_s=2.0)
+
+    def test_penalty_then_mean_equals_mean_then_penalty(self):
+        model = StragglerModel(seed=11)
+        penalty_first = model.imbalance_penalty(self._inputs(), 16)
+        mean_after = model.mean_delay(self._inputs())
+
+        model = StragglerModel(seed=11)
+        mean_first = model.mean_delay(self._inputs())
+        penalty_after = model.imbalance_penalty(self._inputs(), 16)
+
+        assert penalty_first == penalty_after
+        assert mean_after == mean_first
+
+    def test_repeated_calls_identical_without_reseeding(self):
+        model = StragglerModel(seed=11)
+        a = model.sample_rank_delays(self._inputs(), 8, 100)
+        b = model.sample_rank_delays(self._inputs(), 8, 100)
+        assert np.array_equal(a, b)
+
+    def test_distinct_inputs_get_distinct_streams(self):
+        model = StragglerModel(seed=11)
+        a = model.sample_rank_delays(self._inputs(stall_p=0.05), 8, 100)
+        b = model.sample_rank_delays(self._inputs(stall_p=0.06), 8, 100)
+        assert not np.array_equal(a, b)
+
+    def test_seed_still_matters(self):
+        a = StragglerModel(seed=1).sample_rank_delays(self._inputs(), 8, 100)
+        b = StragglerModel(seed=2).sample_rank_delays(self._inputs(), 8, 100)
+        assert not np.array_equal(a, b)

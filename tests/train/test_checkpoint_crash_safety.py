@@ -1,0 +1,139 @@
+"""Checkpoint durability: atomic writes, exact paths, strict SWA resume."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.framework import Module, make_parameter, ops, seed
+from repro.train.checkpointing import (CheckpointMeta, load_checkpoint,
+                                       save_checkpoint)
+from repro.train.optimizer import AlphaFoldOptimizer, OptimizerConfig
+
+
+class Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.w = make_parameter((8,), init="ones")
+        self.b = make_parameter((8,), init="zeros")
+
+    def forward(self):
+        return ops.mean(ops.square(ops.add(self.w, self.b)))
+
+
+def _train(model, opt, steps):
+    for _ in range(steps):
+        model.zero_grad()
+        model().backward()
+        opt.step()
+
+
+def _fresh(use_swa=True):
+    seed(0)
+    model = Toy()
+    opt = AlphaFoldOptimizer(model, OptimizerConfig(use_swa=use_swa), lr=0.05)
+    return model, opt
+
+
+class TestAtomicSave:
+    def test_crash_mid_save_keeps_old_checkpoint(self, tmp_path, monkeypatch):
+        """A writer dying mid-save must not clobber the previous file."""
+        model, opt = _fresh()
+        _train(model, opt, 2)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, model, opt, CheckpointMeta(step=2))
+
+        real_savez = np.savez
+
+        def torn_write(handle, **arrays):
+            # Emit some real bytes first so a non-atomic implementation
+            # would leave a truncated, unloadable archive behind.
+            real_savez(handle, **{k: arrays[k]
+                                  for k in list(arrays)[:1]})
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(np, "savez", torn_write)
+        _train(model, opt, 2)
+        with pytest.raises(OSError):
+            save_checkpoint(path, model, opt, CheckpointMeta(step=4))
+        monkeypatch.undo()
+
+        model2, opt2 = _fresh()
+        meta = load_checkpoint(path, model2, opt2)
+        assert meta.step == 2
+
+    def test_no_temp_litter_after_crash(self, tmp_path, monkeypatch):
+        model, opt = _fresh()
+        path = str(tmp_path / "ckpt.npz")
+
+        def boom(handle, **arrays):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(np, "savez", boom)
+        with pytest.raises(OSError):
+            save_checkpoint(path, model, opt)
+        monkeypatch.undo()
+        assert os.listdir(tmp_path) == []
+
+    def test_saved_path_is_exactly_requested_path(self, tmp_path):
+        """np.savez appends .npz to bare paths; save_checkpoint must not."""
+        model, opt = _fresh()
+        for name in ("ckpt", "ckpt.npz", "ckpt.ckpt"):
+            path = str(tmp_path / name)
+            save_checkpoint(path, model, opt)
+            assert os.path.exists(path)
+            assert not os.path.exists(path + ".npz")
+            meta = load_checkpoint(path, *_fresh())
+            assert meta.step == 0
+
+    def test_relative_path(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        model, opt = _fresh()
+        save_checkpoint("ckpt.npz", model, opt)
+        assert os.path.exists("ckpt.npz")
+
+
+class TestLoadStrictness:
+    def test_missing_swa_raises_with_swa_enabled(self, tmp_path):
+        """Resuming SWA training from a SWA-less checkpoint is corrupt."""
+        model, opt = _fresh(use_swa=False)
+        _train(model, opt, 3)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, model, opt, CheckpointMeta(step=3))
+
+        model2, opt2 = _fresh(use_swa=True)
+        with pytest.raises(KeyError, match="SWA"):
+            load_checkpoint(path, model2, opt2)
+
+    def test_swa_checkpoint_loads_into_swa_optimizer(self, tmp_path):
+        model, opt = _fresh(use_swa=True)
+        _train(model, opt, 3)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, model, opt, CheckpointMeta(step=3))
+
+        model2, opt2 = _fresh(use_swa=True)
+        load_checkpoint(path, model2, opt2)
+        assert np.array_equal(opt._swa[0], opt2._swa[0])
+
+    def test_model_only_load_ignores_optimizer_arrays(self, tmp_path):
+        model, opt = _fresh()
+        _train(model, opt, 3)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, model, opt, CheckpointMeta(step=3))
+        model2, _ = _fresh()
+        meta = load_checkpoint(path, model2)
+        assert meta.step == 3
+        assert np.array_equal(model.w.numpy(), model2.w.numpy())
+
+    def test_load_closes_archive(self, tmp_path):
+        """Repeated restarts must not leak one descriptor per load."""
+        model, opt = _fresh()
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, model, opt)
+        fd_dir = "/proc/self/fd"
+        if not os.path.isdir(fd_dir):  # pragma: no cover - non-Linux
+            pytest.skip("needs /proc")
+        before = len(os.listdir(fd_dir))
+        for _ in range(10):
+            load_checkpoint(path, *_fresh())
+        assert len(os.listdir(fd_dir)) <= before
