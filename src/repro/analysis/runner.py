@@ -26,81 +26,103 @@ ANALYZERS = ("graph", "trace", "sched")
 # ----------------------------------------------------------------------
 # Analyzer drivers
 # ----------------------------------------------------------------------
+def _lint_policy(scalefold: bool):
+    from ..model.config import KernelPolicy
+
+    return (KernelPolicy.scalefold(checkpointing=True) if scalefold
+            else KernelPolicy.reference())
+
+
+def _workload_rule_config(workload,
+                          rule_config: Optional[RuleConfig]) -> Optional[RuleConfig]:
+    """Layer the workload's lint params (e.g. the TL004 kernel budget)
+    under any user-provided rule config; explicit user params win."""
+    import dataclasses
+
+    defaults = dict(workload.trace_lint_params)
+    if not defaults:
+        return rule_config
+    if rule_config is None:
+        return RuleConfig(params=defaults)
+    merged = dict(defaults)
+    merged.update(rule_config.params)
+    return dataclasses.replace(rule_config, params=merged)
+
+
 def lint_graph_for(config_name: str = "small", scalefold: bool = False,
                    rule_config: Optional[RuleConfig] = None,
-                   check_backward: bool = True) -> List[Finding]:
-    """Build the model's autograd graph in meta mode and check it.
+                   check_backward: bool = True,
+                   workload: str = "alphafold") -> List[Finding]:
+    """Build the workload's autograd graph in meta mode and check it.
 
     No kernels run and no trace is recorded — the graph is walked
     symbolically, which is the point: this catches contract violations that
     meta *execution* is self-consistently blind to.
     """
-    from ..datapipe.samples import meta_batch
     from ..framework import dtypes, tracer
     from ..framework.module import meta_build
-    from ..model.alphafold import AlphaFold
-    from ..model.config import AlphaFoldConfig, KernelPolicy
-    from ..model.loss import AlphaFoldLoss
+    from ..workloads import get_workload
 
-    policy = (KernelPolicy.scalefold(checkpointing=True) if scalefold
-              else KernelPolicy.reference())
-    cfg = getattr(AlphaFoldConfig, config_name)(policy)
+    wl = get_workload(workload)
+    policy = _lint_policy(scalefold)
+    cfg = wl.preset(config_name, policy)
     with meta_build():
-        model = AlphaFold(cfg)
+        model, loss_fn = wl.build(cfg)
     if policy.dtype is not dtypes.float32:
         model.to_dtype(policy.dtype)
-    batch = meta_batch(cfg, dtype=policy.dtype)
-    loss_fn = AlphaFoldLoss(cfg)
+    batch = wl.meta_batch(cfg, dtype=policy.dtype)
     # An active trace is needed for nodes to capture their module scope, so
     # findings point at "evoformer/blocks.0/..." rather than "<top>".
     with capture_graph() as capture, tracer.trace():
-        outputs = model(batch, n_recycle=1)
-        loss, _ = loss_fn(outputs, batch)
+        loss = wl.call(model, loss_fn, batch, n_recycle=1)
     return check_graph([loss], config=rule_config, capture=capture,
                        check_backward=check_backward)
 
 
 def lint_trace_for(config_name: str = "small", scalefold: bool = False,
                    gpu_name: str = "A100",
-                   rule_config: Optional[RuleConfig] = None) -> List[Finding]:
-    """Lint the (cached) step trace of the given config/policy."""
+                   rule_config: Optional[RuleConfig] = None,
+                   workload: str = "alphafold") -> List[Finding]:
+    """Lint the (cached) step trace of the given workload/config/policy."""
     from ..hardware.gpu import get_gpu
-    from ..model.config import AlphaFoldConfig, KernelPolicy
     from ..perf.trace_builder import build_step_trace
+    from ..workloads import get_workload
 
-    policy = (KernelPolicy.scalefold(checkpointing=True) if scalefold
-              else KernelPolicy.reference())
-    cfg = getattr(AlphaFoldConfig, config_name)(policy)
-    step = build_step_trace(policy=policy, cfg=cfg)
-    return lint_trace(step.trace, get_gpu(gpu_name), config=rule_config)
+    wl = get_workload(workload)
+    policy = _lint_policy(scalefold)
+    cfg = wl.preset(config_name, policy)
+    step = build_step_trace(policy=policy, cfg=cfg, workload=wl)
+    return lint_trace(step.trace, get_gpu(gpu_name),
+                      config=_workload_rule_config(wl, rule_config))
 
 
 def lint_sched_for(config_name: str = "small", scalefold: bool = False,
                    gpu_name: str = "A100",
-                   rule_config: Optional[RuleConfig] = None) -> List[Finding]:
+                   rule_config: Optional[RuleConfig] = None,
+                   workload: str = "alphafold") -> List[Finding]:
     """Audit the two real DES workloads and analyze their schedules:
 
     1. the multi-rank distributed-step simulation (DAP barrier, per-rank
        NIC resources, DDP bucket processes) of the given config;
     2. the cluster-level training-run simulation (serial eval pool).
     """
-    from ..model.config import AlphaFoldConfig, KernelPolicy
     from ..perf.scaling import Scenario, estimate_step_time
     from ..perf.trace_builder import build_step_trace
     from ..sim.cluster import ClusterSimConfig, run_cluster_simulation
     from ..train.evaluation import EvalConfig
+    from ..workloads import get_workload
 
-    policy = (KernelPolicy.scalefold(checkpointing=True) if scalefold
-              else KernelPolicy.reference())
-    cfg = getattr(AlphaFoldConfig, config_name)(policy)
-    step = build_step_trace(policy=policy, cfg=cfg)
+    wl = get_workload(workload)
+    policy = _lint_policy(scalefold)
+    cfg = wl.preset(config_name, policy)
+    step = build_step_trace(policy=policy, cfg=cfg, workload=wl)
 
     recorder = ScheduleRecorder()
     with recorder.recording():
         # Passing the trace explicitly bypasses the scenario memo cache, so
         # the rank-level DES actually runs (and gets audited) every time.
         scenario = Scenario(policy=policy, gpu=gpu_name, dap_n=2, dp_degree=2,
-                            imbalance_enabled=False)
+                            imbalance_enabled=False, workload=wl.name)
         estimate_step_time(scenario, trace=step)
         run_cluster_simulation(ClusterSimConfig(
             step_seconds=0.5, n_sync_ranks=4, max_steps=12,
@@ -162,7 +184,8 @@ def run_lint(analyzers: Sequence[str] = ANALYZERS,
              config_name: str = "small", scalefold: bool = False,
              gpu_name: str = "A100",
              rule_config: Optional[RuleConfig] = None,
-             baseline: Optional[Baseline] = None) -> LintReport:
+             baseline: Optional[Baseline] = None,
+             workload: str = "alphafold") -> LintReport:
     """Run the requested analyzers and apply the baseline."""
     unknown = set(analyzers) - set(ANALYZERS)
     if unknown:
@@ -171,13 +194,13 @@ def run_lint(analyzers: Sequence[str] = ANALYZERS,
     findings: List[Finding] = []
     if "graph" in analyzers:
         findings += lint_graph_for(config_name, scalefold,
-                                   rule_config=rule_config)
+                                   rule_config=rule_config, workload=workload)
     if "trace" in analyzers:
         findings += lint_trace_for(config_name, scalefold, gpu_name,
-                                   rule_config=rule_config)
+                                   rule_config=rule_config, workload=workload)
     if "sched" in analyzers:
         findings += lint_sched_for(config_name, scalefold, gpu_name,
-                                   rule_config=rule_config)
+                                   rule_config=rule_config, workload=workload)
     stale: List[str] = []
     if baseline is not None and len(baseline):
         baseline.apply(findings)

@@ -25,14 +25,23 @@ from .core.experiments import EXPERIMENTS, run_experiment
 from .core.optimizations import format_table
 
 
-def _build_profile_trace(config_name: str, scalefold: bool):
-    from .model.config import AlphaFoldConfig, KernelPolicy
-    from .perf.trace_builder import build_step_trace
+def _workload_choices() -> List[str]:
+    from .workloads import list_workloads
 
+    return list_workloads()
+
+
+def _build_profile_trace(config_name: str, scalefold: bool,
+                         workload: str = "alphafold"):
+    from .model.config import KernelPolicy
+    from .perf.trace_builder import build_step_trace
+    from .workloads import get_workload
+
+    wl = get_workload(workload)
     policy = (KernelPolicy.scalefold() if scalefold
               else KernelPolicy.reference())
-    cfg = getattr(AlphaFoldConfig, config_name)(policy)
-    return build_step_trace(policy=policy, cfg=cfg)
+    cfg = wl.preset(config_name, policy)
+    return build_step_trace(policy=policy, cfg=cfg, workload=wl)
 
 
 def cache_report(clear: bool = False) -> int:
@@ -65,6 +74,10 @@ def trace_command(argv: List[str]) -> int:
         prog="repro trace",
         description="Export and analyze simulated kernel traces.")
     parser.add_argument("action", choices=("export", "top", "flame", "cache"))
+    parser.add_argument("--workload", default="alphafold",
+                        choices=_workload_choices(),
+                        help="registered workload to trace "
+                             "(default: alphafold)")
     parser.add_argument("--config", default="small",
                         choices=("tiny", "small", "full"),
                         help="model size preset (default: small)")
@@ -98,7 +111,7 @@ def trace_command(argv: List[str]) -> int:
     from .hardware.gpu import get_gpu
     from .perf.profiler import scope_flame, top_kernels
 
-    step = _build_profile_trace(args.config, args.scalefold)
+    step = _build_profile_trace(args.config, args.scalefold, args.workload)
     gpu = get_gpu(args.gpu)
 
     if args.action == "export":
@@ -110,7 +123,8 @@ def trace_command(argv: List[str]) -> int:
 
             scenario = Scenario(policy=step.policy, gpu=args.gpu,
                                 dap_n=args.dap, dp_degree=args.dp,
-                                imbalance_enabled=False)
+                                imbalance_enabled=False,
+                                workload=args.workload)
             estimate = estimate_step_time(scenario, trace=step)
             timeline_to_chrome(estimate.timeline, into=builder)
         builder.write(args.output)
@@ -150,6 +164,10 @@ def lint_command(argv: List[str]) -> int:
     parser.add_argument("analyzers", nargs="*", metavar="analyzer",
                         help="subset of {graph,trace,sched} "
                              "(default: all three)")
+    parser.add_argument("--workload", default="alphafold",
+                        choices=_workload_choices(),
+                        help="registered workload to lint "
+                             "(default: alphafold)")
     parser.add_argument("--config", default="small",
                         choices=("tiny", "small", "full"),
                         help="model size preset (default: small)")
@@ -201,7 +219,7 @@ def lint_command(argv: List[str]) -> int:
 
     report = run_lint(analyzers=analyzers, config_name=args.config,
                       scalefold=args.scalefold, gpu_name=args.gpu,
-                      baseline=baseline)
+                      baseline=baseline, workload=args.workload)
 
     if args.write_baseline:
         Baseline.from_findings(
@@ -233,6 +251,10 @@ def bench_command(argv: List[str]) -> int:
                     "step simulation engines, 64-rank estimate, ladder "
                     "sweep) and write BENCH_simulation.json.")
     parser.add_argument("--gpu", default="H100", help="GPU spec name")
+    parser.add_argument("--workload", default="all",
+                        choices=_workload_choices() + ["all"],
+                        help="workload(s) for the cross-workload table "
+                             "(default: all registered)")
     parser.add_argument("--quick", action="store_true",
                         help="reduced sweep for CI (fewer ladder rungs)")
     parser.add_argument("--skip-ladder", action="store_true",
@@ -243,8 +265,9 @@ def bench_command(argv: List[str]) -> int:
 
     from .perf.bench import format_bench, run_bench, write_bench
 
+    workloads = None if args.workload == "all" else [args.workload]
     report = run_bench(gpu=args.gpu, quick=args.quick,
-                       skip_ladder=args.skip_ladder)
+                       skip_ladder=args.skip_ladder, workloads=workloads)
     write_bench(args.output, report)
     print(format_bench(report))
     print(f"wrote {args.output}")
@@ -252,10 +275,6 @@ def bench_command(argv: List[str]) -> int:
         print("FAIL: fast and event engines diverged", file=sys.stderr)
         return 1
     return 0
-
-
-#: Rough AlphaFold parameter count driving the default checkpoint payload.
-_ALPHAFOLD_PARAMS = 93_000_000
 
 
 def faults_command(argv: List[str]) -> int:
@@ -272,6 +291,10 @@ def faults_command(argv: List[str]) -> int:
         description="Failure-aware time-to-train: MTBF-driven fault "
                     "injection, checkpoint-restart modeling and the "
                     "optimal-checkpoint-interval sweep.")
+    parser.add_argument("--workload", default="alphafold",
+                        choices=_workload_choices(),
+                        help="registered workload to model "
+                             "(default: alphafold)")
     parser.add_argument("--ranks", type=int, nargs="+", default=[256, 2080],
                         help="total GPU counts to evaluate "
                              "(default: 256 2080)")
@@ -286,7 +309,7 @@ def faults_command(argv: List[str]) -> int:
                         help="checkpoint interval in steps (default: 250)")
     parser.add_argument("--checkpoint-write-s", type=float, default=None,
                         help="checkpoint write seconds (default: derived "
-                             "from the ~93M-parameter AlphaFold payload)")
+                             "from the workload's parameter count)")
     parser.add_argument("--async-checkpoint", action="store_true",
                         help="model asynchronous checkpointing (brief "
                              "snapshot stall, delayed durability)")
@@ -326,15 +349,16 @@ def faults_command(argv: List[str]) -> int:
     from .sim.cluster import ClusterSimConfig, run_cluster_simulation
     from .sim.faults import (CheckpointPolicy, FaultConfig,
                              checkpoint_write_seconds)
-    from .train.convergence import MLPERF_CHECKPOINT_SAMPLES
+    from .workloads import get_workload
 
+    workload = get_workload(args.workload)
     fault_config = FaultConfig(
         mtbf_rank_hours=args.mtbf_hours,
         switch_mtbf_hours=args.switch_mtbf_hours,
         restart_s=args.restart_s,
         seed=args.seed)
     write_s = (args.checkpoint_write_s if args.checkpoint_write_s is not None
-               else checkpoint_write_seconds(_ALPHAFOLD_PARAMS))
+               else checkpoint_write_seconds(workload.checkpoint_params))
     policy = CheckpointPolicy(
         every_steps=args.checkpoint_every, write_s=write_s,
         blocking=not args.async_checkpoint,
@@ -350,7 +374,8 @@ def faults_command(argv: List[str]) -> int:
     for n_ranks in args.ranks:
         base = mlperf_time_to_train(
             scalefold=True, async_eval=True, n_gpus=n_ranks, gpu=args.gpu,
-            step_seconds_override=args.step_seconds)
+            step_seconds_override=args.step_seconds,
+            workload=args.workload)
         fault_aware = failure_aware_time_to_train(
             base, fault_config, policy, sweep=not args.no_sweep)
         entry = {"n_ranks": n_ranks, "model": fault_aware.as_dict(),
@@ -362,7 +387,7 @@ def faults_command(argv: List[str]) -> int:
                 step_seconds=phase.step_seconds,
                 n_sync_ranks=phase.train_gpus,
                 n_train_gpus=phase.train_gpus,
-                start_samples=MLPERF_CHECKPOINT_SAMPLES,
+                start_samples=workload.mlperf_start_samples,
                 max_steps=sim_max_steps,
                 seed=args.seed,
                 faults=fault_config,
@@ -404,7 +429,8 @@ def faults_command(argv: List[str]) -> int:
 
     header = (f"{'Ranks':>6} {'Fault-free':>12} {'Expected':>12} "
               f"{'E[fail]':>9} {'Best k':>8} {'Young/Daly k':>13}")
-    print(f"MTBF/rank: {args.mtbf_hours} h | switch MTBF: "
+    print(f"workload: {workload.name} | MTBF/rank: {args.mtbf_hours} h "
+          f"| switch MTBF: "
           f"{args.switch_mtbf_hours} h | checkpoint every "
           f"{args.checkpoint_every} steps "
           f"({'async' if args.async_checkpoint else 'blocking'}, "
@@ -424,6 +450,7 @@ def faults_command(argv: List[str]) -> int:
     if args.output:
         import json as _json
         payload = {
+            "workload": workload.name,
             "mtbf_rank_hours": args.mtbf_hours,
             "switch_mtbf_hours": (None if math.isinf(args.switch_mtbf_hours)
                                   else args.switch_mtbf_hours),

@@ -47,8 +47,9 @@ def _shard_shape(shape: Tuple[int, ...], n: int) -> Tuple[int, ...]:
     return (first,) + tuple(shape[1:])
 
 
-def is_shardable(record: KernelRecord) -> bool:
-    return record.scope.startswith(SHARDABLE_SCOPES)
+def is_shardable(record: KernelRecord,
+                 scopes: Tuple[str, ...] = SHARDABLE_SCOPES) -> bool:
+    return record.scope.startswith(scopes)
 
 
 @dataclass
@@ -208,8 +209,10 @@ def _interleave_bundles(records: List[KernelRecord],
 
 def partition_step(step: "StepTrace", n: int,
                    cfg: Optional[AlphaFoldConfig] = None,
-                   emit_comm_records: bool = False) -> DapStepTrace:
-    """Shard a single-rank step trace across a DAP group of size n.
+                   emit_comm_records: bool = False,
+                   shardable_scopes: Optional[Tuple[str, ...]] = None,
+                   bundles: Optional[List[CommBundle]] = None) -> DapStepTrace:
+    """Shard a single-rank step trace across a model-parallel group of n.
 
     With ``emit_comm_records=True`` the per-block collective bundles are
     additionally interleaved into ``records`` as COMM kernel records at
@@ -217,24 +220,32 @@ def partition_step(step: "StepTrace", n: int,
     ``tags["dap_bundle"]``), which the distributed step simulator uses to
     schedule communication where it really happens.  ``comm_events`` stays
     the flat list either way.
+
+    The defaults reproduce AlphaFold DAP exactly; other workloads pass
+    their own ``shardable_scopes`` and precomputed ``bundles`` (e.g. the
+    transformer's tensor-parallel all-reduces), making the partitioner a
+    generic scope-sharding engine.
     """
-    cfg = cfg or AlphaFoldConfig.full(step.policy)
+    scopes = shardable_scopes if shardable_scopes is not None \
+        else SHARDABLE_SCOPES
     if n < 1:
-        raise ValueError("DAP degree must be >= 1")
+        raise ValueError("model-parallel degree must be >= 1")
     if n == 1:
         return DapStepTrace(records=list(step.trace.records), comm_events=[],
                             dap_n=1)
     records: List[KernelRecord] = []
     for r in step.trace.records:
-        if is_shardable(r):
+        if is_shardable(r, scopes):
             shard = r.scaled(1.0 / n)
             shard.shape = _shard_shape(r.shape, n)
             records.append(shard)
         else:
             records.append(r)
     itemsize = 2 if step.policy.dtype.name in ("bf16", "fp16") else 4
-    bundles = dap_comm_bundles(cfg, n, itemsize,
-                               step.policy.activation_checkpointing)
+    if bundles is None:
+        cfg = cfg or AlphaFoldConfig.full(step.policy)
+        bundles = dap_comm_bundles(cfg, n, itemsize,
+                                   step.policy.activation_checkpointing)
     comm = [ev for bundle in bundles for ev in bundle.events]
     if emit_comm_records:
         records = _interleave_bundles(records, bundles,

@@ -13,7 +13,11 @@ machine-readable report:
   :func:`estimate_step_time` under each engine (warm caches), recording the
   event-engine baseline and the fast/event speedup;
 * **ladder sweep** — the Figure-8 optimization ladder through
-  :func:`estimate_many`, cold and estimate-cache-warm.
+  :func:`estimate_many`, cold and estimate-cache-warm;
+* **cross-workload table** — for every registered workload (alphafold,
+  transformer, ...): cold trace build, fast-vs-event step simulation, and
+  the workload's canonical multi-rank estimate under both engines, each
+  with the same bit-identity contract.
 
 The two engines must agree bit-for-bit on every simulated number;
 ``golden_match`` is false (and the CLI exits nonzero) if any field differs.
@@ -32,6 +36,7 @@ from ..framework.trace_io import default_store
 from ..hardware.gpu import get_gpu
 from ..hardware.roofline import CostModel
 from ..model.config import KernelPolicy
+from ..workloads import get_workload, list_workloads
 from .scaling import (Scenario, StepEstimate, clear_estimate_cache,
                       clear_partition_cache, estimate_many,
                       estimate_step_time, optimization_ladder)
@@ -189,6 +194,68 @@ def _bench_estimate(gpu: str) -> Dict[str, object]:
     }
 
 
+def _bench_workload(name: str, gpu: str, quick: bool) -> Dict[str, object]:
+    """One row of the cross-workload golden table.
+
+    Times a cold trace build of the workload, runs the single-rank step
+    through both simulation engines, and pushes the workload's canonical
+    multi-rank scenario through :func:`estimate_step_time` under each
+    engine — asserting bit-identity at every stage, exactly like the
+    default-workload golden sections.
+    """
+    wl = get_workload(name)
+    policy = KernelPolicy.scalefold(checkpointing=False)
+    config_name = "small" if quick else "full"
+    cfg = wl.preset(config_name, policy)
+    build_s, step = _timed(lambda: build_step_trace(
+        policy=policy, cfg=cfg, use_cache=False, workload=wl))
+
+    gpu_spec = get_gpu(gpu)
+    cost = CostModel(gpu_spec, autotune=True)
+    records = list(step.trace.records)
+    costs = trace_cost_arrays(records, cost)
+    event_s, event_bd = _timed(
+        lambda: simulate_step(records, gpu_spec, cost, engine="event"))
+    fast_s, fast_bd = _timed(
+        lambda: simulate_step(records, gpu_spec, cost, engine="fast",
+                              costs=costs))
+    step_match = breakdowns_equal(event_bd, fast_bd)
+
+    scenario = Scenario(workload=wl.name, **wl.bench_scenario_kwargs(gpu))
+    estimate_step_time(scenario)       # warm traces, partitions, cost arrays
+    clear_estimate_cache()
+    est_event_s, est_event = _with_engine(
+        "event", lambda: _timed(lambda: estimate_step_time(scenario)))
+    clear_estimate_cache()
+    est_fast_s, est_fast = _with_engine(
+        "fast", lambda: _timed(lambda: estimate_step_time(scenario)))
+    est_match = estimates_equal(est_event, est_fast)
+
+    return {
+        "workload": wl.name,
+        "config": config_name,
+        "n_records": len(records),
+        "n_params": step.n_params,
+        "trace_build_s": build_s,
+        "step_sim": {
+            "event_s": event_s,
+            "fast_s": fast_s,
+            "total_s": fast_bd.total_s,
+            "match": step_match,
+        },
+        "estimate": {
+            "scenario": scenario.label(),
+            "world_size": scenario.world_size,
+            "kernel_count": est_fast.kernel_count,
+            "total_s": est_fast.total_s,
+            "event_s": est_event_s,
+            "fast_s": est_fast_s,
+            "match": est_match,
+        },
+        "match": bool(step_match and est_match),
+    }
+
+
 def _bench_ladder(gpu: str, quick: bool) -> Dict[str, object]:
     ladder = optimization_ladder(gpu=gpu)
     if quick:
@@ -205,8 +272,15 @@ def _bench_ladder(gpu: str, quick: bool) -> Dict[str, object]:
 
 
 def run_bench(gpu: str = "H100", quick: bool = False,
-              skip_ladder: bool = False) -> Dict[str, object]:
-    """Run every benchmark stage; returns the BENCH_simulation payload."""
+              skip_ladder: bool = False,
+              workloads: Optional[List[str]] = None) -> Dict[str, object]:
+    """Run every benchmark stage; returns the BENCH_simulation payload.
+
+    ``workloads`` selects the rows of the cross-workload table (default:
+    every registered workload).  The default-workload golden sections
+    (trace_build/step_sim/estimate_64rank) always run so the report stays
+    comparable across revisions.
+    """
     policy = KernelPolicy.scalefold(checkpointing=False)
     report: Dict[str, object] = {
         "version": BENCH_VERSION,
@@ -216,13 +290,17 @@ def run_bench(gpu: str = "H100", quick: bool = False,
         "step_sim": _bench_step_sim(policy, gpu),
         "estimate_64rank": _bench_estimate(gpu),
     }
+    names = list(workloads) if workloads is not None else list_workloads()
+    report["workloads"] = {name: _bench_workload(name, gpu, quick)
+                           for name in names}
     if not skip_ladder:
         report["ladder_sweep"] = _bench_ladder(gpu, quick)
     report["caches"] = {name: stats.as_dict()
                         for name, stats in sorted(cache_registry().items())}
     report["disk_store"] = default_store().stats()
-    report["golden_match"] = bool(report["step_sim"]["match"]
-                                  and report["estimate_64rank"]["match"])
+    report["golden_match"] = bool(
+        report["step_sim"]["match"] and report["estimate_64rank"]["match"]
+        and all(row["match"] for row in report["workloads"].values()))
     return report
 
 
@@ -249,6 +327,15 @@ def format_bench(report: Dict[str, object]) -> str:
                  f"warm fast {est['fast_s']:.3f}s "
                  f"({est['speedup']:.1f}x vs target {est['speedup_target']:.0f}x), "
                  f"match={est['match']}")
+    for name, row in report.get("workloads", {}).items():
+        ws, we = row["step_sim"], row["estimate"]
+        lines.append(
+            f"workload {name} [{row['config']}] "
+            f"({row['n_records']:,} records, {row['n_params']:,} params): "
+            f"build {row['trace_build_s']:.3f}s, "
+            f"step fast {ws['fast_s']:.3f}s match={ws['match']}, "
+            f"{we['world_size']}-rank est {we['total_s']:.4f}s "
+            f"match={we['match']}")
     if "ladder_sweep" in report:
         ls = report["ladder_sweep"]
         lines.append(f"ladder sweep ({ls['n_scenarios']} scenarios): "

@@ -36,11 +36,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..datapipe.prep_time import PrepTimeModel, prep_time_series
-from ..datapipe.samples import SyntheticProteinDataset
 from ..datapipe.sim_pipeline import PipelineFeed, StallModel, stall_model
 from ..distributed.collectives import collective_time
-from ..distributed.dap import DapStepTrace, partition_step
+from ..distributed.dap import (SHARDABLE_SCOPES, DapStepTrace, is_shardable,
+                               partition_step)
 from ..distributed.ddp import DdpConfig, bucket_schedule, ddp_cost
 from ..distributed.straggler import ImbalanceInputs, StragglerModel
 from ..distributed.topology import ClusterTopology
@@ -50,8 +49,9 @@ from ..framework.tracer import KernelCategory, KernelRecord
 from ..hardware.cpu import CpuJitterConfig
 from ..hardware.gpu import GpuSpec, get_gpu
 from ..hardware.roofline import CostModel
-from ..model.config import AlphaFoldConfig, KernelPolicy
+from ..model.config import KernelPolicy
 from ..sim.des import Barrier, Event, Process, Resource, Simulator, Timeline
+from ..workloads import DEFAULT_WORKLOAD, Workload, get_workload
 from .step_time import simulate_step
 from .torchcompile import apply_torch_compile
 from .trace_builder import (StepTrace, build_step_trace, trace_key,
@@ -85,6 +85,7 @@ class Scenario:
     n_recycle: int = 1
     imbalance_enabled: bool = True
     seed: int = 17
+    workload: str = DEFAULT_WORKLOAD
 
     @property
     def world_size(self) -> int:
@@ -92,6 +93,8 @@ class Scenario:
 
     def label(self) -> str:
         bits = [self.gpu, f"DAP-{self.dap_n}"]
+        if self.workload != DEFAULT_WORKLOAD:
+            bits.insert(0, self.workload)
         p = self.policy
         for flag, name in ((p.batched_gemm, "gemm"), (p.fused_mha, "mha"),
                            (p.fused_layernorm, "ln"), (p.fused_adam_swa, "adam"),
@@ -142,12 +145,10 @@ class StepEstimate:
 _PREP_CACHE = register_cache(LruCache(capacity=8, name="prep-series"))
 
 
-def _prep_times(seed: int = 5, n: int = 1024) -> np.ndarray:
-    def build() -> np.ndarray:
-        cfg = AlphaFoldConfig.full()
-        dataset = SyntheticProteinDataset(cfg, size=max(n, 1024))
-        return prep_time_series(dataset, n=n, seed=seed)
-    return _PREP_CACHE.get_or_create((seed, n), build)
+def _prep_times(workload: Workload, seed: int = 5, n: int = 1024) -> np.ndarray:
+    return _PREP_CACHE.get_or_create(
+        (workload.name, seed, n),
+        lambda: workload.prep_time_series(seed=seed, n=n))
 
 
 #: Serial/parallel device-time splits are pure functions of the cost-array
@@ -157,9 +158,9 @@ _SPLIT_CACHE = register_cache(LruCache(capacity=64, name="serial-split"))
 
 def _split_serial_parallel(dap: DapStepTrace, cost: CostModel,
                            costs: Optional[TraceCostArrays] = None,
-                           cache_key: Optional[Tuple] = None
+                           cache_key: Optional[Tuple] = None,
+                           scopes: Tuple[str, ...] = SHARDABLE_SCOPES
                            ) -> Tuple[float, float]:
-    from ..distributed.dap import is_shardable
     if costs is not None:
         if cache_key is not None:
             hit = _SPLIT_CACHE.get(cache_key)
@@ -170,7 +171,7 @@ def _split_serial_parallel(dap: DapStepTrace, cost: CostModel,
         # the scalar accumulation over the same subsequence.
         recs = dap.records
         shardable = np.fromiter(
-            (is_shardable(recs[i]) for i in costs.exec_idx.tolist()),
+            (is_shardable(recs[i], scopes) for i in costs.exec_idx.tolist()),
             dtype=bool, count=costs.m)
         par = costs.seconds[shardable]
         ser = costs.seconds[~shardable]
@@ -186,7 +187,7 @@ def _split_serial_parallel(dap: DapStepTrace, cost: CostModel,
         if r.tags and r.tags.get("hidden_by_comm"):
             continue
         t = cost.kernel_seconds(r)
-        if is_shardable(r):
+        if is_shardable(r, scopes):
             parallel += t
         else:
             serial += t
@@ -397,7 +398,8 @@ def _policy_signature(policy: KernelPolicy) -> Tuple:
 
 
 def _scenario_key(scenario: Scenario) -> Tuple:
-    return (_policy_signature(scenario.policy), scenario.gpu, scenario.dap_n,
+    return (scenario.workload, _policy_signature(scenario.policy),
+            scenario.gpu, scenario.dap_n,
             scenario.dp_degree, scenario.cuda_graphs, scenario.gc_disabled,
             scenario.torch_compile, scenario.nonblocking_pipeline,
             scenario.data_workers, scenario.data_queue_capacity,
@@ -435,22 +437,31 @@ def estimate_step_time(scenario: Scenario,
         if cached is not None:
             return cached
 
+    wl = get_workload(scenario.workload)
     gpu = get_gpu(scenario.gpu)
     topo = topo or ClusterTopology(gpu=gpu, n_gpus=scenario.world_size)
     own_trace = trace is None
     trace = trace or build_step_trace(scenario.policy,
-                                      n_recycle=scenario.n_recycle)
-    cfg = AlphaFoldConfig.full(scenario.policy)
+                                      n_recycle=scenario.n_recycle,
+                                      workload=wl)
+    cfg = wl.full_config(scenario.policy)
 
     records_id = None
     if own_trace:
         records_id = ("dap-records",
-                      trace_key(scenario.policy, n_recycle=scenario.n_recycle),
+                      trace_key(scenario.policy, n_recycle=scenario.n_recycle,
+                                workload=wl),
                       scenario.dap_n, scenario.torch_compile)
 
     def build_partition():
+        itemsize = 2 if scenario.policy.dtype.name in ("bf16", "fp16") else 4
+        bundles = wl.dap_comm_bundles(
+            cfg, scenario.dap_n, itemsize,
+            scenario.policy.activation_checkpointing)
         dap = partition_step(trace, scenario.dap_n, cfg,
-                             emit_comm_records=True)
+                             emit_comm_records=True,
+                             shardable_scopes=wl.shardable_scopes,
+                             bundles=bundles)
         recs = dap.records
         if scenario.torch_compile:
             recs = apply_torch_compile(recs)
@@ -483,7 +494,8 @@ def estimate_step_time(scenario: Scenario,
     plan = _build_step_plan(records, breakdown.segments, topo)
     serial_s, parallel_s = _split_serial_parallel(
         DapStepTrace(records=records, comm_events=comm_events,
-                     dap_n=dap_n), cost, costs=costs, cache_key=cost_key)
+                     dap_n=dap_n), cost, costs=costs, cache_key=cost_key,
+        scopes=wl.shardable_scopes)
 
     itemsize = 2 if scenario.policy.dtype.name in ("bf16", "fp16") else 4
     param_bytes = trace.n_params * itemsize
@@ -496,7 +508,7 @@ def estimate_step_time(scenario: Scenario,
                                 buckets=buckets)
     nominal_step = float(dry["total"][-1, 0])
 
-    prep = _prep_times(seed=5, n=768)
+    prep = _prep_times(wl, seed=5, n=768)
     stall = stall_model(prep, scenario.data_workers, max(nominal_step, 1e-3),
                         blocking=not scenario.nonblocking_pipeline,
                         queue_capacity=scenario.data_queue_capacity)
@@ -594,10 +606,11 @@ def estimate_many(scenarios: Sequence[Scenario],
         return [estimate_step_time(s) for s in scenarios]
     seen = set()
     for s in scenarios:
-        warm_key = (_policy_signature(s.policy), s.n_recycle)
+        warm_key = (s.workload, _policy_signature(s.policy), s.n_recycle)
         if warm_key not in seen:
             seen.add(warm_key)
-            build_step_trace(s.policy, n_recycle=s.n_recycle)
+            build_step_trace(s.policy, n_recycle=s.n_recycle,
+                             workload=s.workload)
     with ThreadPoolExecutor(max_workers=max_workers) as pool:
         return list(pool.map(estimate_step_time, scenarios))
 

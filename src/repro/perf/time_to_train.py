@@ -20,10 +20,10 @@ from ..model.config import KernelPolicy
 from ..sim.faults import (CheckpointPolicy, CheckpointSweep, FaultConfig,
                           FaultTimeEstimate, expected_run_seconds,
                           optimal_checkpoint_interval, young_daly_interval_s)
-from ..train.convergence import (MLPERF_CHECKPOINT_SAMPLES,
-                                 MLPERF_TARGET_LDDT, ConvergenceModel,
-                                 CurvePoint, TrainingPhase, simulate_curve)
+from ..train.convergence import (ConvergenceModel, CurvePoint, TrainingPhase,
+                                 simulate_curve)
 from ..train.evaluation import EvalConfig, EvalOverhead, evaluation_overhead
+from ..workloads import DEFAULT_WORKLOAD, get_workload
 from .scaling import Scenario, estimate_many, estimate_step_time
 
 #: Paper: "~2 minutes initialization and compilation overhead".
@@ -88,18 +88,21 @@ class TttResult:
 
 
 def _scalefold_scenario(dap_n: int, dp_degree: int, gpu: str = "H100",
-                        fused_mha: bool = True) -> Scenario:
+                        fused_mha: bool = True,
+                        workload: str = DEFAULT_WORKLOAD) -> Scenario:
     policy = KernelPolicy.scalefold(checkpointing=dap_n < 8)
     if not fused_mha:
         policy = policy.replace(fused_mha=False)
     return Scenario(policy=policy, gpu=gpu, dap_n=dap_n, dp_degree=dp_degree,
                     cuda_graphs=dap_n > 1, gc_disabled=True,
-                    torch_compile=True, nonblocking_pipeline=True)
+                    torch_compile=True, nonblocking_pipeline=True,
+                    workload=workload)
 
 
-def _reference_scenario(dp_degree: int, gpu: str = "H100") -> Scenario:
+def _reference_scenario(dp_degree: int, gpu: str = "H100",
+                        workload: str = DEFAULT_WORKLOAD) -> Scenario:
     return Scenario(policy=KernelPolicy.reference(), gpu=gpu, dap_n=1,
-                    dp_degree=dp_degree)
+                    dp_degree=dp_degree, workload=workload)
 
 
 def mlperf_time_to_train(scalefold: bool = True, async_eval: bool = True,
@@ -107,34 +110,43 @@ def mlperf_time_to_train(scalefold: bool = True, async_eval: bool = True,
                          gpu: str = "H100",
                          eval_config: Optional[EvalConfig] = None,
                          convergence: Optional[ConvergenceModel] = None,
-                         step_seconds_override: Optional[float] = None
+                         step_seconds_override: Optional[float] = None,
+                         workload: str = DEFAULT_WORKLOAD
                          ) -> TttResult:
-    """The MLPerf HPC OpenFold benchmark (Figure 10).
+    """The MLPerf-style benchmark run (Figure 10 for ``alphafold``).
 
     ``scalefold=False`` models the MLPerf reference submission: eager fp32
-    OpenFold on 256 GPUs (DP-256, global batch 256), synchronous evaluation.
+    on batch-size GPUs (DP-only), synchronous evaluation.  Other workloads
+    supply their own batch size, quality target, resume point and
+    convergence curve via the registry, so the same composition prices a
+    transformer benchmark run.
     """
-    model = convergence or ConvergenceModel()
+    wl = get_workload(workload)
+    model = convergence or wl.convergence()
     eval_cfg = eval_config or EvalConfig()
-    batch = 256
+    batch = wl.mlperf_batch_size
     if scalefold:
         eval_gpus = eval_cfg.n_eval_gpus if async_eval else 0
         train_gpus = n_gpus - eval_gpus
         dap_n = max(train_gpus // batch, 1)
-        scenario = _scalefold_scenario(dap_n=dap_n, dp_degree=batch, gpu=gpu)
+        scenario = _scalefold_scenario(dap_n=dap_n, dp_degree=batch, gpu=gpu,
+                                       workload=wl.name)
         init = INIT_SECONDS_SCALEFOLD
         label = f"ScaleFold-{n_gpus}x{gpu}" + ("-async" if async_eval else "-sync")
     else:
         train_gpus = batch
-        scenario = _reference_scenario(dp_degree=batch, gpu=gpu)
+        scenario = _reference_scenario(dp_degree=batch, gpu=gpu,
+                                       workload=wl.name)
         init = INIT_SECONDS_REFERENCE
         async_eval = False
         label = f"Reference-{train_gpus}x{gpu}"
+    if wl.name != DEFAULT_WORKLOAD:
+        label = f"{wl.name}-{label}"
 
     step_s = (step_seconds_override if step_seconds_override is not None
               else estimate_step_time(scenario).total_s)
-    steps = model.steps_to_reach(MLPERF_TARGET_LDDT, batch,
-                                 start_samples=MLPERF_CHECKPOINT_SAMPLES)
+    steps = model.steps_to_reach(wl.mlperf_target, batch,
+                                 start_samples=wl.mlperf_start_samples)
     overhead = evaluation_overhead(eval_cfg, int(steps), step_s, train_gpus,
                                    async_eval)
     if not async_eval:
@@ -143,9 +155,10 @@ def mlperf_time_to_train(scalefold: bool = True, async_eval: bool = True,
             train_blocked_seconds=overhead.train_blocked_seconds
             + SYNC_EVAL_SETUP_SECONDS * overhead.n_evals)
     phase = TttPhase("mlperf", steps, step_s, batch, train_gpus)
-    curve = simulate_curve(model, [TrainingPhase(batch, None, MLPERF_TARGET_LDDT)],
+    curve = simulate_curve(model,
+                           [TrainingPhase(batch, None, wl.mlperf_target)],
                            eval_interval=eval_cfg.eval_every_steps,
-                           start_samples=MLPERF_CHECKPOINT_SAMPLES)
+                           start_samples=wl.mlperf_start_samples)
     return TttResult(label=label, init_seconds=init, phases=[phase],
                      eval_overheads=[overhead], curve=curve)
 

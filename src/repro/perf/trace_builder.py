@@ -1,34 +1,42 @@
 """Build (and cache) paper-scale kernel traces for performance analysis.
 
 A *step trace* is the full kernel-launch sequence of one training step on
-one rank: forward (with recycling), backward (with checkpoint recompute when
-enabled), and the optimizer update.  Built by executing the real model in
-meta (shape-only) mode, so the trace is exactly what the numeric model would
-launch — not a hand-written approximation.
+one rank: forward (with recycling, when the workload supports it), backward
+(with checkpoint recompute when enabled), and the optimizer update.  Built
+by executing the real model in meta (shape-only) mode, so the trace is
+exactly what the numeric model would launch — not a hand-written
+approximation.
+
+The builder is workload-agnostic: the model, loss and canonical batch come
+from the :mod:`repro.workloads` registry (``alphafold`` by default), so any
+registered workload traces through the same machinery.  Cache keys lead
+with the workload's registry name plus its config fingerprint, so two
+workloads can never alias each other in the memo or the on-disk store.
 
 Built traces are memoized two ways: a bounded in-process LRU (same object
 returned on every hit), and the content-addressed on-disk store
-(:mod:`repro.framework.trace_io`) keyed by the full policy+config signature,
-so a fresh process — a CLI run, an example, a bench session — loads the
-serialized trace in a fraction of the meta-build time.
+(:mod:`repro.framework.trace_io`) keyed by the full
+workload+policy+config signature, so a fresh process — a CLI run, an
+example, a bench session — loads the serialized trace in a fraction of the
+meta-build time.
 """
 
 from __future__ import annotations
 
-import dataclasses
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 from ..framework import dtypes
 from ..framework.caching import LruCache, register_cache
 from ..framework.module import meta_build
 from ..framework.tracer import Trace, phase, trace
 from ..framework.trace_io import default_store
-from ..datapipe.samples import meta_batch
-from ..model.alphafold import AlphaFold
-from ..model.config import AlphaFoldConfig, KernelPolicy
-from ..model.loss import AlphaFoldLoss
+from ..model.config import KernelPolicy
 from ..train.optimizer import emit_update_trace
+from ..workloads import DEFAULT_WORKLOAD, Workload, get_workload
+
+WorkloadLike = Union[str, Workload]
 
 
 @dataclass
@@ -40,6 +48,7 @@ class StepTrace:
     n_recycle: int
     n_params: int
     param_shapes: List[Tuple[int, ...]]
+    workload: str = DEFAULT_WORKLOAD
 
     @property
     def n_kernels(self) -> int:
@@ -54,28 +63,35 @@ def _policy_key(policy: KernelPolicy, n_recycle: int,
             include_optimizer)
 
 
-def _cfg_key(cfg: AlphaFoldConfig) -> Tuple:
-    """Hashable signature of every model dimension in the config.
+def _cfg_key(workload: Workload, cfg) -> Tuple:
+    """Workload half of the cache key: registry name + config fingerprint.
 
-    Part of the cache key so a custom (e.g. reduced-size) config can never
-    alias the memoized full-size trace of the same kernel policy.  The
-    kernel policy is covered by :func:`_policy_key`.
+    Leading with the name makes collisions across workloads impossible even
+    if two config dataclasses happen to share field names and values; the
+    fingerprint keeps a custom (e.g. reduced-size) config from aliasing the
+    memoized full-size trace of the same kernel policy.
     """
-    return tuple((f.name, getattr(cfg, f.name))
-                 for f in dataclasses.fields(cfg)
-                 if f.name != "kernel_policy")
+    return (workload.name,) + workload.config_fingerprint(cfg)
+
+
+def _resolve(workload: WorkloadLike, policy: Optional[KernelPolicy],
+             cfg) -> Tuple[Workload, KernelPolicy, object]:
+    wl = get_workload(workload)
+    policy = policy or KernelPolicy.reference()
+    cfg = cfg if cfg is not None else wl.full_config(policy)
+    if cfg.kernel_policy is not policy:
+        cfg = cfg.replace(kernel_policy=policy)
+    return wl, policy, cfg
 
 
 def trace_key(policy: Optional[KernelPolicy] = None,
               n_recycle: int = 1,
               include_optimizer: bool = True,
-              cfg: Optional[AlphaFoldConfig] = None) -> Tuple:
-    """Full cache identity of one step trace (policy + config signature)."""
-    policy = policy or KernelPolicy.reference()
-    cfg = cfg or AlphaFoldConfig.full(policy)
-    if cfg.kernel_policy is not policy:
-        cfg = cfg.replace(kernel_policy=policy)
-    return _policy_key(policy, n_recycle, include_optimizer) + _cfg_key(cfg)
+              cfg=None,
+              workload: WorkloadLike = DEFAULT_WORKLOAD) -> Tuple:
+    """Full cache identity of one step trace (workload + policy + config)."""
+    wl, policy, cfg = _resolve(workload, policy, cfg)
+    return _policy_key(policy, n_recycle, include_optimizer) + _cfg_key(wl, cfg)
 
 
 def trace_store_material(key: Tuple) -> str:
@@ -91,19 +107,18 @@ _CACHE = register_cache(LruCache(capacity=8, name="step-traces"))
 def build_step_trace(policy: Optional[KernelPolicy] = None,
                      n_recycle: int = 1,
                      include_optimizer: bool = True,
-                     cfg: Optional[AlphaFoldConfig] = None,
-                     use_cache: bool = True) -> StepTrace:
-    """Trace one full-size training step under the given kernel policy.
+                     cfg=None,
+                     use_cache: bool = True,
+                     workload: WorkloadLike = DEFAULT_WORKLOAD) -> StepTrace:
+    """Trace one full-size training step of ``workload`` under ``policy``.
 
-    Results are memoized per (policy, config) signature (building a trace
-    costs a few seconds of shape propagation over ~100k ops) — in memory
-    and, unless ``REPRO_TRACE_CACHE=0``, in the on-disk trace store.
+    Results are memoized per (workload, policy, config) signature (building
+    a trace costs up to a few seconds of shape propagation over ~100k ops)
+    — in memory and, unless ``REPRO_TRACE_CACHE=0``, in the on-disk trace
+    store.
     """
-    policy = policy or KernelPolicy.reference()
-    cfg = cfg or AlphaFoldConfig.full(policy)
-    if cfg.kernel_policy is not policy:
-        cfg = cfg.replace(kernel_policy=policy)
-    key = _policy_key(policy, n_recycle, include_optimizer) + _cfg_key(cfg)
+    wl, policy, cfg = _resolve(workload, policy, cfg)
+    key = _policy_key(policy, n_recycle, include_optimizer) + _cfg_key(wl, cfg)
     material = trace_store_material(key)
     if use_cache:
         hit = _CACHE.get(key)
@@ -112,23 +127,21 @@ def build_step_trace(policy: Optional[KernelPolicy] = None,
         stored = default_store().get_trace(material)
         if stored is not None:
             t, meta = stored
-            result = _from_stored(t, meta, policy, n_recycle)
+            result = _from_stored(t, meta, policy, n_recycle, wl.name)
             if result is not None:
                 _CACHE.put(key, result)
                 return result
 
     with meta_build():
-        model = AlphaFold(cfg)
+        model, loss_fn = wl.build(cfg)
     if policy.dtype is not dtypes.float32:
         model.to_dtype(policy.dtype)
-    batch = meta_batch(cfg, dtype=policy.dtype)
-    loss_fn = AlphaFoldLoss(cfg)
+    batch = wl.meta_batch(cfg, dtype=policy.dtype)
     param_shapes = [p.shape for p in model.parameters()]
 
     with trace("step") as t:
         with phase("forward"):
-            outputs = model(batch, n_recycle=n_recycle)
-            loss, _ = loss_fn(outputs, batch)
+            loss = wl.call(model, loss_fn, batch, n_recycle=n_recycle)
         with phase("backward"):
             loss.backward()
         if include_optimizer:
@@ -138,22 +151,41 @@ def build_step_trace(policy: Optional[KernelPolicy] = None,
 
     result = StepTrace(trace=t, policy=policy, n_recycle=n_recycle,
                        n_params=model.num_parameters(),
-                       param_shapes=param_shapes)
+                       param_shapes=param_shapes, workload=wl.name)
     if use_cache:
         _CACHE.put(key, result)
         default_store().put_trace(material, t, meta={
             "kind": "step-trace",
+            "workload": wl.name,
             "n_params": result.n_params,
             "param_shapes": [list(s) for s in param_shapes],
         })
     return result
 
 
+def build_trace(policy: Optional[KernelPolicy] = None, cfg=None,
+                **kwargs) -> StepTrace:
+    """Deprecated pre-registry entry point (always the alphafold workload).
+
+    .. deprecated::
+        Use :func:`build_step_trace` (optionally with ``workload=...``).
+    """
+    warnings.warn(
+        "trace_builder.build_trace is deprecated; use build_step_trace "
+        "(optionally with workload=...)",
+        DeprecationWarning, stacklevel=2)
+    kwargs.pop("workload", None)
+    return build_step_trace(policy=policy, cfg=cfg, workload="alphafold",
+                            **kwargs)
+
+
 def _from_stored(t: Trace, meta: Optional[dict], policy: KernelPolicy,
-                 n_recycle: int) -> Optional[StepTrace]:
+                 n_recycle: int, workload: str) -> Optional[StepTrace]:
     """Reassemble a StepTrace from a disk-cache hit (None if meta is off)."""
     if not meta or meta.get("kind") != "step-trace":
         return None
+    if meta.get("workload", DEFAULT_WORKLOAD) != workload:
+        return None  # hash collision across workloads: never trust it
     try:
         n_params = int(meta["n_params"])
         param_shapes = [tuple(int(d) for d in s)
@@ -161,7 +193,8 @@ def _from_stored(t: Trace, meta: Optional[dict], policy: KernelPolicy,
     except (KeyError, TypeError, ValueError):
         return None
     return StepTrace(trace=t, policy=policy, n_recycle=n_recycle,
-                     n_params=n_params, param_shapes=param_shapes)
+                     n_params=n_params, param_shapes=param_shapes,
+                     workload=workload)
 
 
 def clear_cache() -> None:

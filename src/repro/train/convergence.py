@@ -35,7 +35,12 @@ MAX_BATCH_SIZE = 256
 
 @dataclass(frozen=True)
 class ConvergenceModel:
-    """avg_lddt_ca as a function of cumulative effective samples."""
+    """Training quality as a function of cumulative effective samples.
+
+    Defaults are the AlphaFold avg_lddt_ca calibration; other workloads
+    instantiate the same functional form with their own parameters, metric
+    name and batch-size cap (see :mod:`repro.workloads`).
+    """
 
     lddt_start: float = 0.25
     lddt_max: float = 0.94
@@ -45,12 +50,16 @@ class ConvergenceModel:
     noise_std: float = 0.0015
     #: Penalty on the asymptote for exceeding the batch-size cap.
     overbatch_penalty: float = 0.25
+    #: What the curve measures (reporting only; does not affect values).
+    metric_name: str = "avg_lddt_ca"
+    #: Workload-specific batch-size convergence cap.
+    max_batch_size: int = MAX_BATCH_SIZE
 
     def asymptote(self, batch_size: int) -> float:
         """Large batches destabilize training: the curve plateaus lower."""
-        if batch_size <= MAX_BATCH_SIZE:
+        if batch_size <= self.max_batch_size:
             return self.lddt_max
-        excess = (batch_size - MAX_BATCH_SIZE) / MAX_BATCH_SIZE
+        excess = (batch_size - self.max_batch_size) / self.max_batch_size
         return max(self.lddt_max - self.overbatch_penalty * excess,
                    self.lddt_start)
 

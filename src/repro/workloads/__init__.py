@@ -1,0 +1,30 @@
+"""Multi-workload suite: the registry and its built-in workloads.
+
+Importing this package registers the built-in workloads (``alphafold``,
+``transformer``); everything above the framework resolves models through
+:func:`get_workload` instead of importing AlphaFold directly.
+"""
+
+from .base import (DEFAULT_WORKLOAD, Workload, get_workload, list_workloads,
+                   register_workload, unregister_workload)
+from .alphafold import AlphaFoldWorkload
+from .transformer import (Transformer, TransformerConfig, TransformerLoss,
+                          TransformerWorkload, make_token_batch)
+
+register_workload(AlphaFoldWorkload())
+register_workload(TransformerWorkload())
+
+__all__ = [
+    "DEFAULT_WORKLOAD",
+    "Workload",
+    "get_workload",
+    "list_workloads",
+    "register_workload",
+    "unregister_workload",
+    "AlphaFoldWorkload",
+    "Transformer",
+    "TransformerConfig",
+    "TransformerLoss",
+    "TransformerWorkload",
+    "make_token_batch",
+]
