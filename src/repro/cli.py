@@ -12,6 +12,8 @@ observability stack and ``lint`` fronts the static analysis suite::
     python -m repro lint trace --format json    # one analyzer, CI-parseable
     python -m repro faults                      # failure-aware time-to-train
     python -m repro faults --mtbf-hours 8760    # ...at 1-year/rank MTBF
+    python -m repro serve --quick               # DES serving-fleet report
+    python -m repro serve --mode broker         # real threaded broker smoke
 """
 
 from __future__ import annotations
@@ -469,6 +471,142 @@ def faults_command(argv: List[str]) -> int:
     return 0
 
 
+def serve_command(argv: List[str]) -> int:
+    """``repro serve`` — the inference-serving layer.
+
+    ``--mode fleet`` (default) runs the DES fleet model: N frontends and M
+    GPU workers serving a seeded traffic mix of every requested workload,
+    priced from the calibrated per-kernel cost arrays; the JSON report
+    (p50/p99 latency, goodput, queue depth, per-worker utilization) is
+    bit-deterministic for a given seed.  ``--mode broker`` runs the real
+    threaded broker: admission, length-bucketed batching, a CPU prep pool
+    and GPU execution workers pushing actual tiny-preset batches through
+    the actual model.  ``--mode both`` runs both.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Simulate (and actually run) the inference-serving "
+                    "pipeline: broker, batching, fleet capacity.")
+    parser.add_argument("--mode", choices=("fleet", "broker", "both"),
+                        default="fleet")
+    parser.add_argument("--workloads", nargs="+", default=None,
+                        choices=_workload_choices(), metavar="WL",
+                        help="traffic mix (default: every registered "
+                             "workload)")
+    parser.add_argument("--preset", default="tiny",
+                        choices=("tiny", "small", "full"),
+                        help="model size preset (default: tiny)")
+    parser.add_argument("--gpu", default="H100", help="GPU spec name")
+    parser.add_argument("--pattern", default="poisson",
+                        choices=("poisson", "bursty", "diurnal"),
+                        help="[fleet] arrival process (default: poisson)")
+    parser.add_argument("--rate", type=float, default=1.0,
+                        help="[fleet] mean arrival rate, requests/s")
+    parser.add_argument("--duration", type=float, default=120.0,
+                        help="[fleet] arrival window, simulated seconds")
+    parser.add_argument("--frontends", type=int, default=2)
+    parser.add_argument("--prep-workers", type=int, default=4,
+                        help="CPU feature-preparation pool size")
+    parser.add_argument("--gpu-workers", type=int, default=4)
+    parser.add_argument("--max-batch", type=int, default=4)
+    parser.add_argument("--max-wait-s", type=float, default=0.2,
+                        help="batching max-wait flush timer")
+    parser.add_argument("--queue-limit", type=int, default=256,
+                        help="admission bound on in-flight requests")
+    parser.add_argument("--mtbf-hours", type=float, default=float("inf"),
+                        help="[fleet] per-worker MTBF; finite values "
+                             "enable fault injection (default: inf = off)")
+    parser.add_argument("--restart-s", type=float, default=30.0,
+                        help="[fleet] worker restart seconds after an abort")
+    parser.add_argument("--requests", type=int, default=4,
+                        help="[broker] concurrent requests to serve")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced settings for CI smoke runs")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="[fleet] write per-request chrome-trace JSON")
+    parser.add_argument("--output", "-o", default=None, metavar="PATH",
+                        help="write the report JSON (deterministic fields "
+                             "only; bit-identical for a given seed)")
+    args = parser.parse_args(argv)
+
+    import json as _json
+
+    from .serve import (ArrivalConfig, BrokerConfig, FleetConfig, run_fleet,
+                        run_broker_smoke)
+    from .sim.faults import FaultConfig
+    from .workloads import list_workloads
+
+    workloads = tuple(args.workloads or list_workloads())
+    duration = 30.0 if args.quick and args.duration == 120.0 \
+        else args.duration
+    payload: dict = {}
+
+    if args.mode in ("fleet", "both"):
+        faults = None
+        if math.isfinite(args.mtbf_hours):
+            faults = FaultConfig(mtbf_rank_hours=args.mtbf_hours,
+                                 restart_s=args.restart_s, seed=args.seed)
+        result = run_fleet(
+            FleetConfig(
+                workloads=workloads, preset=args.preset, gpu=args.gpu,
+                n_frontends=args.frontends,
+                n_prep_workers=args.prep_workers,
+                n_gpu_workers=args.gpu_workers, max_batch=args.max_batch,
+                max_wait_s=args.max_wait_s, queue_limit=args.queue_limit,
+                duration_s=duration, seed=args.seed, faults=faults),
+            ArrivalConfig(pattern=args.pattern, rate_rps=args.rate))
+        report = result.report()
+        payload["fleet"] = report
+
+        fleet = report["fleet"]
+        print(f"fleet: {fleet['completed']}/{fleet['requests']} completed "
+              f"({fleet['rejected']} rejected) over "
+              f"{fleet['makespan_s']:.1f}s | goodput "
+              f"{fleet['goodput_rps']:.3f} rps | mean queue depth "
+              f"{fleet['mean_queue_depth']:.1f}"
+              + (f" | aborted attempts {fleet['aborted_attempts']}"
+                 if faults else ""))
+        print(f"{'Workload':<14} {'req':>5} {'done':>5} {'p50':>9} "
+              f"{'p99':>9} {'SLO':>8} {'in-SLO':>7} {'goodput':>9}")
+        for name in workloads:
+            row = report["workloads"][name]
+            lat = row["latency_s"]
+            print(f"{name:<14} {row['requests']:>5} {row['completed']:>5} "
+                  f"{lat['p50']:>8.2f}s {lat['p99']:>8.2f}s "
+                  f"{row['slo_s']:>7.1f}s {row['within_slo']:>7} "
+                  f"{row['goodput_rps']:>7.3f}/s")
+
+        if args.trace:
+            from .observability.chrome_trace import fleet_to_chrome
+
+            builder = fleet_to_chrome(result)
+            builder.write(args.trace)
+            print(f"wrote {len(builder)} trace events to {args.trace}")
+
+    if args.mode in ("broker", "both"):
+        broker_workloads = (workloads if args.mode == "broker"
+                            else workloads[:1])
+        payload["broker"] = {}
+        for name in broker_workloads:
+            smoke = run_broker_smoke(
+                name, n_requests=args.requests,
+                config=BrokerConfig(workload=name, preset=args.preset))
+            det, timing = smoke["deterministic"], smoke["timing"]
+            payload["broker"][name] = det
+            print(f"broker[{name}]: served {det['completed']}"
+                  f"/{det['n_requests']} real requests "
+                  f"(max in flight {det['max_inflight']}) in "
+                  f"{timing['wall_s']:.2f}s wall")
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            _json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "trace":
@@ -479,6 +617,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return lint_command(argv[1:])
     if argv and argv[0] == "faults":
         return faults_command(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ScaleFold reproduction: regenerate the paper's tables "

@@ -42,23 +42,37 @@ class BlockingLoader(_LoaderBase):
     """In-order delivery: the PyTorch DataLoader discipline."""
 
     def __iter__(self) -> Iterator[Tuple[int, Any]]:
-        with ThreadPoolExecutor(max_workers=self.num_workers) as pool:
-            futures = {}
-            submitted = 0
+        # Not a ``with`` block: ``ThreadPoolExecutor.__exit__`` joins every
+        # in-flight future, so a consumer that breaks (or a serving broker
+        # that drops the loader on shutdown) would hang until the slowest
+        # outstanding sample finished.  Instead the finally clause cancels
+        # pending work and shuts the pool down without waiting; samples
+        # already executing complete in the background and are discarded.
+        pool = ThreadPoolExecutor(max_workers=self.num_workers)
+        futures = {}
+        submitted = 0
+        closed = False
 
-            def submit_more() -> None:
-                nonlocal submitted
-                while submitted < len(self.indices) and len(futures) < self.prefetch:
-                    idx = self.indices[submitted]
-                    futures[submitted] = pool.submit(self.dataset.__getitem__, idx)
-                    submitted += 1
+        def submit_more() -> None:
+            nonlocal submitted
+            while (not closed and submitted < len(self.indices)
+                   and len(futures) < self.prefetch):
+                idx = self.indices[submitted]
+                futures[submitted] = pool.submit(self.dataset.__getitem__, idx)
+                submitted += 1
 
+        try:
             submit_more()
             for position in range(len(self.indices)):
                 future = futures.pop(position)
                 sample = future.result()  # blocks in sampler order
                 submit_more()
                 yield self.indices[position], sample
+        finally:
+            closed = True
+            for future in futures.values():
+                future.cancel()
+            pool.shutdown(wait=False, cancel_futures=True)
 
 
 class _WorkerFailure:
@@ -75,32 +89,40 @@ class NonBlockingLoader(_LoaderBase):
         ready: List[Tuple[int, int, Any]] = []  # (position, index, sample)
         lock = threading.Lock()
         available = threading.Semaphore(0)
-        state = {"submitted": 0, "inflight": 0}
+        state = {"submitted": 0, "inflight": 0, "closed": False}
+        pending: set = set()  # futures not yet finished (cancellable subset)
 
-        with ThreadPoolExecutor(max_workers=self.num_workers) as pool:
+        # See BlockingLoader.__iter__: the pool is shut down without
+        # waiting so an abandoned iterator (consumer break / close())
+        # returns promptly instead of joining every in-flight slow sample.
+        pool = ThreadPoolExecutor(max_workers=self.num_workers)
 
-            def submit_more() -> None:
-                with lock:
-                    while (state["submitted"] < len(self.indices)
-                           and state["inflight"] + len(ready) < self.prefetch):
-                        position = state["submitted"]
-                        state["submitted"] += 1
-                        state["inflight"] += 1
-                        idx = self.indices[position]
-                        pool.submit(_work, position, idx)
+        def submit_more() -> None:
+            with lock:
+                while (not state["closed"]
+                       and state["submitted"] < len(self.indices)
+                       and state["inflight"] + len(ready) < self.prefetch):
+                    position = state["submitted"]
+                    state["submitted"] += 1
+                    state["inflight"] += 1
+                    idx = self.indices[position]
+                    future = pool.submit(_work, position, idx)
+                    pending.add(future)
+                    future.add_done_callback(pending.discard)
 
-            def _work(position: int, idx: int) -> None:
-                # A worker that dies silently would deadlock the consumer's
-                # semaphore wait — exceptions ride the queue instead.
-                try:
-                    sample = self.dataset[idx]
-                except BaseException as error:  # noqa: BLE001 - re-raised
-                    sample = _WorkerFailure(error)
-                with lock:
-                    heapq.heappush(ready, (position, idx, sample))
-                    state["inflight"] -= 1
-                available.release()
+        def _work(position: int, idx: int) -> None:
+            # A worker that dies silently would deadlock the consumer's
+            # semaphore wait — exceptions ride the queue instead.
+            try:
+                sample = self.dataset[idx]
+            except BaseException as error:  # noqa: BLE001 - re-raised
+                sample = _WorkerFailure(error)
+            with lock:
+                heapq.heappush(ready, (position, idx, sample))
+                state["inflight"] -= 1
+            available.release()
 
+        try:
             submit_more()
             for _ in range(len(self.indices)):
                 available.acquire()  # wait until ANY sample is ready
@@ -110,6 +132,12 @@ class NonBlockingLoader(_LoaderBase):
                     raise sample.error
                 submit_more()
                 yield idx, sample
+        finally:
+            with lock:
+                state["closed"] = True
+            for future in list(pending):
+                future.cancel()
+            pool.shutdown(wait=False, cancel_futures=True)
 
 
 def run_loader(loader: _LoaderBase,
@@ -120,13 +148,28 @@ def run_loader(loader: _LoaderBase,
 
     Returns (delivery order, wall seconds).  Used by tests/benches to show
     the non-blocking loader's wall-clock win on heavy-tailed prep times.
+
+    With the default (real) clock, ``consume_seconds`` is a genuine
+    ``time.sleep`` per delivered sample.  With an injected ``clock`` the
+    consume time is *simulated*: a clock object exposing ``advance(s)`` is
+    advanced directly, any other callable has the consumed seconds added
+    to the reported elapsed time — either way no real sleeping happens, so
+    simulated drains never take real wall time.
     """
     import time as _time
+    real_clock = clock is None
     clock = clock or _time.perf_counter
+    advance = getattr(clock, "advance", None)
     start = clock()
+    consumed = 0.0
     order: List[int] = []
     for idx, _sample in loader:
         order.append(idx)
         if consume_seconds > 0:
-            _time.sleep(consume_seconds)
-    return order, clock() - start
+            if real_clock:
+                _time.sleep(consume_seconds)
+            elif advance is not None:
+                advance(consume_seconds)
+            else:
+                consumed += consume_seconds
+    return order, clock() - start + consumed

@@ -19,12 +19,14 @@ The per-scope flame rollup lives next to the other trace analyses in
 fronts all three.
 """
 
-from .chrome_trace import (ChromeTrace, kernel_trace_to_chrome,
-                           timeline_to_chrome, write_chrome_trace)
+from .chrome_trace import (ChromeTrace, fleet_to_chrome,
+                           kernel_trace_to_chrome, timeline_to_chrome,
+                           write_chrome_trace)
 from .runlog import RunLogger, read_run_log
 
 __all__ = [
     "ChromeTrace",
+    "fleet_to_chrome",
     "kernel_trace_to_chrome",
     "timeline_to_chrome",
     "write_chrome_trace",

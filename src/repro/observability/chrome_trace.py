@@ -38,6 +38,7 @@ from ..hardware.roofline import CostModel
 # structured run logger), and repro.perf.step_time itself imports
 # repro.sim.des — eager imports here would close an import cycle.
 if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..serve.fleet import FleetResult
     from ..sim.des import Interval, Timeline
     from ..sim.faults import CheckpointRecord, FaultRecord
 
@@ -312,6 +313,97 @@ def faults_to_chrome(faults: Iterable[FaultRecord],
         else:
             builder.instant("ckpt_torn", "ckpt", record.triggered_at, pid,
                             tid_ckpt, args={"step": record.step})
+    return builder
+
+
+# ----------------------------------------------------------------------
+# Serving-fleet export (repro.serve.fleet)
+# ----------------------------------------------------------------------
+def fleet_to_chrome(result: "FleetResult", pid: int = 0,
+                    label: str = "serve-fleet",
+                    into: Optional["ChromeTrace"] = None) -> ChromeTrace:
+    """Export a fleet-simulation run as per-request serving timelines.
+
+    Tracks: one thread per frontend (each admitted request's
+    admission+prep+batching span, arrival -> prepped), one thread per GPU
+    worker (every batch *attempt* as a slice, aborted attempts marked with
+    their fault kind), and one ``faults`` thread with injection markers.
+    Flow events stitch each request's frontend span to the batch attempt
+    that served it and each aborted attempt to its retry, so a request's
+    full path — queue, prep, batching wait, (re)execution — reads as one
+    connected arrow chain in Perfetto.
+    """
+    builder = into if into is not None else ChromeTrace()
+    config = result.config
+    builder.process_name(pid, label)
+
+    frontend_tid = {f: f for f in range(config.n_frontends)}
+    for frontend in range(config.n_frontends):
+        builder.thread_name(pid, frontend_tid[frontend],
+                            f"frontend-{frontend}")
+    worker_tid = {w: config.n_frontends + w
+                  for w in range(config.n_gpu_workers)}
+    for worker in range(config.n_gpu_workers):
+        builder.thread_name(pid, worker_tid[worker], f"gpu-worker-{worker}")
+    fault_tid = config.n_frontends + config.n_gpu_workers
+    if result.faults:
+        builder.thread_name(pid, fault_tid, "faults")
+
+    import math as _math
+
+    for req in result.requests:
+        tid = frontend_tid[req.frontend]
+        if req.status == "rejected":
+            builder.instant(f"rejected:req-{req.request_id}", "serve",
+                            req.t_arrival, pid, tid,
+                            args={"workload": req.workload,
+                                  "length": req.length})
+            continue
+        end = req.t_prepped if not _math.isnan(req.t_prepped) \
+            else req.t_arrival
+        builder.complete(
+            f"req-{req.request_id}", "serve", req.t_arrival,
+            end - req.t_arrival, pid, tid,
+            args={"workload": req.workload, "length": req.length,
+                  "prep_s": req.prep_s, "batch": req.batch_id,
+                  "status": req.status,
+                  "latency_s": (req.latency_s
+                                if not _math.isnan(req.t_done) else None)})
+        if req.batch_id >= 0:
+            builder.flow_start(f"req-{req.request_id}",
+                               f"req:{req.request_id}", end, pid, tid)
+
+    for batch in result.batches:
+        for i, attempt in enumerate(batch.attempts):
+            tid = worker_tid[attempt.worker]
+            name = f"batch-{batch.batch_id} {batch.workload}"
+            if attempt.outcome != "ok":
+                name += f" [{attempt.outcome}]"
+            builder.complete(
+                name, "serve", attempt.start,
+                attempt.end - attempt.start, pid, tid,
+                args={"workload": batch.workload, "bucket": batch.bucket,
+                      "requests": list(batch.request_ids),
+                      "lengths": list(batch.lengths),
+                      "service_s": batch.service_s,
+                      "attempt": i, "outcome": attempt.outcome})
+            if i == 0:
+                for rid in batch.request_ids:
+                    builder.flow_finish(f"req-{rid}", f"req:{rid}",
+                                        attempt.start, pid, tid)
+            else:
+                builder.flow_finish(f"batch-{batch.batch_id}",
+                                    f"retry:{batch.batch_id}:{i}",
+                                    attempt.start, pid, tid)
+            if i + 1 < len(batch.attempts):
+                builder.flow_start(f"batch-{batch.batch_id}",
+                                   f"retry:{batch.batch_id}:{i + 1}",
+                                   attempt.end, pid, tid)
+
+    for fault in result.faults:
+        builder.instant(f"fault:{fault['kind']}", "fault",
+                        float(fault["time_s"]), pid, fault_tid,
+                        args={"workers": list(fault["workers"])})
     return builder
 
 

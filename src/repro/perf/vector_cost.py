@@ -110,6 +110,20 @@ class TraceCostArrays:
             if lim_calls[i]:
                 self.limiter_seconds[name] = float(lim_sec[i])
 
+    def phase_seconds(self) -> Dict[str, float]:
+        """Device-busy seconds per phase (forward/backward/update).
+
+        Same sequential bincount discipline as the category aggregates, so
+        the per-phase split sums to ``seconds.sum()`` exactly.  The serving
+        layer prices an inference request from the ``forward`` entry.
+        """
+        if not self.m:
+            return {}
+        sec = np.bincount(self.phase_codes, weights=self.seconds,
+                          minlength=len(self.phase_names))
+        return {name: float(sec[i])
+                for i, name in enumerate(self.phase_names)}
+
     # ------------------------------------------------------------------
     # Persistence (numpy-only payload; no pickled objects)
     # ------------------------------------------------------------------

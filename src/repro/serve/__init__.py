@@ -1,0 +1,33 @@
+"""Inference serving: a real threaded request broker and a DES fleet model.
+
+Two complementary halves, sharing one calibrated cost vocabulary:
+
+* :mod:`repro.serve.broker` — an actual concurrent broker (admission
+  control, length-bucketed batching with a max-wait timer, a CPU
+  feature-prep thread pool feeding GPU execution workers) that runs tiny
+  numeric workload batches end to end through the real model path;
+* :mod:`repro.serve.fleet` — a discrete-event fleet model (N frontends x
+  M GPU workers on :class:`repro.sim.des.Resource`) pricing every request
+  from the :mod:`repro.perf.vector_cost` arrays and reporting p50/p99
+  latency, goodput and queue depth under Poisson/bursty/diurnal arrivals,
+  with optional fault injection.
+"""
+
+from .broker import (BrokerConfig, BrokerRejected, RequestBroker,
+                     run_broker_smoke)
+from .costs import InferenceCost, inference_cost, prep_seconds
+from .fleet import (ArrivalConfig, FleetConfig, FleetResult, run_fleet)
+
+__all__ = [
+    "ArrivalConfig",
+    "BrokerConfig",
+    "BrokerRejected",
+    "FleetConfig",
+    "FleetResult",
+    "InferenceCost",
+    "RequestBroker",
+    "inference_cost",
+    "prep_seconds",
+    "run_broker_smoke",
+    "run_fleet",
+]

@@ -155,6 +155,13 @@ class Event:
     ``succeed(value)`` fires the event; waiters registered before the fire
     are called synchronously (in registration order), waiters registered
     after see the stored value immediately.
+
+    ``wait`` returns a *token* (``None`` when the callback ran inline
+    because the event had already fired) that ``cancel_wait`` accepts to
+    deregister a still-pending callback.  Long-lived events raced over and
+    over — the cluster model's fail event is ``any_of``-raced against a
+    timeout on *every* training step — would otherwise accumulate one dead
+    loser callback per race for the lifetime of the event.
     """
 
     __slots__ = ("sim", "triggered", "value", "_callbacks")
@@ -165,6 +172,11 @@ class Event:
         self.value: Any = None
         self._callbacks: List[Callable[[Any], None]] = []
 
+    @property
+    def waiter_count(self) -> int:
+        """Callbacks still parked on this event (leak checks read this)."""
+        return len(self._callbacks)
+
     def succeed(self, value: Any = None) -> None:
         if self.triggered:
             raise RuntimeError("event already triggered")
@@ -174,11 +186,32 @@ class Event:
         for callback in callbacks:
             callback(value)
 
-    def wait(self, callback: Callable[[Any], None]) -> None:
+    def wait(self, callback: Callable[[Any], None]) -> Optional[object]:
+        """Register ``callback``; returns a cancellation token.
+
+        ``None`` means the event had already fired and the callback ran
+        synchronously (there is nothing to cancel).
+        """
         if self.triggered:
             callback(self.value)
-        else:
-            self._callbacks.append(callback)
+            return None
+        self._callbacks.append(callback)
+        return callback
+
+    def cancel_wait(self, token: Optional[object]) -> bool:
+        """Deregister a callback registered by :meth:`wait`.
+
+        Returns True when the callback was found and removed; False for a
+        ``None`` token, an already-fired event (the callbacks list was
+        consumed by ``succeed``) or a token that was already cancelled.
+        """
+        if token is None or self.triggered:
+            return False
+        try:
+            self._callbacks.remove(token)
+        except ValueError:
+            return False
+        return True
 
 
 def timeout(sim: Simulator, delay: float, value: Any = None) -> Event:
@@ -191,23 +224,35 @@ def timeout(sim: Simulator, delay: float, value: Any = None) -> Event:
 def any_of(sim: Simulator, *events: Event) -> Event:
     """An :class:`Event` firing when the FIRST of ``events`` fires.
 
-    The combined event's value is ``(index, value)`` of the winner; later
-    firings of the losers are ignored.  This is the race primitive the
-    fault injector uses to interrupt a sleeping process: a training step is
-    ``any_of(timeout(step_wall), fail_event)``.
+    The combined event's value is ``(index, value)`` of the winner.  When
+    the race resolves, the losers' callbacks are *deregistered* — not
+    merely ignored — so racing a long-lived event (the fault injector's
+    fail event, a serving batcher's new-arrival event) many times leaves
+    no residue: the loser keeps O(1) pending callbacks instead of one per
+    race, and a late fire runs only live waiters instead of a backlog of
+    stale winner checks.
     """
     if not events:
         raise ValueError("any_of needs at least one event")
     combined = Event(sim)
+    tokens: List[Optional[object]] = []
 
     def _winner(index: int) -> Callable[[Any], None]:
         def callback(value: Any) -> None:
-            if not combined.triggered:
-                combined.succeed((index, value))
+            if combined.triggered:
+                return
+            combined.succeed((index, value))
+            for i, token in enumerate(tokens):
+                if i != index:
+                    events[i].cancel_wait(token)
         return callback
 
     for index, event in enumerate(events):
-        event.wait(_winner(index))
+        tokens.append(event.wait(_winner(index)))
+        if combined.triggered:
+            # An already-fired event won during registration; stop adding
+            # waiters (the winner callback above detached the earlier ones).
+            break
     return combined
 
 

@@ -12,7 +12,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..datapipe.prep_time import prep_time_series
-from ..datapipe.samples import SyntheticProteinDataset, meta_batch
+from ..datapipe.samples import (LENGTH_LOG_MEAN, LENGTH_LOG_SIGMA, LENGTH_MAX,
+                                LENGTH_MIN, SyntheticProteinDataset,
+                                make_batch, meta_batch)
 from ..distributed.dap import SERIAL_HINT, SHARDABLE_SCOPES, dap_comm_bundles
 from ..model.alphafold import AlphaFold
 from ..model.config import AlphaFoldConfig, KernelPolicy
@@ -39,6 +41,9 @@ class AlphaFoldWorkload(Workload):
     mlperf_start_samples = MLPERF_CHECKPOINT_SAMPLES
     #: TL004 budget: the full scalefold trace runs ~150k kernels/step.
     trace_lint_params = {"total_budget": 200_000}
+    #: Pair/triangle activations grow quadratically in residues, so per-
+    #: request inference work scales ~L^2 around the preset's crop length.
+    serve_length_exponent = 2.0
 
     def build(self, cfg):
         return AlphaFold(cfg), AlphaFoldLoss(cfg)
@@ -61,6 +66,22 @@ class AlphaFoldWorkload(Workload):
         dataset = SyntheticProteinDataset(AlphaFoldConfig.full(),
                                           size=max(n, 1024))
         return prep_time_series(dataset, n=n, seed=seed)
+
+    def serve_length(self, cfg) -> int:
+        return cfg.n_res
+
+    def sample_request_lengths(self, rng, n):
+        # Submitted chains follow the PDB-like log-normal of the synthetic
+        # training set (no crop: inference sees the full sequence).
+        lengths = rng.lognormal(LENGTH_LOG_MEAN, LENGTH_LOG_SIGMA, size=n)
+        return np.clip(lengths, LENGTH_MIN, LENGTH_MAX).astype(np.int64)
+
+    def request_batch(self, cfg, request_id: int):
+        dataset = SyntheticProteinDataset(cfg, size=1 << 16, seed=0x5E12FE)
+        return make_batch(dataset[request_id % len(dataset)])
+
+    def infer(self, model, batch):
+        return model(batch, n_recycle=1)
 
     def bench_scenario_kwargs(self, gpu: str = "H100"):
         # The 64-rank golden configuration (DAP-8 x DP-8, all opts on).

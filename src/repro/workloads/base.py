@@ -61,6 +61,10 @@ class Workload:
     #: Per-workload trace-lint thresholds (merged under user overrides):
     #: e.g. the TL004 kernel budget, which is calibrated per kernel stream.
     trace_lint_params: Dict[str, object] = {}
+    #: Serving: exponent of per-request device work in request length
+    #: relative to the preset's canonical length (the fleet model scales
+    #: the calibrated forward cost by ``(length / base_length) ** alpha``).
+    serve_length_exponent: float = 1.0
 
     # ------------------------------------------------------------------
     # Configs
@@ -127,6 +131,29 @@ class Workload:
     def prep_time_series(self, seed: int = 5, n: int = 1024) -> np.ndarray:
         """Per-sample host data-preparation seconds (loader stall model)."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Serving (prediction requests through repro.serve)
+    # ------------------------------------------------------------------
+    def serve_length(self, cfg) -> int:
+        """Canonical request length of ``cfg`` (residues / tokens) — the
+        reference point the fleet model's length scaling is anchored to."""
+        raise NotImplementedError
+
+    def sample_request_lengths(self, rng: np.random.Generator,
+                               n: int) -> np.ndarray:
+        """Draw ``n`` request lengths from the serving traffic
+        distribution (what users actually submit, not the training crop)."""
+        raise NotImplementedError
+
+    def request_batch(self, cfg, request_id: int) -> Dict[str, "Tensor"]:
+        """A *numeric* input batch for one inference request, deterministic
+        in ``request_id`` (the broker's CPU feature-prep stage calls this)."""
+        raise NotImplementedError
+
+    def infer(self, model, batch):
+        """One forward pass, no loss — the serving execution path."""
+        return model(batch)
 
     # ------------------------------------------------------------------
     # Bench

@@ -228,6 +228,10 @@ class TransformerWorkload(Workload):
     #: step than AlphaFold; holding it to the same 200k budget would let a
     #: 10x launch regression pass unnoticed.
     trace_lint_params = {"total_budget": 25_000}
+    #: Decoder FLOPs are dominated by the (length-linear) projections and
+    #: MLP at these widths; attention's L^2 term stays subdominant, so
+    #: per-request work is modeled linear in token count.
+    serve_length_exponent = 1.0
 
     def build(self, cfg):
         return Transformer(cfg), TransformerLoss(cfg)
@@ -257,6 +261,18 @@ class TransformerWorkload(Workload):
         # mild log-normal jitter, nothing like protein MSA featurization.
         rng = np.random.default_rng(seed)
         return 0.002 * rng.lognormal(0.0, 0.10, size=n)
+
+    def serve_length(self, cfg) -> int:
+        return cfg.seq_len
+
+    def sample_request_lengths(self, rng, n):
+        # Prompt lengths: log-normal around ~400 tokens with a long tail
+        # (chat-style traffic), clipped to a sane context range.
+        lengths = rng.lognormal(np.log(400.0), 0.7, size=n)
+        return np.clip(lengths, 16, 8192).astype(np.int64)
+
+    def request_batch(self, cfg, request_id: int):
+        return make_token_batch(cfg, seed=request_id)
 
     def bench_scenario_kwargs(self, gpu: str = "H100"):
         # TP-8 x DP-8: the transformer analogue of the 64-rank golden run.

@@ -1,0 +1,129 @@
+"""Loader shutdown promptness and simulated-clock draining.
+
+Pins two fixes: abandoning a loader iterator mid-epoch must not join every
+in-flight slow sample (the old ``ThreadPoolExecutor.__exit__`` behavior),
+and ``run_loader`` with an injected simulated clock must not really sleep.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.datapipe.loader import BlockingLoader, NonBlockingLoader, run_loader
+
+
+class SleepyDataset:
+    def __init__(self, delays):
+        self.delays = list(delays)
+        self.started = []
+
+    def __len__(self):
+        return len(self.delays)
+
+    def __getitem__(self, i):
+        self.started.append(i)
+        time.sleep(self.delays[i])
+        return i
+
+
+class FakeClock:
+    """Simulated clock exposing the ``advance`` protocol run_loader uses."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.advanced = []
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.advanced.append(seconds)
+        self.now += seconds
+
+
+def _wait_for_threads(baseline, timeout_s=5.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if threading.active_count() <= baseline:
+            return True
+        time.sleep(0.01)
+    return False
+
+
+@pytest.mark.parametrize("loader_cls", [BlockingLoader, NonBlockingLoader])
+class TestEarlyClose:
+    def test_break_returns_promptly(self, loader_cls):
+        # First sample instant; everything queued behind it is slow.  A
+        # consumer that breaks after one sample must not wait for the
+        # prefetched slow samples to finish.
+        ds = SleepyDataset([0.0] + [0.4] * 8)
+        loader = loader_cls(ds, num_workers=2, prefetch=6)
+        t0 = time.monotonic()
+        for _idx, _sample in loader:
+            break
+        elapsed = time.monotonic() - t0
+        assert elapsed < 0.35, (
+            f"early close took {elapsed:.2f}s — iterator joined in-flight "
+            "slow samples instead of cancelling and returning")
+
+    def test_close_stops_new_submissions(self, loader_cls):
+        ds = SleepyDataset([0.05] * 32)
+        loader = loader_cls(ds, num_workers=2, prefetch=4)
+        iterator = iter(loader)
+        next(iterator)
+        iterator.close()
+        started = len(ds.started)
+        # In-flight samples may finish, but nothing new is submitted.
+        time.sleep(0.3)
+        assert len(ds.started) == started
+        assert started < len(ds)
+
+    def test_no_thread_leak_after_abandon(self, loader_cls):
+        baseline = threading.active_count()
+        ds = SleepyDataset([0.0] + [0.2] * 6)
+        loader = loader_cls(ds, num_workers=3, prefetch=6)
+        for _ in loader:
+            break
+        # Worker threads wind down once their current sample completes.
+        assert _wait_for_threads(baseline), (
+            f"{threading.active_count() - baseline} loader threads still "
+            "alive long after the iterator was abandoned")
+
+
+class TestSimulatedClock:
+    @pytest.mark.parametrize("loader_cls", [BlockingLoader, NonBlockingLoader])
+    def test_fake_clock_never_really_sleeps(self, loader_cls):
+        ds = SleepyDataset([0.0] * 10)
+        clock = FakeClock()
+        t0 = time.monotonic()
+        order, elapsed = run_loader(loader_cls(ds, num_workers=2),
+                                    consume_seconds=0.5, clock=clock)
+        wall = time.monotonic() - t0
+        assert sorted(order) == list(range(10))
+        # 10 samples x 0.5 simulated seconds each, near-zero real seconds.
+        assert elapsed == pytest.approx(5.0)
+        assert clock.advanced == [0.5] * 10
+        assert wall < 1.0, (
+            f"simulated drain took {wall:.2f}s of real time — run_loader "
+            "slept for real despite the injected clock")
+
+    @pytest.mark.parametrize("loader_cls", [BlockingLoader, NonBlockingLoader])
+    def test_plain_callable_clock_accumulates_consume_time(self, loader_cls):
+        ds = SleepyDataset([0.0] * 4)
+        t0 = time.monotonic()
+        _order, elapsed = run_loader(loader_cls(ds, num_workers=2),
+                                     consume_seconds=0.25,
+                                     clock=lambda: 0.0)
+        wall = time.monotonic() - t0
+        assert elapsed == pytest.approx(1.0)
+        assert wall < 0.5
+
+    def test_real_clock_still_sleeps(self):
+        ds = SleepyDataset([0.0] * 3)
+        t0 = time.monotonic()
+        _order, elapsed = run_loader(BlockingLoader(ds, num_workers=2),
+                                     consume_seconds=0.05)
+        wall = time.monotonic() - t0
+        assert wall >= 0.15
+        assert elapsed >= 0.15

@@ -1,0 +1,183 @@
+"""Event.wait/cancel_wait and any_of loser-detach semantics.
+
+Pins the fix for the callback leak: racing a long-lived event through
+``any_of`` used to append one loser callback per race that was never
+removed, growing the event's callback list O(#races) — the cluster model
+races its fail event against a timeout on *every* training step, and the
+serving fleet's batchers and workers race the same way.
+"""
+
+import math
+
+import pytest
+
+from repro.sim.des import Event, Simulator, any_of, timeout
+
+
+class TestWaitTokens:
+    def test_wait_returns_cancellable_token(self):
+        sim = Simulator()
+        event = Event(sim)
+        seen = []
+        token = event.wait(seen.append)
+        assert token is not None
+        assert event.waiter_count == 1
+        assert event.cancel_wait(token) is True
+        assert event.waiter_count == 0
+        event.succeed("v")
+        assert seen == []
+
+    def test_wait_on_triggered_event_runs_inline_and_returns_none(self):
+        sim = Simulator()
+        event = Event(sim)
+        event.succeed(7)
+        seen = []
+        token = event.wait(seen.append)
+        assert seen == [7]
+        assert token is None
+        assert event.cancel_wait(token) is False
+
+    def test_cancel_after_fire_is_a_noop(self):
+        sim = Simulator()
+        event = Event(sim)
+        token = event.wait(lambda v: None)
+        event.succeed(None)
+        assert event.cancel_wait(token) is False
+
+    def test_double_cancel_returns_false(self):
+        sim = Simulator()
+        event = Event(sim)
+        token = event.wait(lambda v: None)
+        assert event.cancel_wait(token) is True
+        assert event.cancel_wait(token) is False
+
+    def test_duplicate_callbacks_cancel_one_at_a_time(self):
+        sim = Simulator()
+        event = Event(sim)
+        seen = []
+        callback = seen.append
+        event.wait(callback)
+        token = event.wait(callback)
+        assert event.waiter_count == 2
+        assert event.cancel_wait(token) is True
+        assert event.waiter_count == 1
+        event.succeed("x")
+        assert seen == ["x"]
+
+
+class TestAnyOfLoserDetach:
+    def test_loser_callbacks_are_deregistered(self):
+        sim = Simulator()
+        long_lived = Event(sim)
+        combined = any_of(sim, timeout(sim, 1.0), long_lived)
+        assert long_lived.waiter_count == 1
+        sim.run()
+        assert combined.triggered
+        assert combined.value[0] == 0
+        # The loser is detached, not merely ignored.
+        assert long_lived.waiter_count == 0
+
+    def test_long_lived_event_raced_many_times_stays_o1(self):
+        """The cluster-model pattern: one fail event raced every step."""
+        sim = Simulator()
+        fail = Event(sim)
+        races = 2000
+        peak = 0
+        for _ in range(races):
+            any_of(sim, timeout(sim, 0.001), fail)
+            peak = max(peak, fail.waiter_count)
+            sim.run()
+            peak = max(peak, fail.waiter_count)
+        assert peak <= 1          # one live race at a time, ever
+        assert fail.waiter_count == 0
+
+    def test_late_loser_fire_does_not_rerun_winner_checks(self):
+        sim = Simulator()
+        loser = Event(sim)
+        combined = any_of(sim, timeout(sim, 1.0), loser)
+        sim.run()
+        assert combined.value == (0, None)
+        # The loser firing later must not touch the resolved combination
+        # (and, post-fix, has no stale callbacks left to run at all).
+        assert loser.waiter_count == 0
+        loser.succeed("late")
+        assert combined.value == (0, None)
+
+    def test_already_triggered_first_event_wins_during_registration(self):
+        sim = Simulator()
+        done = Event(sim)
+        done.succeed("d")
+        other = Event(sim)
+        combined = any_of(sim, done, other)
+        assert combined.triggered
+        assert combined.value == (0, "d")
+        assert other.waiter_count == 0
+
+    def test_already_triggered_later_event_detaches_earlier_waiters(self):
+        sim = Simulator()
+        pending = Event(sim)
+        done = Event(sim)
+        done.succeed("d")
+        combined = any_of(sim, pending, done)
+        assert combined.value == (1, "d")
+        assert pending.waiter_count == 0
+
+    def test_winner_value_and_simultaneous_fires(self):
+        sim = Simulator()
+        a = timeout(sim, 1.0, "a")
+        b = timeout(sim, 1.0, "b")
+        combined = any_of(sim, a, b)
+        sim.run()
+        # Same timestamp: heap order decides; first scheduled wins.
+        assert combined.value == (0, "a")
+
+    def test_empty_race_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            any_of(sim)
+
+
+class TestClusterFaultFreeLeak:
+    """A many-step fault-free cluster run keeps its fail event O(1)."""
+
+    def _run(self, monkeypatch, max_steps):
+        import repro.sim.cluster as cluster_mod
+        from repro.sim.cluster import ClusterSimConfig, run_cluster_simulation
+        from repro.sim.faults import FaultConfig
+
+        instances = []
+
+        class RecordingEvent(Event):
+            def __init__(self, sim):
+                super().__init__(sim)
+                instances.append(self)
+
+        monkeypatch.setattr(cluster_mod, "Event", RecordingEvent)
+        result = run_cluster_simulation(ClusterSimConfig(
+            step_seconds=1.0, n_sync_ranks=8, n_train_gpus=8,
+            global_batch=8, target_lddt=2.0,   # never converges
+            max_steps=max_steps,
+            faults=FaultConfig(mtbf_rank_hours=math.inf,
+                               switch_mtbf_hours=math.inf)))
+        return result, instances
+
+    def test_fail_event_callbacks_stay_bounded(self, monkeypatch):
+        result, instances = self._run(monkeypatch, max_steps=1500)
+        assert result.steps == 1500
+        assert not result.faults
+        # Pre-fix, the long-lived fail event ended the run holding one
+        # dead loser callback per step (~1500); post-fix every event ends
+        # with at most one registered waiter.
+        leftover = max(e.waiter_count for e in instances)
+        assert leftover <= 1
+
+    def test_inf_mtbf_matches_fault_free_run(self, monkeypatch):
+        from repro.sim.cluster import ClusterSimConfig, run_cluster_simulation
+
+        with_faults, _ = self._run(monkeypatch, max_steps=400)
+        without = run_cluster_simulation(ClusterSimConfig(
+            step_seconds=1.0, n_sync_ranks=8, n_train_gpus=8,
+            global_batch=8, target_lddt=2.0, max_steps=400, faults=None))
+        assert with_faults.steps == without.steps
+        assert with_faults.total_seconds == pytest.approx(
+            without.total_seconds)
