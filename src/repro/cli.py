@@ -8,6 +8,7 @@ observability stack and ``lint`` fronts the static analysis suite::
     python -m repro trace flame                 # per-scope time rollup
     python -m repro trace cache                 # cache hit/miss report
     python -m repro bench                       # simulation benchmarks
+    python -m repro optimize --quick            # scenario knob-space search
     python -m repro lint                        # graph+trace+sched analysis
     python -m repro lint trace --format json    # one analyzer, CI-parseable
     python -m repro faults                      # failure-aware time-to-train
@@ -275,6 +276,118 @@ def bench_command(argv: List[str]) -> int:
     print(f"wrote {args.output}")
     if not report["golden_match"]:
         print("FAIL: fast and event engines diverged", file=sys.stderr)
+        return 1
+    if not report["cache_gates"]["ok"]:
+        print("FAIL: cache hit-rate gates below threshold", file=sys.stderr)
+        return 1
+    return 0
+
+
+def optimize_command(argv: List[str]) -> int:
+    """``repro optimize`` — search the scenario knob space on the fast path.
+
+    Runs coordinate descent with seeded restarts over the joint knob space
+    (precision, fusion, DAP, GPU, batch, CUDA graphs, GC, DDP bucket),
+    prices every point through the workload's convergence model plus
+    Young/Daly checkpointing, and reports the best configuration and the
+    time-vs-dollars Pareto frontier.  The search rides the incremental
+    re-simulation path; unless ``--no-verify`` is given, every visited
+    scenario is re-simulated cold and must match bit for bit.
+
+    The ``-o`` report contains no wall timings and is byte-identical
+    across runs for a fixed seed; ``--bench-out`` additionally writes
+    BENCH_optimize.json with the timed delta-speedup gate.  Exits nonzero
+    when any gate fails.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro optimize",
+        description="Optimize training scenarios over the simulator's "
+                    "incremental fast path: coordinate descent + seeded "
+                    "restarts, convergence-aware time-to-train objective, "
+                    "Pareto frontier over dollars.")
+    parser.add_argument("--workload", default="all",
+                        choices=_workload_choices() + ["all"],
+                        help="workload(s) to optimize (default: all)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced space and restarts for CI")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="restart-sampling seed (default: 0)")
+    parser.add_argument("--restarts", type=int, default=2,
+                        help="seeded random restarts beyond the origin "
+                             "start (default: 2; quick caps at 1)")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip the incremental-vs-full bit-identity "
+                             "check over every visited scenario")
+    parser.add_argument("--output", "-o", default=None, metavar="PATH",
+                        help="write the deterministic search report JSON "
+                             "(no timings; byte-stable per seed)")
+    parser.add_argument("--bench-out", default=None, metavar="PATH",
+                        help="write BENCH_optimize.json (timed gates)")
+    args = parser.parse_args(argv)
+
+    import json as _json
+
+    from .optimize import (build_report, optimize_workload,
+                           run_optimize_bench, verify_incremental)
+    from .workloads import list_workloads
+
+    names = list_workloads() if args.workload == "all" else [args.workload]
+    results = []
+    verify: dict = {}
+    gates_ok = True
+    for name in names:
+        result = optimize_workload(name, quick=args.quick, seed=args.seed,
+                                   n_restarts=args.restarts)
+        results.append(result)
+        best = result.best
+        ttt = best.ttt
+        print(f"[{name}] best after {result.n_calls} evaluations "
+              f"({result.n_unique} unique, rounds "
+              f"{result.rounds_per_start}):")
+        print(f"  {best.ttt.scenario_label}")
+        print(f"  point: {best.point}")
+        print(f"  expected {ttt.expected_total_hours:.3f} h on "
+              f"{ttt.world_size} GPUs = {ttt.gpu_hours:.0f} GPU-h = "
+              f"${ttt.dollar_cost:,.0f} "
+              f"(checkpoint every {ttt.checkpoint_every_steps} steps)")
+        print(f"  Pareto frontier ({len(result.frontier.overall)} points):")
+        for record in result.frontier.overall:
+            r = record.ttt
+            print(f"    {r.expected_total_hours:>7.3f} h  "
+                  f"${r.dollar_cost:>10,.0f}  {r.scenario_label}")
+        if not args.no_verify:
+            checked = verify_incremental(result)
+            verify[name] = checked
+            state = ("ok" if checked["match"]
+                     else f"MISMATCH {checked['mismatches']}")
+            print(f"  incremental==full on {checked['n_checked']} visited "
+                  f"scenarios: {state}")
+            gates_ok = gates_ok and checked["match"]
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            _json.dump(build_report(results, args.quick, args.seed),
+                       handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+
+    if args.bench_out:
+        bench = run_optimize_bench(results, args.quick, args.seed,
+                                   verify=verify or None)
+        with open(args.bench_out, "w") as handle:
+            _json.dump(bench, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.bench_out}")
+        for name, sp in bench["delta_speedup"].items():
+            note = ("" if sp["gated"]
+                    else ", informational: rank-DES-bound workload")
+            print(f"  [{name}] cold full {sp['cold_full_s']:.3f}s, "
+                  f"single-knob deltas >= {sp['min_speedup']:.1f}x faster "
+                  f"(target {sp['target']:.0f}x{note})")
+        gates_ok = gates_ok and bench["gates"]["ok"]
+
+    if not gates_ok:
+        print("FAIL: optimize gates did not pass", file=sys.stderr)
         return 1
     return 0
 
@@ -615,6 +728,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return bench_command(argv[1:])
     if argv and argv[0] == "lint":
         return lint_command(argv[1:])
+    if argv and argv[0] == "optimize":
+        return optimize_command(argv[1:])
     if argv and argv[0] == "faults":
         return faults_command(argv[1:])
     if argv and argv[0] == "serve":

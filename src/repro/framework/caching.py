@@ -154,3 +154,16 @@ def cache_registry() -> Dict[str, CacheStats]:
     """Stats for every registered cache, keyed by name."""
     with _REGISTRY_LOCK:
         return {name: cache.stats for name, cache in _REGISTRY.items()}
+
+
+def reset_registry_stats() -> None:
+    """Zero every registered cache's counters (contents stay cached).
+
+    Measurement sessions (``repro bench``'s hit-rate gates, the optimizer's
+    incremental-path instrumentation) call this first so rates reflect the
+    session, not whatever the process did before it.
+    """
+    with _REGISTRY_LOCK:
+        caches = list(_REGISTRY.values())
+    for cache in caches:
+        cache.reset_stats()

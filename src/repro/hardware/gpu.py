@@ -35,6 +35,10 @@ class GpuSpec:
     nvlink_bw_gbps: float = 200.0
     #: InfiniBand per-GPU effective bandwidth for inter-node collectives (GB/s).
     ib_bw_gbps: float = 45.0
+    #: On-demand cloud rate per GPU-hour (USD), for the optimizer's
+    #: time-vs-dollars Pareto frontier.  Ballpark public cloud prices; the
+    #: *ratio* across GPUs is what the frontier actually uses.
+    cost_per_hour_usd: float = 2.0
 
     def peak_flops(self, dtype: str) -> float:
         """Peak FLOP/s for a dtype (falls back to fp32 for unknown names)."""
@@ -65,6 +69,7 @@ A100 = GpuSpec(
     hbm_gb=80.0,
     nvlink_bw_gbps=200.0,
     ib_bw_gbps=45.0,
+    cost_per_hour_usd=2.46,
 )
 
 H100 = GpuSpec(
@@ -79,6 +84,7 @@ H100 = GpuSpec(
     gpu_launch_latency_us=2.0,
     nvlink_bw_gbps=350.0,
     ib_bw_gbps=45.0,
+    cost_per_hour_usd=4.10,
 )
 
 GPUS: Dict[str, GpuSpec] = {"A100": A100, "H100": H100}

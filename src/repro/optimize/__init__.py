@@ -1,0 +1,45 @@
+"""Scenario optimizer: search the knob space on the incremental fast path.
+
+``repro optimize`` runs coordinate descent with seeded random restarts
+over the joint configuration space (precision, fusion, DAP degree, GPU,
+batch size, CUDA graphs, GC, DDP bucket size), pricing every point with
+the workload's convergence model, Young/Daly checkpointing and per-GPU
+dollar rates — and proves, for every scenario it visited, that the
+incremental re-simulation it rode on is bit-identical to a cold full
+re-simulation.
+"""
+
+from .bench import (BENCH_OPTIMIZE_VERSION, DELTA_SPEEDUP_TARGET,
+                    build_report, delta_speedup, run_optimize_bench,
+                    verify_incremental)
+from .objective import (EvalRecord, Evaluator, FrontierReport, dominates,
+                        pareto_frontier)
+from .search import (SearchResult, coordinate_descent, default_start,
+                     optimize_workload, seeded_start)
+from .space import (KNOB_STAGES, STAGES, Knob, apply_point, knob_space,
+                    point_key)
+
+__all__ = [
+    "BENCH_OPTIMIZE_VERSION",
+    "DELTA_SPEEDUP_TARGET",
+    "KNOB_STAGES",
+    "STAGES",
+    "EvalRecord",
+    "Evaluator",
+    "FrontierReport",
+    "Knob",
+    "SearchResult",
+    "apply_point",
+    "build_report",
+    "coordinate_descent",
+    "default_start",
+    "delta_speedup",
+    "dominates",
+    "knob_space",
+    "optimize_workload",
+    "pareto_frontier",
+    "point_key",
+    "run_optimize_bench",
+    "seeded_start",
+    "verify_incremental",
+]

@@ -1,0 +1,134 @@
+"""Objective evaluation and Pareto accounting for the scenario search.
+
+The objective is :func:`repro.perf.time_to_train.scenario_time_to_train`:
+one fast-path step estimate pushed through the workload's convergence
+model (batch size -> steps to target), the Young/Daly checkpoint interval
+and Daly's expected-run-time model, then priced in GPU-hours and dollars
+per :class:`~repro.hardware.gpu.GpuSpec`.
+
+:class:`Evaluator` memoizes evaluations per canonical point key, so the
+coordinate-descent axis sweeps and every restart share one evaluation per
+distinct configuration — and the recorded visit order is deterministic
+(first-evaluation order), which is what makes the emitted reports
+byte-reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..perf.time_to_train import ScenarioTtt, scenario_time_to_train
+from ..sim.faults import FaultConfig
+from .space import apply_point, point_key
+
+
+@dataclass
+class EvalRecord:
+    """One evaluated point: the knobs and what they priced to."""
+
+    point: Dict[str, object]
+    ttt: ScenarioTtt
+
+    def sort_key(self) -> Tuple:
+        """Deterministic total order: time, then dollars, then identity."""
+        return (self.ttt.expected_total_seconds, self.ttt.dollar_cost,
+                point_key(self.point))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"point": dict(self.point), "ttt": self.ttt.as_dict()}
+
+
+class Evaluator:
+    """Memoizing point -> :class:`EvalRecord` evaluator for one workload."""
+
+    def __init__(self, workload: str,
+                 faults: Optional[FaultConfig] = None,
+                 target: Optional[float] = None) -> None:
+        self.workload = workload
+        self.faults = faults if faults is not None else FaultConfig()
+        self.target = target
+        self._memo: Dict[Tuple, EvalRecord] = {}
+        self.n_calls = 0
+
+    @property
+    def n_unique(self) -> int:
+        return len(self._memo)
+
+    @property
+    def visited(self) -> List[EvalRecord]:
+        """Every distinct evaluated point, in first-evaluation order."""
+        return list(self._memo.values())
+
+    def __call__(self, point: Dict[str, object]) -> EvalRecord:
+        self.n_calls += 1
+        key = point_key(point)
+        hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        scenario = apply_point(point, self.workload)
+        ttt = scenario_time_to_train(scenario, target=self.target,
+                                     faults=self.faults)
+        record = EvalRecord(point=dict(point), ttt=ttt)
+        self._memo[key] = record
+        return record
+
+
+def dominates(a: EvalRecord, b: EvalRecord) -> bool:
+    """True when ``a`` is no worse on both axes and better on one."""
+    at, ad = a.ttt.expected_total_seconds, a.ttt.dollar_cost
+    bt, bd = b.ttt.expected_total_seconds, b.ttt.dollar_cost
+    return at <= bt and ad <= bd and (at < bt or ad < bd)
+
+
+def pareto_frontier(records: List[EvalRecord]) -> List[EvalRecord]:
+    """Non-dominated feasible points, sorted fastest-first.
+
+    Minimizes (expected time-to-train, dollar cost); a single sweep over
+    the time-sorted feasible set keeps each point whose dollar cost strictly
+    improves on everything faster, with duplicates (identical objectives)
+    collapsed to the smallest canonical point key.
+    """
+    feasible = [r for r in records
+                if r.ttt.feasible and math.isfinite(r.ttt.dollar_cost)]
+    feasible.sort(key=EvalRecord.sort_key)
+    frontier: List[EvalRecord] = []
+    best_dollars = math.inf
+    last_objectives: Optional[Tuple[float, float]] = None
+    for record in feasible:
+        objectives = (record.ttt.expected_total_seconds,
+                      record.ttt.dollar_cost)
+        if objectives == last_objectives:
+            continue  # same point in objective space: keep the first
+        if record.ttt.dollar_cost < best_dollars:
+            frontier.append(record)
+            best_dollars = record.ttt.dollar_cost
+            last_objectives = objectives
+    return frontier
+
+
+@dataclass
+class FrontierReport:
+    """Pareto frontiers over one search's visited set."""
+
+    overall: List[EvalRecord] = field(default_factory=list)
+    by_gpu: Dict[str, List[EvalRecord]] = field(default_factory=dict)
+
+    @classmethod
+    def from_records(cls, records: List[EvalRecord]) -> "FrontierReport":
+        by_gpu: Dict[str, List[EvalRecord]] = {}
+        for record in records:
+            by_gpu.setdefault(str(record.point.get("gpu", "?")),
+                              []).append(record)
+        return cls(
+            overall=pareto_frontier(records),
+            by_gpu={gpu: pareto_frontier(rows)
+                    for gpu, rows in sorted(by_gpu.items())})
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "overall": [r.as_dict() for r in self.overall],
+            "by_gpu": {gpu: [r.as_dict() for r in rows]
+                       for gpu, rows in self.by_gpu.items()},
+        }

@@ -31,7 +31,7 @@ import os
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..framework.caching import cache_registry
+from ..framework.caching import cache_registry, reset_registry_stats
 from ..framework.trace_io import default_store
 from ..hardware.gpu import get_gpu
 from ..hardware.roofline import CostModel
@@ -52,6 +52,30 @@ SPEEDUP_TARGET = 5.0
 
 #: How many ladder rungs a ``--quick`` (CI) run sweeps.
 QUICK_LADDER_RUNGS = 3
+
+#: Minimum hit rate per registered cache over one bench session (stats are
+#: reset at session start).  Only gated when the cache saw at least
+#: :data:`CACHE_GATE_MIN_LOOKUPS` lookups, so an unexercised cache can
+#: never fail.  Values sit below the measured rates with margin (quick /
+#: full: step-traces 0.73/0.66, cost-arrays 0.59/0.56, dap-partitions
+#: 0.65/0.58, serial-split 0.59/0.56); a capacity regression (re-evicting
+#: what a sweep re-uses) drops the measured rate well under these floors.
+#: The structure and shard-mask caches are long-tail by design — they are
+#: consulted only on fresh cost/split builds and hit only when a records
+#: stream is re-priced for a second GPU (measured 0.17/0.33 and
+#: 0.08/0.14), so their floors just assert the GPU-flip reuse happens
+#: at all.
+CACHE_HIT_THRESHOLDS: Dict[str, float] = {
+    "step-traces": 0.50,
+    "cost-arrays": 0.40,
+    "trace-structures": 0.10,
+    "dap-partitions": 0.40,
+    "serial-split": 0.40,
+    "shard-masks": 0.05,
+}
+
+#: Below this many lookups a hit rate is noise, not a signal.
+CACHE_GATE_MIN_LOOKUPS = 4
 
 
 def golden_scenario(gpu: str = "H100") -> Scenario:
@@ -256,6 +280,39 @@ def _bench_workload(name: str, gpu: str, quick: bool) -> Dict[str, object]:
     }
 
 
+def _bench_incremental(gpu: str) -> Dict[str, object]:
+    """Single-knob deltas off the golden scenario — the optimizer's access
+    pattern.  A GPU flip must re-price only the cost segment (the trace
+    structure and shard mask come from their caches); a GC or bucket flip
+    must re-run only the rank-level DES.  Runs with the disk store
+    bypassed so the cache hits measured here are the in-memory ones the
+    hit-rate gates check.
+    """
+    base = golden_scenario(gpu)
+    other_gpu = "A100" if gpu != "A100" else "H100"
+    store = default_store()
+    was_enabled = store.enabled
+    store.enabled = False
+    try:
+        clear_estimate_cache()
+        clear_partition_cache()
+        clear_cost_cache()
+        estimate_step_time(base)       # warm structure, partition, mask, cost
+        deltas: Dict[str, float] = {}
+        for name, changed in (
+                ("gpu", dataclasses.replace(base, gpu=other_gpu)),
+                ("gc_disabled", dataclasses.replace(
+                    base, gc_disabled=not base.gc_disabled)),
+                ("ddp_bucket_mb", dataclasses.replace(
+                    base, ddp_bucket_mb=base.ddp_bucket_mb * 2))):
+            clear_estimate_cache()
+            seconds, _ = _timed(lambda: estimate_step_time(changed))
+            deltas[name] = seconds
+    finally:
+        store.enabled = was_enabled
+    return {"scenario": base.label(), "delta_s": deltas}
+
+
 def _bench_ladder(gpu: str, quick: bool) -> Dict[str, object]:
     ladder = optimization_ladder(gpu=gpu)
     if quick:
@@ -271,6 +328,28 @@ def _bench_ladder(gpu: str, quick: bool) -> Dict[str, object]:
     }
 
 
+def cache_gate_report() -> Dict[str, object]:
+    """Per-cache hit-rate gates over the current registry counters."""
+    gates: Dict[str, object] = {}
+    ok = True
+    for name, stats in sorted(cache_registry().items()):
+        threshold = CACHE_HIT_THRESHOLDS.get(name)
+        if threshold is None:
+            continue
+        applicable = stats.lookups >= CACHE_GATE_MIN_LOOKUPS
+        passed = (not applicable) or stats.hit_rate >= threshold
+        gates[name] = {
+            "hit_rate": stats.hit_rate,
+            "lookups": stats.lookups,
+            "evictions": stats.evictions,
+            "threshold": threshold,
+            "applicable": applicable,
+            "ok": passed,
+        }
+        ok = ok and passed
+    return {"gates": gates, "ok": ok}
+
+
 def run_bench(gpu: str = "H100", quick: bool = False,
               skip_ladder: bool = False,
               workloads: Optional[List[str]] = None) -> Dict[str, object]:
@@ -281,6 +360,7 @@ def run_bench(gpu: str = "H100", quick: bool = False,
     (trace_build/step_sim/estimate_64rank) always run so the report stays
     comparable across revisions.
     """
+    reset_registry_stats()
     policy = KernelPolicy.scalefold(checkpointing=False)
     report: Dict[str, object] = {
         "version": BENCH_VERSION,
@@ -289,6 +369,7 @@ def run_bench(gpu: str = "H100", quick: bool = False,
         "trace_build": _bench_trace_build(policy),
         "step_sim": _bench_step_sim(policy, gpu),
         "estimate_64rank": _bench_estimate(gpu),
+        "incremental_deltas": _bench_incremental(gpu),
     }
     names = list(workloads) if workloads is not None else list_workloads()
     report["workloads"] = {name: _bench_workload(name, gpu, quick)
@@ -297,6 +378,7 @@ def run_bench(gpu: str = "H100", quick: bool = False,
         report["ladder_sweep"] = _bench_ladder(gpu, quick)
     report["caches"] = {name: stats.as_dict()
                         for name, stats in sorted(cache_registry().items())}
+    report["cache_gates"] = cache_gate_report()
     report["disk_store"] = default_store().stats()
     report["golden_match"] = bool(
         report["step_sim"]["match"] and report["estimate_64rank"]["match"]
@@ -327,6 +409,11 @@ def format_bench(report: Dict[str, object]) -> str:
                  f"warm fast {est['fast_s']:.3f}s "
                  f"({est['speedup']:.1f}x vs target {est['speedup_target']:.0f}x), "
                  f"match={est['match']}")
+    if "incremental_deltas" in report:
+        inc = report["incremental_deltas"]
+        parts = ", ".join(f"{name} {seconds*1e3:.1f}ms"
+                          for name, seconds in inc["delta_s"].items())
+        lines.append(f"single-knob deltas ({inc['scenario']}): {parts}")
     for name, row in report.get("workloads", {}).items():
         ws, we = row["step_sim"], row["estimate"]
         lines.append(
@@ -340,6 +427,13 @@ def format_bench(report: Dict[str, object]) -> str:
         ls = report["ladder_sweep"]
         lines.append(f"ladder sweep ({ls['n_scenarios']} scenarios): "
                      f"cold {ls['cold_s']:.3f}s, warm {ls['warm_s']*1e3:.2f}ms")
+    if "cache_gates" in report:
+        cg = report["cache_gates"]
+        gated = [f"{name} {row['hit_rate']:.2f}/{row['threshold']:.2f}"
+                 + ("" if row["ok"] else " FAIL")
+                 for name, row in cg["gates"].items() if row["applicable"]]
+        lines.append("cache gates: " + (", ".join(gated) or "none applicable")
+                     + f" -> ok={cg['ok']}")
     store = report["disk_store"]
     lines.append(f"disk store: {store['entries']} entries, {store['bytes']:,} B "
                  f"at {store['root']} "

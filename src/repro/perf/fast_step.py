@@ -41,6 +41,18 @@ import numpy as np
 _CHUNK = 64
 
 
+def sequential_sum(values: np.ndarray) -> float:
+    """Strict left-to-right IEEE-754 sum of a float64 vector.
+
+    ``np.cumsum`` (``add.accumulate``) adds elements in input order, so the
+    final element is bit-identical to a scalar ``for``-loop accumulation —
+    unlike ``np.sum``, whose pairwise association rounds differently.  Every
+    total that must match an event-engine or scalar-path accumulation to the
+    last bit goes through here.
+    """
+    return float(np.cumsum(values)[-1]) if values.size else 0.0
+
+
 def two_clock_times(seconds: np.ndarray, dispatch: float,
                     drain_mask: Optional[np.ndarray] = None
                     ) -> Tuple[np.ndarray, np.ndarray]:

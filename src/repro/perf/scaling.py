@@ -52,10 +52,11 @@ from ..hardware.roofline import CostModel
 from ..model.config import KernelPolicy
 from ..sim.des import Barrier, Event, Process, Resource, Simulator, Timeline
 from ..workloads import DEFAULT_WORKLOAD, Workload, get_workload
+from .fast_step import sequential_sum
 from .step_time import simulate_step
 from .torchcompile import apply_torch_compile
-from .trace_builder import (StepTrace, build_step_trace, trace_key,
-                            trace_store_material)
+from .trace_builder import (StepTrace, build_step_trace, trace_is_warm,
+                            trace_key, trace_store_material)
 from .vector_cost import (TraceCostArrays, cost_cache_material,
                           trace_cost_arrays)
 
@@ -86,6 +87,10 @@ class Scenario:
     imbalance_enabled: bool = True
     seed: int = 17
     workload: str = DEFAULT_WORKLOAD
+    #: DDP gradient-bucket size in MiB (PyTorch default 25).  A pure
+    #: rank-level knob: changing it re-runs only the distributed DES over
+    #: the cached trace/partition/cost state.
+    ddp_bucket_mb: float = 25.0
 
     @property
     def world_size(self) -> int:
@@ -155,28 +160,41 @@ def _prep_times(workload: Workload, seed: int = 5, n: int = 1024) -> np.ndarray:
 #: key, so they are memoized alongside the arrays.
 _SPLIT_CACHE = register_cache(LruCache(capacity=64, name="serial-split"))
 
+#: The shardability mask is GPU-independent (a pure function of the
+#: partitioned records and the workload's scopes), so it is cached under
+#: the records identity alone: a GPU change re-does two masked cumsums,
+#: not the ~150k-call ``is_shardable`` walk.
+_SHARD_MASK_CACHE = register_cache(LruCache(capacity=32, name="shard-masks"))
+
 
 def _split_serial_parallel(dap: DapStepTrace, cost: CostModel,
                            costs: Optional[TraceCostArrays] = None,
                            cache_key: Optional[Tuple] = None,
-                           scopes: Tuple[str, ...] = SHARDABLE_SCOPES
+                           scopes: Tuple[str, ...] = SHARDABLE_SCOPES,
+                           mask_key: Optional[Tuple] = None
                            ) -> Tuple[float, float]:
     if costs is not None:
         if cache_key is not None:
             hit = _SPLIT_CACHE.get(cache_key)
             if hit is not None:
                 return hit
+
         # Masked sequential sums over the precomputed per-kernel seconds:
         # np.cumsum adds left to right, so each total is bit-identical to
         # the scalar accumulation over the same subsequence.
-        recs = dap.records
-        shardable = np.fromiter(
-            (is_shardable(recs[i], scopes) for i in costs.exec_idx.tolist()),
-            dtype=bool, count=costs.m)
-        par = costs.seconds[shardable]
-        ser = costs.seconds[~shardable]
-        result = (float(np.cumsum(ser)[-1]) if ser.size else 0.0,
-                  float(np.cumsum(par)[-1]) if par.size else 0.0)
+        def build_mask() -> np.ndarray:
+            recs = dap.records
+            return np.fromiter(
+                (is_shardable(recs[i], scopes)
+                 for i in costs.exec_idx.tolist()),
+                dtype=bool, count=costs.m)
+
+        if mask_key is not None:
+            shardable = _SHARD_MASK_CACHE.get_or_create(mask_key, build_mask)
+        else:
+            shardable = build_mask()
+        result = (sequential_sum(costs.seconds[~shardable]),
+                  sequential_sum(costs.seconds[shardable]))
         if cache_key is not None:
             _SPLIT_CACHE.put(cache_key, result)
         return result
@@ -403,7 +421,8 @@ def _scenario_key(scenario: Scenario) -> Tuple:
             scenario.dp_degree, scenario.cuda_graphs, scenario.gc_disabled,
             scenario.torch_compile, scenario.nonblocking_pipeline,
             scenario.data_workers, scenario.data_queue_capacity,
-            scenario.n_recycle, scenario.imbalance_enabled, scenario.seed)
+            scenario.n_recycle, scenario.imbalance_enabled, scenario.seed,
+            scenario.ddp_bucket_mb)
 
 
 _ESTIMATE_CACHE = register_cache(LruCache(capacity=256, name="step-estimates"))
@@ -412,8 +431,11 @@ _ESTIMATE_CACHE = register_cache(LruCache(capacity=256, name="step-estimates"))
 #: deterministic functions of (trace identity, DAP degree, compile flag);
 #: the resulting record lists are immutable by convention, so scenarios
 #: sharing a partitioned trace share one list instead of re-partitioning
-#: ~150k records per estimate.
-_DAP_CACHE = register_cache(LruCache(capacity=16, name="dap-partitions"))
+#: ~150k records per estimate.  Sized for the optimizer's joint knob
+#: search (policy x DAP x compile combinations alive at once), not just
+#: the 10-rung ladder; entries are full record lists, so the cap stays
+#: moderate.
+_DAP_CACHE = register_cache(LruCache(capacity=32, name="dap-partitions"))
 
 
 def clear_estimate_cache() -> None:
@@ -421,9 +443,10 @@ def clear_estimate_cache() -> None:
 
 
 def clear_partition_cache() -> None:
-    """Drop cached DAP partitions and the splits derived from them."""
+    """Drop cached DAP partitions and the splits/masks derived from them."""
     _DAP_CACHE.clear()
     _SPLIT_CACHE.clear()
+    _SHARD_MASK_CACHE.clear()
 
 
 def estimate_step_time(scenario: Scenario,
@@ -485,8 +508,12 @@ def estimate_step_time(scenario: Scenario,
     if records_id is not None:
         cost_key = (records_id, scenario.gpu)
         material = cost_cache_material(repr(records_id), gpu, True)
+    # structure_key is the GPU-independent half of cost_key: a GPU change
+    # misses on the cost arrays but re-costs the cached TraceStructure
+    # instead of re-walking the partitioned records.
     costs = trace_cost_arrays(records, cost, cache_key=cost_key,
-                              store_material=material)
+                              store_material=material,
+                              structure_key=records_id)
     breakdown = simulate_step(records, gpu, cost,
                               graphed=scenario.cuda_graphs,
                               segment_marks=costs.default_marks,
@@ -495,11 +522,13 @@ def estimate_step_time(scenario: Scenario,
     serial_s, parallel_s = _split_serial_parallel(
         DapStepTrace(records=records, comm_events=comm_events,
                      dap_n=dap_n), cost, costs=costs, cache_key=cost_key,
-        scopes=wl.shardable_scopes)
+        scopes=wl.shardable_scopes, mask_key=records_id)
 
     itemsize = 2 if scenario.policy.dtype.name in ("bf16", "fp16") else 4
     param_bytes = trace.n_params * itemsize
-    buckets = bucket_schedule(param_bytes, scenario.dp_degree, topo)
+    ddp_config = DdpConfig(bucket_bytes=int(scenario.ddp_bucket_mb * 2**20))
+    buckets = bucket_schedule(param_bytes, scenario.dp_degree, topo,
+                              config=ddp_config)
 
     # --- rank level, dry run: a deterministic pass (no jitter, no loader)
     # whose emergent step time is the trainer's service rate for the data
@@ -609,8 +638,14 @@ def estimate_many(scenarios: Sequence[Scenario],
         warm_key = (s.workload, _policy_signature(s.policy), s.n_recycle)
         if warm_key not in seen:
             seen.add(warm_key)
-            build_step_trace(s.policy, n_recycle=s.n_recycle,
-                             workload=s.workload)
+            # Serial pre-warm exists to keep concurrent misses from
+            # duplicating the expensive meta-build; a trace that is already
+            # warm (memo or disk store) loads cheaply and race-free inside
+            # the workers, so skip it here.
+            if not trace_is_warm(s.policy, n_recycle=s.n_recycle,
+                                 workload=s.workload):
+                build_step_trace(s.policy, n_recycle=s.n_recycle,
+                                 workload=s.workload)
     with ThreadPoolExecutor(max_workers=max_workers) as pool:
         return list(pool.map(estimate_step_time, scenarios))
 

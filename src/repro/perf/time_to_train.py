@@ -13,13 +13,16 @@
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..hardware.gpu import get_gpu
 from ..model.config import KernelPolicy
 from ..sim.faults import (CheckpointPolicy, CheckpointSweep, FaultConfig,
-                          FaultTimeEstimate, expected_run_seconds,
-                          optimal_checkpoint_interval, young_daly_interval_s)
+                          FaultTimeEstimate, checkpoint_write_seconds,
+                          expected_run_seconds, optimal_checkpoint_interval,
+                          young_daly_interval_s)
 from ..train.convergence import (ConvergenceModel, CurvePoint, TrainingPhase,
                                  simulate_curve)
 from ..train.evaluation import EvalConfig, EvalOverhead, evaluation_overhead
@@ -335,6 +338,109 @@ def failure_aware_time_to_train(base: TttResult, faults: FaultConfig,
         n_ranks=(n_ranks if n_ranks is not None
                  else (base.phases[0].train_gpus if base.phases else 0)),
         phase_estimates=estimates, sweep=interval_sweep)
+
+
+@dataclass
+class ScenarioTtt:
+    """Closed-form time-to-train pricing for one arbitrary scenario.
+
+    This is the optimizer's objective: one simulated step time, pushed
+    through the workload's convergence curve (global batch = ``dp_degree``
+    replicas), the Young/Daly checkpoint interval and Daly's expected-time
+    model, then priced in GPU-hours and dollars.  Every field is a pure
+    deterministic function of (scenario, target, faults), so reports built
+    from it are byte-reproducible.
+    """
+
+    scenario_label: str
+    workload: str
+    batch_size: int
+    world_size: int
+    step_seconds: float
+    steps: float                    # inf when the batch cannot converge
+    feasible: bool
+    init_seconds: float
+    train_seconds: float            # fault-free steps x step_seconds
+    checkpoint_every_steps: int
+    checkpoint_write_s: float
+    expected_total_seconds: float   # init + Daly expected train time
+    gpu_hours: float
+    dollar_cost: float
+
+    @property
+    def expected_total_hours(self) -> float:
+        return self.expected_total_seconds / 3600.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name)
+                for f in dataclasses.fields(self)}
+
+
+def scenario_time_to_train(scenario: Scenario,
+                           target: Optional[float] = None,
+                           start_samples: Optional[float] = None,
+                           faults: Optional[FaultConfig] = None,
+                           init_seconds: float = INIT_SECONDS_SCALEFOLD,
+                           step_seconds_override: Optional[float] = None,
+                           gpus_per_node: int = 8) -> ScenarioTtt:
+    """Price one scenario end to end: simulate -> converge -> checkpoint.
+
+    The global batch size is the scenario's ``dp_degree`` (one sample per
+    data-parallel replica per step, the codebase's convention throughout);
+    ``target``/``start_samples`` default to the workload's MLPerf-style
+    quality target and resume point.  Batches over the workload's
+    convergence cap yield ``steps = inf`` — the estimate stays finite in
+    ``step_seconds`` but infeasible in time-to-train, which is exactly how
+    the optimizer learns the cap without hard-coding it.
+    """
+    wl = get_workload(scenario.workload)
+    model = wl.convergence()
+    batch = scenario.dp_degree
+    quality = target if target is not None else wl.mlperf_target
+    start = (start_samples if start_samples is not None
+             else wl.mlperf_start_samples)
+    step_s = (step_seconds_override if step_seconds_override is not None
+              else estimate_step_time(scenario).total_s)
+    steps = model.steps_to_reach(quality, batch, start_samples=start)
+    feasible = math.isfinite(steps)
+
+    fault_cfg = faults if faults is not None else FaultConfig()
+    write_s = checkpoint_write_seconds(wl.checkpoint_params)
+    probe = CheckpointPolicy(every_steps=1, write_s=write_s, blocking=True)
+    if not feasible:
+        return ScenarioTtt(
+            scenario_label=scenario.label(), workload=wl.name,
+            batch_size=batch, world_size=scenario.world_size,
+            step_seconds=step_s, steps=math.inf, feasible=False,
+            init_seconds=init_seconds, train_seconds=math.inf,
+            checkpoint_every_steps=0, checkpoint_write_s=write_s,
+            expected_total_seconds=math.inf, gpu_hours=math.inf,
+            dollar_cost=math.inf)
+
+    train_s = steps * step_s
+    # Young/Daly interval, rounded to whole steps: inf (no failures) means
+    # checkpoint once per run; a sub-step optimum clamps to every step.
+    yd_s = young_daly_interval_s(fault_cfg, probe, scenario.world_size,
+                                 gpus_per_node)
+    if math.isinf(yd_s):
+        every = max(int(steps), 1)
+    else:
+        every = min(max(int(round(yd_s / step_s)), 1), max(int(steps), 1))
+    policy = dataclasses.replace(probe, every_steps=every)
+    est = expected_run_seconds(train_s, step_s, scenario.world_size,
+                               fault_cfg, policy,
+                               gpus_per_node=gpus_per_node)
+    total = init_seconds + est.expected_s
+    gpu_hours = total / 3600.0 * scenario.world_size
+    dollars = gpu_hours * get_gpu(scenario.gpu).cost_per_hour_usd
+    return ScenarioTtt(
+        scenario_label=scenario.label(), workload=wl.name,
+        batch_size=batch, world_size=scenario.world_size,
+        step_seconds=step_s, steps=steps, feasible=True,
+        init_seconds=init_seconds, train_seconds=train_s,
+        checkpoint_every_steps=every, checkpoint_write_s=write_s,
+        expected_total_seconds=total, gpu_hours=gpu_hours,
+        dollar_cost=dollars)
 
 
 def curve_with_walltime(result: TttResult) -> List[Tuple[float, float]]:

@@ -163,6 +163,24 @@ def build_step_trace(policy: Optional[KernelPolicy] = None,
     return result
 
 
+def trace_is_warm(policy: Optional[KernelPolicy] = None,
+                  n_recycle: int = 1,
+                  include_optimizer: bool = True,
+                  cfg=None,
+                  workload: WorkloadLike = DEFAULT_WORKLOAD) -> bool:
+    """True when this trace would be served without a meta-build.
+
+    Checks the in-process memo, then the disk store's existence probe.
+    Sweep pre-warm uses this to skip traces that are already warm instead
+    of serially rebuilding the first scenario's trace unconditionally.
+    """
+    wl, policy, cfg = _resolve(workload, policy, cfg)
+    key = _policy_key(policy, n_recycle, include_optimizer) + _cfg_key(wl, cfg)
+    if key in _CACHE:
+        return True
+    return default_store().has_trace(trace_store_material(key))
+
+
 def build_trace(policy: Optional[KernelPolicy] = None, cfg=None,
                 **kwargs) -> StepTrace:
     """Deprecated pre-registry entry point (always the alphafold workload).

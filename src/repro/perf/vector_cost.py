@@ -8,6 +8,20 @@ gpu, autotune)`` key into flat numpy arrays (:class:`TraceCostArrays`) that
 the batched step-time fast path, the serial/parallel splitter and the
 profiler aggregate from without re-touching the cost model.
 
+The arrays are decomposed by **knob sensitivity** so a scenario delta only
+recomputes the segments the changed knob actually touches:
+
+* :class:`TraceStructure` — everything that depends *only* on the record
+  list (executable positions, flops/bytes, category/phase/dtype codes,
+  default segment marks, tunable positions).  Extracting it is the single
+  O(n) Python walk over ~150k records; it is cached per partitioned-trace
+  identity, so changing the GPU or the autotune flag never re-walks the
+  records.
+* the **cost segment** — ``seconds``/``limiter_codes``, the only arrays
+  that read the :class:`CostModel`.  Re-costing an already-extracted
+  structure for a different :class:`GpuSpec` is a handful of vectorized
+  numpy expressions plus the (memoized) tunable scalar path.
+
 Bit-exactness contract: ``arrays.seconds[k]`` equals
 ``cost_model.kernel_cost(record).seconds`` for the k-th executable record,
 to the last bit.  Generic kernels go through
@@ -19,13 +33,15 @@ value).
 
 Arrays are cached in a bounded LRU keyed by the caller's cache key, and —
 when key material is provided — persisted to the content-addressed
-on-disk store so fresh processes skip the evaluation entirely.
+on-disk store so fresh processes skip the evaluation entirely.  Persisted
+entries carry the structure arrays too (format v2), so a disk hit for one
+GPU still seeds the structure cache for every other GPU.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,7 +52,9 @@ from ..hardware.roofline import (COST_MODEL_VERSION, LIMITERS, CostModel,
                                  _math_dtype)
 
 #: Bump when the array layout changes (invalidates persisted entries).
-ARRAYS_FORMAT_VERSION = 1
+#: v2 added the structure arrays (flops/bytes/dtype codes/tunables) so a
+#: disk hit can seed the GPU-independent structure cache.
+ARRAYS_FORMAT_VERSION = 2
 
 #: Stable category encoding (enum definition order).
 CATEGORY_ORDER: Tuple[KernelCategory, ...] = tuple(KernelCategory)
@@ -56,12 +74,46 @@ def _executable(record: KernelRecord) -> bool:
 
 
 @dataclass
+class TraceStructure:
+    """GPU-independent per-kernel data for one record list.
+
+    Everything here is a pure function of the (partitioned, compiled)
+    record sequence: no field reads a :class:`GpuSpec`, a
+    :class:`CostModel` or the autotuner, so one structure is shared by
+    every GPU/autotune costing of the same records.
+    """
+
+    n_records: int
+    exec_idx: np.ndarray           # int64[m]: positions in the record list
+    flops: np.ndarray              # float64[m]
+    bytes_moved: np.ndarray        # float64[m]
+    category_codes: np.ndarray     # int8[m]: index into CATEGORY_ORDER
+    phase_codes: np.ndarray        # int32[m]: index into phase_names
+    phase_names: Tuple[str, ...]
+    dtype_codes: np.ndarray        # int32[m]: index into dtype_names
+    dtype_names: Tuple[str, ...]   # unique record dtypes, first-seen order
+    #: Indices (into the executable arrays) of tunable kernels, which must
+    #: go through the real scalar autotune path.
+    tunable_positions: np.ndarray  # int64[t]
+    #: Default segment-mark positions over the *full* record list: every
+    #: COMM record and every phase boundary (may contain duplicates,
+    #: simulate_step dedups).
+    default_marks: np.ndarray
+
+    @property
+    def m(self) -> int:
+        return int(self.exec_idx.shape[0])
+
+
+@dataclass
 class TraceCostArrays:
     """Flat per-kernel cost data for one (record list, GPU, policy) key.
 
     All per-kernel arrays are over the *executable* subsequence (COMM and
     comm-hidden records excluded), in trace order.  ``exec_idx`` maps each
-    executable kernel back to its position in the full record list.
+    executable kernel back to its position in the full record list.  The
+    GPU-independent fields are views of the shared :attr:`structure`; only
+    ``seconds``/``sec_cumsum``/``limiter_codes`` are GPU-specific.
     """
 
     n_records: int
@@ -72,12 +124,13 @@ class TraceCostArrays:
     phase_names: Tuple[str, ...]
     category_codes: np.ndarray     # int8[m]: index into CATEGORY_ORDER
     limiter_codes: np.ndarray      # int8[m]: index into LIMITERS
-    #: Default segment-mark positions over the *full* record list: every
-    #: COMM record and every phase boundary (what estimate_step_time used
-    #: to rebuild with two O(n) scans per call; may contain duplicates,
-    #: simulate_step dedups).
+    #: Default segment-mark positions over the *full* record list (what
+    #: estimate_step_time used to rebuild with two O(n) scans per call).
     default_marks: np.ndarray = field(
         default_factory=lambda: np.zeros(0, dtype=np.int64))
+    #: The GPU-independent half these arrays were costed from; re-costing
+    #: it for another GpuSpec skips the O(n) record walk entirely.
+    structure: Optional[TraceStructure] = None
 
     # Aggregates identical to what the event engine accumulates kernel by
     # kernel (np.bincount adds weights sequentially in input order).
@@ -128,7 +181,7 @@ class TraceCostArrays:
     # Persistence (numpy-only payload; no pickled objects)
     # ------------------------------------------------------------------
     def to_arrays(self) -> Dict[str, np.ndarray]:
-        return {
+        out = {
             "format": np.array([ARRAYS_FORMAT_VERSION, self.n_records],
                                dtype=np.int64),
             "exec_idx": self.exec_idx,
@@ -139,6 +192,14 @@ class TraceCostArrays:
             "limiter_codes": self.limiter_codes,
             "default_marks": self.default_marks,
         }
+        if self.structure is not None:
+            out["flops"] = self.structure.flops
+            out["bytes_moved"] = self.structure.bytes_moved
+            out["dtype_codes"] = self.structure.dtype_codes
+            out["dtype_names"] = np.array(self.structure.dtype_names,
+                                          dtype=np.str_)
+            out["tunable_positions"] = self.structure.tunable_positions
+        return out
 
     @classmethod
     def from_arrays(cls, data: Dict[str, np.ndarray]
@@ -146,23 +207,67 @@ class TraceCostArrays:
         header = data.get("format")
         if header is None or int(header[0]) != ARRAYS_FORMAT_VERSION:
             return None
+        n_records = int(header[1])
         seconds = np.ascontiguousarray(data["seconds"], dtype=np.float64)
+        exec_idx = data["exec_idx"].astype(np.int64, copy=False)
+        phase_codes = data["phase_codes"].astype(np.int32, copy=False)
+        phase_names = tuple(str(p) for p in data["phase_names"])
+        category_codes = data["category_codes"].astype(np.int8, copy=False)
+        default_marks = data["default_marks"].astype(np.int64, copy=False)
+        structure = None
+        if "flops" in data:
+            structure = TraceStructure(
+                n_records=n_records,
+                exec_idx=exec_idx,
+                flops=data["flops"].astype(np.float64, copy=False),
+                bytes_moved=data["bytes_moved"].astype(np.float64,
+                                                       copy=False),
+                category_codes=category_codes,
+                phase_codes=phase_codes,
+                phase_names=phase_names,
+                dtype_codes=data["dtype_codes"].astype(np.int32, copy=False),
+                dtype_names=tuple(str(d) for d in data["dtype_names"]),
+                tunable_positions=data["tunable_positions"].astype(
+                    np.int64, copy=False),
+                default_marks=default_marks,
+            )
         return cls(
-            n_records=int(header[1]),
-            exec_idx=data["exec_idx"].astype(np.int64, copy=False),
+            n_records=n_records,
+            exec_idx=exec_idx,
             seconds=seconds,
             sec_cumsum=np.cumsum(seconds),
-            phase_codes=data["phase_codes"].astype(np.int32, copy=False),
-            phase_names=tuple(str(p) for p in data["phase_names"]),
-            category_codes=data["category_codes"].astype(np.int8, copy=False),
+            phase_codes=phase_codes,
+            phase_names=phase_names,
+            category_codes=category_codes,
             limiter_codes=data["limiter_codes"].astype(np.int8, copy=False),
-            default_marks=data["default_marks"].astype(np.int64, copy=False),
+            default_marks=default_marks,
+            structure=structure,
         )
 
 
-def compute_cost_arrays(records: Sequence[KernelRecord],
-                        cost_model: CostModel) -> TraceCostArrays:
-    """Evaluate every executable kernel's cost into flat arrays (uncached)."""
+# ----------------------------------------------------------------------
+# Build counters: recording-cache instrumentation for the incremental
+# re-simulation contract ("untouched segments are not recomputed").
+# ----------------------------------------------------------------------
+_COUNTERS = {"structure_builds": 0, "cost_builds": 0}
+
+
+def build_counters() -> Dict[str, int]:
+    """How many times each expensive segment was actually recomputed."""
+    return dict(_COUNTERS)
+
+
+def reset_build_counters() -> None:
+    for key in _COUNTERS:
+        _COUNTERS[key] = 0
+
+
+# ----------------------------------------------------------------------
+# Structure extraction: the single O(n) Python walk over the records
+# ----------------------------------------------------------------------
+def extract_structure(records: Sequence[KernelRecord]) -> TraceStructure:
+    """Walk ``records`` once into the GPU-independent structure arrays."""
+    _COUNTERS["structure_builds"] += 1
     n = len(records)
     exec_idx: List[int] = []
     flops: List[float] = []
@@ -171,6 +276,9 @@ def compute_cost_arrays(records: Sequence[KernelRecord],
     phase_codes: List[int] = []
     phase_names: List[str] = []
     phase_code_of: Dict[str, int] = {}
+    dtype_codes: List[int] = []
+    dtype_names: List[str] = []
+    dtype_code_of: Dict[str, int] = {}
     tunable_positions: List[int] = []  # indices into the executable arrays
     marks: List[int] = []
     last_phase: Optional[str] = None
@@ -192,39 +300,66 @@ def compute_cost_arrays(records: Sequence[KernelRecord],
             code = phase_code_of[r.phase] = len(phase_names)
             phase_names.append(r.phase)
         phase_codes.append(code)
+        dcode = dtype_code_of.get(r.dtype)
+        if dcode is None:
+            dcode = dtype_code_of[r.dtype] = len(dtype_names)
+            dtype_names.append(r.dtype)
+        dtype_codes.append(dcode)
         if r.tunable is not None:
             tunable_positions.append(len(exec_idx) - 1)
 
-    m = len(exec_idx)
-    exec_idx_arr = np.asarray(exec_idx, dtype=np.int64)
-    flops_arr = np.asarray(flops, dtype=np.float64)
-    bytes_arr = np.asarray(bytes_moved, dtype=np.float64)
-    cat_arr = np.asarray(cat_codes, dtype=np.int8)
-    phase_arr = np.asarray(phase_codes, dtype=np.int32)
+    return TraceStructure(
+        n_records=n,
+        exec_idx=np.asarray(exec_idx, dtype=np.int64),
+        flops=np.asarray(flops, dtype=np.float64),
+        bytes_moved=np.asarray(bytes_moved, dtype=np.float64),
+        category_codes=np.asarray(cat_codes, dtype=np.int8),
+        phase_codes=np.asarray(phase_codes, dtype=np.int32),
+        phase_names=tuple(phase_names),
+        dtype_codes=np.asarray(dtype_codes, dtype=np.int32),
+        dtype_names=tuple(dtype_names),
+        tunable_positions=np.asarray(tunable_positions, dtype=np.int64),
+        default_marks=np.asarray(marks, dtype=np.int64),
+    )
 
+
+# ----------------------------------------------------------------------
+# Costing: the only segment that reads the cost model / GpuSpec
+# ----------------------------------------------------------------------
+def cost_structure(structure: TraceStructure,
+                   records: Sequence[KernelRecord],
+                   cost_model: CostModel) -> TraceCostArrays:
+    """Evaluate one structure's per-kernel costs under ``cost_model``.
+
+    ``records`` is only consulted for the tunable subset (the real scalar
+    autotune path needs the actual :class:`KernelRecord`); the generic
+    costing runs entirely off the structure arrays.
+    """
+    _COUNTERS["cost_builds"] += 1
+    m = structure.m
     if m:
-        # Per-record peak FLOP/s resolved per unique dtype (tiny set).
-        peak_of: Dict[str, float] = {}
-        dtype_peaks = np.empty(m, dtype=np.float64)
-        for k, pos in enumerate(exec_idx):
-            dt = records[pos].dtype
-            peak = peak_of.get(dt)
-            if peak is None:
-                peak = peak_of[dt] = cost_model.gpu.peak_flops(_math_dtype(dt))
-            dtype_peaks[k] = peak
+        # Per-record peak FLOP/s resolved per unique dtype (tiny set),
+        # gathered through the structure's dtype codes — bit-identical to
+        # the per-record memoized lookup (same float64 per dtype).
+        peaks = np.empty(len(structure.dtype_names), dtype=np.float64)
+        for d, name in enumerate(structure.dtype_names):
+            peaks[d] = cost_model.gpu.peak_flops(_math_dtype(name))
+        dtype_peaks = peaks[structure.dtype_codes]
         seconds, limiters = cost_model.generic_cost_arrays(
-            flops_arr, bytes_arr, cat_arr.astype(np.int64),
+            structure.flops, structure.bytes_moved,
+            structure.category_codes.astype(np.int64),
             _MATH_CODE, _MEMOP_CODE, dtype_peaks)
     else:
         seconds = np.zeros(0, dtype=np.float64)
         limiters = np.zeros(0, dtype=np.int8)
 
     # Tunable kernels: real scalar path, memoized per unique signature.
-    if tunable_positions:
+    if structure.tunable_positions.size:
         lim_code = {name: i for i, name in enumerate(LIMITERS)}
         memo: Dict[Tuple, Tuple[float, int]] = {}
-        for k in tunable_positions:
-            r = records[int(exec_idx_arr[k])]
+        exec_idx = structure.exec_idx
+        for k in structure.tunable_positions.tolist():
+            r = records[int(exec_idx[k])]
             key = (r.tunable, r.shape, r.dtype, r.flops, r.bytes,
                    r.category)
             hit = memo.get(key)
@@ -235,22 +370,48 @@ def compute_cost_arrays(records: Sequence[KernelRecord],
             limiters[k] = hit[1]
 
     return TraceCostArrays(
-        n_records=n,
-        exec_idx=exec_idx_arr,
+        n_records=structure.n_records,
+        exec_idx=structure.exec_idx,
         seconds=seconds,
         sec_cumsum=np.cumsum(seconds),
-        phase_codes=phase_arr,
-        phase_names=tuple(phase_names),
-        category_codes=cat_arr,
+        phase_codes=structure.phase_codes,
+        phase_names=structure.phase_names,
+        category_codes=structure.category_codes,
         limiter_codes=limiters,
-        default_marks=np.asarray(marks, dtype=np.int64),
+        default_marks=structure.default_marks,
+        structure=structure,
     )
+
+
+def compute_cost_arrays(records: Sequence[KernelRecord],
+                        cost_model: CostModel,
+                        structure: Optional[TraceStructure] = None
+                        ) -> TraceCostArrays:
+    """Evaluate every executable kernel's cost into flat arrays (uncached).
+
+    Pass a previously-extracted ``structure`` to skip the O(n) record walk
+    (e.g. when only the GPU changed).
+    """
+    if structure is None:
+        structure = extract_structure(records)
+    return cost_structure(structure, records, cost_model)
 
 
 # ----------------------------------------------------------------------
 # Caching front end
 # ----------------------------------------------------------------------
-_ARRAY_CACHE = register_cache(LruCache(capacity=32, name="cost-arrays"))
+#: Cost arrays are keyed by (partitioned-trace identity, GPU, autotune).
+#: The optimizer's knob search revisits dozens of (policy, DAP, compile,
+#: GPU) combinations in one process, so the caps are sized for a joint
+#: sweep, not a single ladder (96 entries x ~2 MB of float64 per full
+#: trace).
+_ARRAY_CACHE = register_cache(LruCache(capacity=96, name="cost-arrays"))
+
+#: Structures are keyed by the partitioned-trace identity alone: every
+#: GPU/autotune variant of the same records shares one entry, so a GPU
+#: sweep re-costs without re-walking ~150k records.
+_STRUCTURE_CACHE = register_cache(LruCache(capacity=32,
+                                           name="trace-structures"))
 
 
 def cost_cache_material(trace_material: str, gpu, autotune: bool) -> str:
@@ -267,14 +428,18 @@ def trace_cost_arrays(records: Sequence[KernelRecord],
                       cost_model: CostModel,
                       cache_key: Optional[Tuple] = None,
                       store_material: Optional[str] = None,
-                      store: Optional[TraceCacheStore] = None
+                      store: Optional[TraceCacheStore] = None,
+                      structure_key: Optional[Hashable] = None
                       ) -> TraceCostArrays:
     """Cost arrays for ``records``, cached in memory and (optionally) on
     disk.
 
     ``cache_key`` enables the in-memory LRU; ``store_material`` enables the
-    persistent store.  Callers that cannot produce a stable identity (ad
-    hoc record lists) pass neither and pay one evaluation.
+    persistent store; ``structure_key`` (the records identity *without* the
+    GPU/autotune half) enables the shared structure cache, so a cost-array
+    miss that only changed the GPU re-costs the cached structure instead of
+    re-walking the records.  Callers that cannot produce a stable identity
+    (ad hoc record lists) pass none of them and pay one evaluation.
     """
     if cache_key is not None:
         cached = _ARRAY_CACHE.get(cache_key)
@@ -292,8 +457,17 @@ def trace_cost_arrays(records: Sequence[KernelRecord],
 
     fresh = arrays is None
     if fresh:
-        arrays = compute_cost_arrays(records, cost_model)
+        structure = None
+        if structure_key is not None:
+            structure = _STRUCTURE_CACHE.get(structure_key)
+            if structure is not None and structure.n_records != len(records):
+                structure = None
+        arrays = compute_cost_arrays(records, cost_model,
+                                     structure=structure)
 
+    if structure_key is not None and arrays.structure is not None \
+            and structure_key not in _STRUCTURE_CACHE:
+        _STRUCTURE_CACHE.put(structure_key, arrays.structure)
     if cache_key is not None:
         _ARRAY_CACHE.put(cache_key, arrays)
     if fresh and store_material is not None:
@@ -304,6 +478,7 @@ def trace_cost_arrays(records: Sequence[KernelRecord],
 
 def clear_cost_cache() -> None:
     _ARRAY_CACHE.clear()
+    _STRUCTURE_CACHE.clear()
 
 
 def cost_cache_stats():
