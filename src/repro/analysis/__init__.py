@@ -12,18 +12,32 @@ already produces:
   budget rules over :class:`~repro.framework.tracer.Trace` streams;
 * :mod:`repro.analysis.sched` — deadlock and lost-wakeup detection over
   audited :mod:`repro.sim.des` schedules;
+* :mod:`repro.analysis.concurrency` — a *dynamic* detector: instrumented
+  ``threading`` primitives run the real broker/loader/cache/sweep paths
+  and report lockset races, lock-order cycles, leaked threads and stuck
+  waits (with :mod:`repro.analysis.corpus` as its known-bug oracle);
+* :mod:`repro.analysis.astlint` — determinism/concurrency hazard lint
+  over the actual source tree (wall-clock, unseeded RNG, unlocked module
+  state, bare ``acquire()``, unordered iteration/serialization);
 * :mod:`repro.analysis.runner` — the ``repro lint`` engine: drives the
   analyzers against the real model, applies the committed baseline
   (``LINT_BASELINE.json``), and gates CI on new findings.
 """
 
+from .astlint import lint_source_tree
 from .baseline import Baseline, BaselineEntry
+from .concurrency import (ConcFacts, ConcScenario, ConcurrencyMonitor,
+                          SharedBox, default_scenarios, findings_from_facts,
+                          instrumented, run_conc_scenarios, run_scenario,
+                          shared)
+from .corpus import CORPUS, CorpusCase, corpus_expectations, corpus_scenarios
 from .findings import Finding, Severity, max_severity, sort_findings
 from .graph import GraphCapture, capture_graph, check_graph
 from .rules import Rule, RuleConfig, all_rules, get_rule, register_rule
 from .runner import (ANALYZERS, LintReport, format_rule_catalogue,
-                     lint_graph_for, lint_sched_for, lint_trace_for,
-                     run_lint, write_findings_json)
+                     lint_ast_for, lint_conc_for, lint_graph_for,
+                     lint_sched_for, lint_trace_for, run_lint,
+                     write_findings_json)
 from .sched import ScheduleRecorder, SchedEvent, analyze_schedule
 from .tracelint import lint_trace, normalize_scope
 
@@ -33,8 +47,14 @@ __all__ = [
     "GraphCapture", "capture_graph", "check_graph",
     "Rule", "RuleConfig", "all_rules", "get_rule", "register_rule",
     "ANALYZERS", "LintReport", "format_rule_catalogue",
+    "lint_ast_for", "lint_conc_for",
     "lint_graph_for", "lint_sched_for", "lint_trace_for",
     "run_lint", "write_findings_json",
     "ScheduleRecorder", "SchedEvent", "analyze_schedule",
     "lint_trace", "normalize_scope",
+    "ConcFacts", "ConcScenario", "ConcurrencyMonitor", "SharedBox",
+    "default_scenarios", "findings_from_facts", "instrumented",
+    "run_conc_scenarios", "run_scenario", "shared",
+    "CORPUS", "CorpusCase", "corpus_expectations", "corpus_scenarios",
+    "lint_source_tree",
 ]

@@ -1,0 +1,444 @@
+"""AST hazard lint: determinism and concurrency hazards in the source tree.
+
+The repo's contract is bit-determinism: optimize reports, fleet reports,
+bench tables and lint output are all ``cmp``-ed byte-identical in CI.  That
+contract is only as strong as the code honouring it, so this analyzer walks
+the actual source of ``src/repro`` and flags the patterns that break it:
+
+* **DT001** — wall-clock reads (``time.time``/``sleep``/``monotonic``/
+  ``perf_counter``, ``datetime.now``...) inside *declared-deterministic*
+  modules, where simulated clocks and injected-clock plumbing are the law;
+* **DT002** — unseeded randomness in deterministic modules: bare
+  ``random.*`` module calls, the legacy ``numpy.random.*`` global RNG, and
+  ``default_rng()`` called with no (or ``None``) seed;
+* **DT003** — module-level mutable state (dict/list/set literals) mutated
+  inside functions without a ``with <...lock...>:`` guard (tree-wide);
+* **DT004** — a ``threading`` lock's ``.acquire()`` outside ``try/finally``
+  (tree-wide; restricted to names actually bound to ``threading.Lock/
+  RLock/Condition`` so DES-resource and semaphore acquires stay exempt);
+* **DT005** — report/fingerprint output hazards in deterministic modules:
+  ``json.dump(s)`` without ``sort_keys=True`` and iteration over ``set``
+  expressions not wrapped in ``sorted()``.
+
+Finding identity is line-number-free (``location`` is the relative path,
+``key`` is the offending name plus an ordinal within the file), so
+baseline waivers survive unrelated edits to the same file.
+
+The deterministic set covers the simulation/analysis core; the timing
+harnesses (``perf/bench.py``, ``optimize/bench.py``) and the dynamic
+concurrency harness (``analysis/concurrency.py``, ``analysis/corpus.py``)
+are excluded by design — measuring wall-clock is their job.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .findings import Finding, Severity, sort_findings
+from .rules import RuleConfig, register_rule
+
+register_rule(
+    "DT001", "ast", Severity.WARNING, "wall-clock in deterministic module",
+    "A declared-deterministic module reads the wall clock; simulated time "
+    "and injected clocks are the only clocks allowed there.")
+register_rule(
+    "DT002", "ast", Severity.WARNING, "unseeded RNG in deterministic module",
+    "A declared-deterministic module draws randomness that is not derived "
+    "from an explicit seed (bare random.*, legacy numpy.random globals, or "
+    "default_rng() without a seed).")
+register_rule(
+    "DT003", "ast", Severity.WARNING, "unlocked module-level mutable state",
+    "A module-level dict/list/set is mutated inside a function without a "
+    "lock guard; concurrent callers race on it.")
+register_rule(
+    "DT004", "ast", Severity.WARNING, "lock.acquire() outside try/finally",
+    "A threading lock is acquired without with-statement or try/finally "
+    "discipline; an exception between acquire and release leaks the lock.")
+register_rule(
+    "DT005", "ast", Severity.WARNING, "unordered iteration/serialization",
+    "Deterministic-module output hazard: json.dump without sort_keys=True, "
+    "or iteration over a set expression without sorted().")
+
+#: Path prefixes (relative to src/) whose modules declare bit-determinism.
+DETERMINISTIC_PREFIXES: Tuple[str, ...] = (
+    "repro/analysis/",
+    "repro/distributed/",
+    "repro/optimize/",
+    "repro/perf/",
+    "repro/sim/",
+    "repro/workloads/",
+    "repro/serve/costs.py",
+    "repro/serve/fleet.py",
+)
+
+#: Files excluded from the deterministic set: timing/stress harnesses.
+DETERMINISTIC_EXCLUDE: Tuple[str, ...] = (
+    "repro/analysis/concurrency.py",
+    "repro/analysis/corpus.py",
+    "repro/optimize/bench.py",
+    "repro/perf/bench.py",
+)
+
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns", "time.sleep", "time.monotonic",
+    "time.monotonic_ns", "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today",
+})
+
+_SEEDED_NUMPY_RANDOM = frozenset({
+    "numpy.random.Generator", "numpy.random.SeedSequence",
+    "numpy.random.PCG64", "numpy.random.Philox", "numpy.random.BitGenerator",
+})
+
+_MUTATORS = frozenset({
+    "append", "add", "update", "pop", "popitem", "setdefault", "clear",
+    "extend", "insert", "remove", "discard",
+})
+
+_LOCK_FACTORIES = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Condition",
+})
+
+
+def _is_deterministic(relpath: str) -> bool:
+    if relpath in DETERMINISTIC_EXCLUDE:
+        return False
+    return any(relpath.startswith(p) if p.endswith("/") else relpath == p
+               for p in DETERMINISTIC_PREFIXES)
+
+
+# ----------------------------------------------------------------------
+# Name resolution through import aliases
+# ----------------------------------------------------------------------
+def _collect_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to canonical dotted paths (``np`` -> ``numpy``)."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = \
+                    alias.name if alias.asname else alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.module \
+                and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = \
+                    f"{node.module}.{alias.name}"
+    return aliases
+
+
+def _resolve(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Canonical dotted name of a Name/Attribute chain, or None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    head = aliases.get(parts[0], parts[0])
+    return ".".join([head] + parts[1:])
+
+
+# ----------------------------------------------------------------------
+# Per-file checks
+# ----------------------------------------------------------------------
+class _FileFindings:
+    """Accumulates raw hits; ordinals keep fingerprints line-number-free."""
+
+    def __init__(self) -> None:
+        self.hits: List[Tuple[str, str, int, str]] = []  # rule, key, line, msg
+        self._ordinals: Dict[Tuple[str, str], int] = {}
+
+    def add(self, rule: str, base_key: str, line: int, message: str) -> None:
+        n = self._ordinals.get((rule, base_key), 0)
+        self._ordinals[(rule, base_key)] = n + 1
+        key = base_key if n == 0 else f"{base_key}#{n}"
+        self.hits.append((rule, key, line, message))
+
+
+def _check_calls(tree: ast.Module, aliases: Dict[str, str],
+                 deterministic: bool, out: _FileFindings) -> None:
+    """DT001/DT002 (deterministic modules) and DT005 json half."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _resolve(node.func, aliases)
+        if name is None:
+            continue
+        if not deterministic:
+            continue
+        if name in _WALL_CLOCK:
+            out.add("DT001", name, node.lineno,
+                    f"wall-clock call {name}() at line {node.lineno}")
+        elif name == "numpy.random.default_rng":
+            unseeded = not node.args or (
+                isinstance(node.args[0], ast.Constant)
+                and node.args[0].value is None)
+            if unseeded and not node.keywords:
+                out.add("DT002", name, node.lineno,
+                        f"default_rng() without a seed at line {node.lineno}")
+        elif name.startswith("numpy.random.") \
+                and name not in _SEEDED_NUMPY_RANDOM:
+            out.add("DT002", name, node.lineno,
+                    f"legacy global-RNG call {name}() at line {node.lineno}")
+        elif name.startswith("random.") and name != "random.Random":
+            out.add("DT002", name, node.lineno,
+                    f"unseeded random call {name}() at line {node.lineno}")
+        elif name == "random.Random" and not node.args:
+            out.add("DT002", name, node.lineno,
+                    f"random.Random() without a seed at line {node.lineno}")
+        elif name in ("json.dump", "json.dumps"):
+            sort = next((kw.value for kw in node.keywords
+                         if kw.arg == "sort_keys"), None)
+            if not (isinstance(sort, ast.Constant) and sort.value is True):
+                out.add("DT005", f"unsorted-{name}", node.lineno,
+                        f"{name}() without sort_keys=True at line "
+                        f"{node.lineno}; key order leaks dict history")
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset"))
+
+
+def _check_set_iteration(tree: ast.Module, out: _FileFindings) -> None:
+    """DT005 iteration half: ``for x in {…}`` / comprehensions over sets."""
+    def hit(node: ast.AST) -> None:
+        out.add("DT005", "set-iteration", node.lineno,
+                f"iteration over a set expression at line {node.lineno} "
+                f"without sorted(); order is hash-dependent")
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.For) and _is_set_expr(node.iter):
+            hit(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for gen in node.generators:
+                if _is_set_expr(gen.iter):
+                    hit(gen.iter)
+
+
+def _module_level_mutables(tree: ast.Module) -> Set[str]:
+    """Names bound at module top level to mutable literal containers."""
+    names: Set[str] = set()
+    for stmt in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        mutable = isinstance(value, (ast.Dict, ast.List, ast.Set)) or (
+            isinstance(value, ast.Call) and isinstance(value.func, ast.Name)
+            and value.func.id in ("dict", "list", "set") and not value.args)
+        if not mutable:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _looks_like_lock(node: ast.expr) -> bool:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return any("lock" in p.lower() for p in parts)
+
+
+def _check_global_mutation(tree: ast.Module, out: _FileFindings) -> None:
+    """DT003: function-body mutation of module globals without a lock."""
+    globals_ = _module_level_mutables(tree)
+    if not globals_:
+        return
+    reported: Set[str] = set()
+
+    def visit(node: ast.AST, lock_depth: int) -> None:
+        if isinstance(node, ast.With):
+            guarded = any(_looks_like_lock(item.context_expr)
+                          for item in node.items)
+            for child in ast.iter_child_nodes(node):
+                visit(child, lock_depth + (1 if guarded else 0))
+            return
+        name = _mutated_global(node, globals_)
+        if name is not None and lock_depth == 0 and name not in reported:
+            reported.add(name)
+            out.add("DT003", name, node.lineno,
+                    f"module-level '{name}' mutated at line {node.lineno} "
+                    f"with no lock held")
+        for child in ast.iter_child_nodes(node):
+            visit(child, lock_depth)
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for stmt in node.body:
+                visit(stmt, 0)
+
+
+def _mutated_global(node: ast.AST, globals_: Set[str]) -> Optional[str]:
+    # X.append(...) / X.update(...) / ...
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
+            and node.func.attr in _MUTATORS \
+            and isinstance(node.func.value, ast.Name) \
+            and node.func.value.id in globals_:
+        return node.func.value.id
+    # X[k] = v / del X[k] / X[k] += v
+    target = None
+    if isinstance(node, ast.Assign):
+        target = node.targets[0]
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        target = node.target
+    elif isinstance(node, ast.Delete) and node.targets:
+        target = node.targets[0]
+    if isinstance(target, ast.Subscript) \
+            and isinstance(target.value, ast.Name) \
+            and target.value.id in globals_:
+        return target.value.id
+    return None
+
+
+def _lock_bound_names(tree: ast.Module, aliases: Dict[str, str]) -> Set[str]:
+    """Names (and attribute tails) assigned from threading lock factories."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = node.value
+        if not (isinstance(value, ast.Call)
+                and _resolve(value.func, aliases) in _LOCK_FACTORIES):
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) \
+            else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+            elif isinstance(target, ast.Attribute):
+                names.add(target.attr)
+    return names
+
+
+def _check_bare_acquire(tree: ast.Module, aliases: Dict[str, str],
+                        out: _FileFindings) -> None:
+    """DT004: ``<lock>.acquire()`` not immediately under try/finally."""
+    lock_names = _lock_bound_names(tree, aliases)
+    if not lock_names:
+        return
+
+    def acquire_target(node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "acquire":
+            owner = node.func.value
+            if isinstance(owner, ast.Name) and owner.id in lock_names:
+                return owner.id
+            if isinstance(owner, ast.Attribute) and owner.attr in lock_names:
+                return owner.attr
+        return None
+
+    protected: Set[int] = set()
+    for node in ast.walk(tree):
+        # Conditional-acquire idiom: ``if lock.acquire(timeout=...):`` —
+        # the caller branches on success, so there is nothing to release
+        # unconditionally and try/finally would be wrong.
+        if isinstance(node, (ast.If, ast.While)):
+            for sub in ast.walk(node.test):
+                if acquire_target(sub) is not None:
+                    protected.add(id(sub))
+        if isinstance(node, ast.Try) and node.finalbody:
+            # names released in the finally block
+            released_names: Set[str] = set()
+            for fin in node.finalbody:
+                for sub in ast.walk(fin):
+                    if isinstance(sub, ast.Call) \
+                            and isinstance(sub.func, ast.Attribute) \
+                            and sub.func.attr == "release":
+                        owner = sub.func.value
+                        if isinstance(owner, ast.Name):
+                            released_names.add(owner.id)
+                        elif isinstance(owner, ast.Attribute):
+                            released_names.add(owner.attr)
+            for body_stmt in node.body:
+                for sub in ast.walk(body_stmt):
+                    name = acquire_target(sub)
+                    if name is not None and name in released_names:
+                        protected.add(id(sub))
+
+    for node in ast.walk(tree):
+        name = acquire_target(node)
+        if name is not None and id(node) not in protected:
+            out.add("DT004", name, node.lineno,
+                    f"'{name}.acquire()' at line {node.lineno} without "
+                    f"try/finally release (or a with-statement)")
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def _source_root() -> str:
+    """Absolute path of the directory containing the ``repro`` package."""
+    here = os.path.dirname(os.path.abspath(__file__))  # .../src/repro/analysis
+    return os.path.dirname(os.path.dirname(here))
+
+
+def lint_source_tree(config: Optional[RuleConfig] = None,
+                     root: Optional[str] = None,
+                     files: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Walk ``src/repro`` and run every AST check on every module.
+
+    ``files`` (relative paths like ``repro/perf/scaling.py``) restricts the
+    walk — used by tests with synthetic fixtures via ``root``.
+    """
+    cfg = config or RuleConfig()
+    src = root or _source_root()
+    if files is None:
+        rels: List[str] = []
+        for dirpath, dirnames, filenames in os.walk(os.path.join(src, "repro")):
+            dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+            for fn in sorted(filenames):
+                if fn.endswith(".py"):
+                    rel = os.path.relpath(os.path.join(dirpath, fn), src)
+                    rels.append(rel.replace(os.sep, "/"))
+        rels.sort()
+    else:
+        rels = [f.replace(os.sep, "/") for f in files]
+
+    findings: List[Finding] = []
+    for rel in rels:
+        path = os.path.join(src, rel.replace("/", os.sep))
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                tree = ast.parse(fh.read(), filename=rel)
+        except (OSError, SyntaxError):
+            continue  # unreadable/unparseable files are ruff's problem
+        aliases = _collect_aliases(tree)
+        deterministic = _is_deterministic(rel)
+        raw = _FileFindings()
+        _check_calls(tree, aliases, deterministic, raw)
+        if deterministic:
+            _check_set_iteration(tree, raw)
+        _check_global_mutation(tree, raw)
+        _check_bare_acquire(tree, aliases, raw)
+        for rule, key, line, message in raw.hits:
+            f = cfg.finding(rule, rel, message, key=key)
+            if f is not None:
+                findings.append(f)
+    return sort_findings(findings)
+
+
+__all__ = [
+    "DETERMINISTIC_EXCLUDE", "DETERMINISTIC_PREFIXES", "lint_source_tree",
+]

@@ -1,0 +1,237 @@
+"""Known-bug corpus: re-broken replicas of bugs this repo actually shipped.
+
+Every scenario here reproduces, in miniature, a concurrency defect that a
+past PR fixed after the fact — the broker close that orphaned in-flight
+requests, the loader shutdown that joined a stuck sample, plus two classic
+hazards (an event-forced lock-order inversion and an unguarded shared
+counter).  The dynamic detector (:mod:`repro.analysis.concurrency`) MUST
+flag each of them with its expected rules, while the fixed production code
+stays clean — ``tests/analysis/test_concurrency.py`` gates both directions,
+turning the postmortems into a permanent regression oracle.
+
+Each scenario returns a *rescue* callback that unsticks its deliberately
+wedged threads after the monitor snapshot, so the process exits cleanly.
+
+Determinism: thread names, lock creation sites and wait sites are fixed by
+construction (events force the interleavings that matter), so corpus
+findings are byte-identical across runs — CI ``cmp``s two runs' JSON.
+This module is excluded from the astlint deterministic set: stress
+timeouts are its business.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from .concurrency import ConcScenario, ConcurrencyMonitor, shared
+
+
+@dataclass(frozen=True)
+class CorpusCase:
+    """One re-broken scenario plus the rules the detector must fire."""
+
+    scenario: ConcScenario
+    expects: Tuple[str, ...]
+
+
+# ----------------------------------------------------------------------
+# 1. The PR-7 broker-close bug, re-broken: the batcher exits on _closing
+#    alone, so admitted work is orphaned and the GPU workers — which are
+#    never sent their None sentinels and never joined — park forever on
+#    the dispatch queue.
+# ----------------------------------------------------------------------
+class _BrokenBroker:
+    def __init__(self) -> None:
+        self._prepped: "queue.Queue[Optional[int]]" = queue.Queue()
+        self._dispatch: "queue.Queue[Optional[int]]" = queue.Queue()
+        self._closing = threading.Event()
+        self._batcher = threading.Thread(target=self._batch_loop,
+                                         name="corpus-batcher", daemon=True)
+        self._workers = [
+            threading.Thread(target=self._exec_loop,
+                             name=f"corpus-gpu-{i}", daemon=True)
+            for i in range(2)
+        ]
+        self._batcher.start()
+        for worker in self._workers:
+            worker.start()
+
+    def submit(self, item: int) -> None:
+        self._prepped.put(item)
+
+    def _batch_loop(self) -> None:
+        while True:
+            try:
+                item = self._prepped.get(timeout=0.01)
+            except queue.Empty:
+                item = None
+            # BUG (re-broken PR-7 defect): exit on _closing alone — the
+            # queue may still hold admitted items, and no worker sentinels
+            # are sent, so the workers below never wake again.
+            if self._closing.is_set():
+                return
+            if item is not None:
+                self._dispatch.put(item)
+
+    def _exec_loop(self) -> None:
+        while True:
+            item = self._dispatch.get()
+            if item is None:
+                return
+
+    def close(self) -> None:
+        self._closing.set()
+        self._batcher.join()
+        # BUG: workers are neither signalled nor joined.
+
+
+def _corpus_broker_close(monitor: ConcurrencyMonitor
+                         ) -> Optional[Callable[[], None]]:
+    broker = _BrokenBroker()
+    for i in range(4):
+        broker.submit(i)
+    broker.close()
+
+    def rescue() -> None:
+        for _ in broker._workers:
+            broker._dispatch.put(None)
+        for worker in broker._workers:
+            worker.join(timeout=5.0)
+    return rescue
+
+
+# ----------------------------------------------------------------------
+# 2. The PR-7 loader-shutdown bug, re-broken: the iterator's finally
+#    joins every in-flight sample (shutdown(wait=True)), so a consumer
+#    that closes early hangs on whatever sample is stuck.
+# ----------------------------------------------------------------------
+def _corpus_loader_shutdown(monitor: ConcurrencyMonitor
+                            ) -> Optional[Callable[[], None]]:
+    from concurrent.futures import ThreadPoolExecutor
+
+    blocker = threading.Event()
+
+    def sample(idx: int) -> int:
+        if idx == 1:
+            blocker.wait()  # a pathologically slow sample
+        return idx
+
+    def iterate():
+        pool = ThreadPoolExecutor(max_workers=2)
+        try:
+            futures = [pool.submit(sample, i) for i in range(2)]
+            for future in futures:
+                yield future.result()
+        finally:
+            # BUG (re-broken PR-7 defect): wait=True joins the stuck
+            # sample; the fixed loader uses wait=False + cancel_futures.
+            pool.shutdown(wait=True)
+
+    def consume() -> None:
+        it = iterate()
+        next(it)
+        it.close()  # early close mid-drain -> finally -> hang
+
+    consumer = threading.Thread(target=consume,
+                                name="corpus-loader-consumer", daemon=True)
+    consumer.start()
+
+    def rescue() -> None:
+        blocker.set()
+        consumer.join(timeout=5.0)
+    return rescue
+
+
+# ----------------------------------------------------------------------
+# 3. Lock-order inversion: two threads, two locks, opposite orders,
+#    events forcing the conflicting interleaving every run.  The acquire
+#    timeouts keep the corpus itself from deadlocking.
+# ----------------------------------------------------------------------
+def _corpus_lock_order(monitor: ConcurrencyMonitor
+                       ) -> Optional[Callable[[], None]]:
+    lock_a = threading.Lock()
+    lock_b = threading.Lock()
+    a_held = threading.Event()
+    b_held = threading.Event()
+
+    def first() -> None:
+        with lock_a:
+            a_held.set()
+            b_held.wait()  # blocks holding lock_a -> RC003
+            if lock_b.acquire(timeout=0.5):
+                lock_b.release()
+
+    def second() -> None:
+        a_held.wait()
+        with lock_b:
+            b_held.set()
+            if lock_a.acquire(timeout=0.5):
+                lock_a.release()
+
+    threads = [threading.Thread(target=first, name="corpus-order-a"),
+               threading.Thread(target=second, name="corpus-order-b")]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return None
+
+
+# ----------------------------------------------------------------------
+# 4. Unguarded shared counter: the stats-counter RMW race the caching
+#    audit is about, distilled.
+# ----------------------------------------------------------------------
+def _corpus_stats_race(monitor: ConcurrencyMonitor
+                       ) -> Optional[Callable[[], None]]:
+    hits = shared("corpus-stats.hits", 0)
+
+    def bump() -> None:
+        for _ in range(200):
+            hits.mutate(lambda v: v + 1)  # read-modify-write, no lock
+
+    threads = [threading.Thread(target=bump, name="corpus-race-a"),
+               threading.Thread(target=bump, name="corpus-race-b")]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return None
+
+
+CORPUS: List[CorpusCase] = [
+    CorpusCase(
+        ConcScenario("corpus-broker-close",
+                     "re-broken PR-7 broker close: orphaned workers",
+                     _corpus_broker_close),
+        expects=("RC004", "RC005")),
+    CorpusCase(
+        ConcScenario("corpus-loader-shutdown",
+                     "re-broken PR-7 loader shutdown: joins a stuck sample",
+                     _corpus_loader_shutdown),
+        expects=("RC004", "RC005")),
+    CorpusCase(
+        ConcScenario("corpus-lock-order",
+                     "event-forced AB/BA lock acquisition inversion",
+                     _corpus_lock_order),
+        expects=("RC002", "RC003")),
+    CorpusCase(
+        ConcScenario("corpus-stats-race",
+                     "unguarded shared counter read-modify-write",
+                     _corpus_stats_race),
+        expects=("RC001",)),
+]
+
+
+def corpus_scenarios() -> List[ConcScenario]:
+    return [case.scenario for case in CORPUS]
+
+
+def corpus_expectations() -> List[Tuple[str, Tuple[str, ...]]]:
+    """(scenario name, expected rule ids) for every corpus case."""
+    return [(case.scenario.name, case.expects) for case in CORPUS]
+
+
+__all__ = ["CORPUS", "CorpusCase", "corpus_expectations", "corpus_scenarios"]

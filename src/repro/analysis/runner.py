@@ -20,7 +20,7 @@ from .rules import RuleConfig, all_rules
 from .sched import ScheduleRecorder, analyze_schedule
 from .tracelint import lint_trace
 
-ANALYZERS = ("graph", "trace", "sched")
+ANALYZERS = ("graph", "trace", "sched", "conc", "ast")
 
 
 # ----------------------------------------------------------------------
@@ -130,6 +130,27 @@ def lint_sched_for(config_name: str = "small", scalefold: bool = False,
     return analyze_schedule(recorder.events, config=rule_config)
 
 
+def lint_conc_for(rule_config: Optional[RuleConfig] = None,
+                  corpus: bool = False) -> List[Finding]:
+    """Run the dynamic concurrency detector over the real threaded paths.
+
+    Instruments ``threading`` and drives the serve broker, both loaders,
+    cache churn, concurrent disk-store writes and an ``estimate_many``
+    fan-out; ``corpus=True`` adds the known-bug corpus whose findings are
+    expected (the detector's regression oracle).
+    """
+    from .concurrency import run_conc_scenarios
+
+    return run_conc_scenarios(config=rule_config, include_corpus=corpus)
+
+
+def lint_ast_for(rule_config: Optional[RuleConfig] = None) -> List[Finding]:
+    """Run the determinism/concurrency AST hazard lint over src/repro."""
+    from .astlint import lint_source_tree
+
+    return lint_source_tree(config=rule_config)
+
+
 # ----------------------------------------------------------------------
 # Report
 # ----------------------------------------------------------------------
@@ -185,7 +206,8 @@ def run_lint(analyzers: Sequence[str] = ANALYZERS,
              gpu_name: str = "A100",
              rule_config: Optional[RuleConfig] = None,
              baseline: Optional[Baseline] = None,
-             workload: str = "alphafold") -> LintReport:
+             workload: str = "alphafold",
+             conc_corpus: bool = False) -> LintReport:
     """Run the requested analyzers and apply the baseline."""
     unknown = set(analyzers) - set(ANALYZERS)
     if unknown:
@@ -201,6 +223,10 @@ def run_lint(analyzers: Sequence[str] = ANALYZERS,
     if "sched" in analyzers:
         findings += lint_sched_for(config_name, scalefold, gpu_name,
                                    rule_config=rule_config, workload=workload)
+    if "conc" in analyzers:
+        findings += lint_conc_for(rule_config=rule_config, corpus=conc_corpus)
+    if "ast" in analyzers:
+        findings += lint_ast_for(rule_config=rule_config)
     stale: List[str] = []
     if baseline is not None and len(baseline):
         baseline.apply(findings)

@@ -160,13 +160,14 @@ def lint_command(argv: List[str]) -> int:
     """
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="Static analysis over the reproduction's artifacts: "
+        description="Static + dynamic analysis over the reproduction: "
                     "autograd graph shape/dtype checks, kernel-trace fusion "
                     "and launch-overhead lint, DES schedule deadlock "
-                    "detection.")
+                    "detection, a real-thread race/deadlock detector (conc) "
+                    "and a determinism AST hazard lint (ast).")
     parser.add_argument("analyzers", nargs="*", metavar="analyzer",
-                        help="subset of {graph,trace,sched} "
-                             "(default: all three)")
+                        help="subset of {graph,trace,sched,conc,ast} "
+                             "(default: all)")
     parser.add_argument("--workload", default="alphafold",
                         choices=_workload_choices(),
                         help="registered workload to lint "
@@ -196,6 +197,10 @@ def lint_command(argv: List[str]) -> int:
                              "run (default: warning)")
     parser.add_argument("--show-waived", action="store_true",
                         help="[text] include baselined findings in output")
+    parser.add_argument("--corpus", action="store_true",
+                        help="[conc] also run the known-bug corpus of "
+                             "re-broken shutdown paths; its findings are "
+                             "expected (the detector's regression oracle)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     args = parser.parse_args(argv)
@@ -222,7 +227,8 @@ def lint_command(argv: List[str]) -> int:
 
     report = run_lint(analyzers=analyzers, config_name=args.config,
                       scalefold=args.scalefold, gpu_name=args.gpu,
-                      baseline=baseline, workload=args.workload)
+                      baseline=baseline, workload=args.workload,
+                      conc_corpus=args.corpus)
 
     if args.write_baseline:
         Baseline.from_findings(

@@ -141,12 +141,24 @@ class LruCache:
 
 _REGISTRY: Dict[str, LruCache] = {}
 _REGISTRY_LOCK = threading.Lock()
+_ANON_COUNT = 0
 
 
 def register_cache(cache: LruCache) -> LruCache:
-    """Track a cache in the process-wide registry (for stats reporting)."""
+    """Track a cache in the process-wide registry (for stats reporting).
+
+    Unnamed caches get a registration-order name (``cache-0``, ``cache-1``,
+    ...) under the registry lock: ``id()``-based names made registry
+    reports differ between otherwise identical runs, and the bare counter
+    read-modify-write would race without the lock.
+    """
+    global _ANON_COUNT
     with _REGISTRY_LOCK:
-        _REGISTRY[cache.name or f"cache-{id(cache):x}"] = cache
+        name = cache.name
+        if not name:
+            name = f"cache-{_ANON_COUNT}"
+            _ANON_COUNT += 1
+        _REGISTRY[name] = cache
     return cache
 
 

@@ -210,6 +210,12 @@ class TraceCacheStore:
         self.root = root or default_cache_dir()
         self.enabled = cache_enabled() if enabled is None else enabled
         self._lock = threading.Lock()
+        #: Per-destination-path write locks (singleflight): entries are
+        #: content-addressed, so when concurrent sweep workers race to
+        #: publish the same key, one write suffices — the losers skip
+        #: instead of re-staging an identical temp file, and ``writes``
+        #: counts published entries, not redundant attempts.
+        self._write_locks: Dict[str, threading.Lock] = {}
         self.trace_hits = 0
         self.trace_misses = 0
         self.array_hits = 0
@@ -235,6 +241,31 @@ class TraceCacheStore:
         finally:
             if os.path.exists(tmp):
                 os.unlink(tmp)
+
+    def _write_lock(self, path: str) -> threading.Lock:
+        with self._lock:
+            lock = self._write_locks.get(path)
+            if lock is None:
+                lock = self._write_locks[path] = threading.Lock()
+            return lock
+
+    def _publish(self, path: str, writer) -> Optional[str]:
+        """Write ``path`` atomically, once, no matter how many racers.
+
+        Entries are content-addressed: every writer racing on a path is
+        staging identical bytes, so the first publisher wins and the rest
+        return the already-published path without counting a write.
+        """
+        with self._write_lock(path):
+            if os.path.exists(path):
+                return path
+            try:
+                self._atomic_write(path, writer)
+            except OSError:
+                return None  # unwritable cache dir: degrade to no caching
+            with self._lock:
+                self.writes += 1
+        return path
 
     @staticmethod
     def _drop(path: str) -> None:
@@ -286,13 +317,7 @@ class TraceCacheStore:
             with gzip.open(tmp, "wt", compresslevel=_GZIP_LEVEL) as handle:
                 dump_trace(trace, handle, meta=meta)
 
-        try:
-            self._atomic_write(path, writer)
-        except OSError:
-            return None  # unwritable cache dir: degrade to no caching
-        with self._lock:
-            self.writes += 1
-        return path
+        return self._publish(path, writer)
 
     # ------------------------------------------------------------------
     # Numpy arrays (vectorized per-kernel costs)
@@ -327,13 +352,7 @@ class TraceCacheStore:
             with open(tmp, "wb") as handle:
                 np.savez(handle, **arrays)
 
-        try:
-            self._atomic_write(path, writer)
-        except OSError:
-            return None
-        with self._lock:
-            self.writes += 1
-        return path
+        return self._publish(path, writer)
 
     # ------------------------------------------------------------------
     # Introspection / maintenance
@@ -364,16 +383,20 @@ class TraceCacheStore:
 
     def stats(self) -> Dict[str, object]:
         entries = self.entries()
+        with self._lock:  # counters snapshot atomically vs writers
+            counters = {
+                "trace_hits": self.trace_hits,
+                "trace_misses": self.trace_misses,
+                "array_hits": self.array_hits,
+                "array_misses": self.array_misses,
+                "writes": self.writes,
+            }
         return {
             "root": self.root,
             "enabled": self.enabled,
             "entries": len(entries),
             "bytes": sum(size for _name, size in entries),
-            "trace_hits": self.trace_hits,
-            "trace_misses": self.trace_misses,
-            "array_hits": self.array_hits,
-            "array_misses": self.array_misses,
-            "writes": self.writes,
+            **counters,
         }
 
 

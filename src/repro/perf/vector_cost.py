@@ -40,6 +40,7 @@ GPU still seeds the structure cache for every other GPU.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
@@ -250,16 +251,21 @@ class TraceCostArrays:
 # re-simulation contract ("untouched segments are not recomputed").
 # ----------------------------------------------------------------------
 _COUNTERS = {"structure_builds": 0, "cost_builds": 0}
+# estimate_many workers hit the build paths concurrently; the += below is
+# a read-modify-write, so the counters need a real lock, not the GIL.
+_COUNTERS_LOCK = threading.Lock()
 
 
 def build_counters() -> Dict[str, int]:
     """How many times each expensive segment was actually recomputed."""
-    return dict(_COUNTERS)
+    with _COUNTERS_LOCK:
+        return dict(_COUNTERS)
 
 
 def reset_build_counters() -> None:
-    for key in _COUNTERS:
-        _COUNTERS[key] = 0
+    with _COUNTERS_LOCK:
+        for key in _COUNTERS:
+            _COUNTERS[key] = 0
 
 
 # ----------------------------------------------------------------------
@@ -267,7 +273,8 @@ def reset_build_counters() -> None:
 # ----------------------------------------------------------------------
 def extract_structure(records: Sequence[KernelRecord]) -> TraceStructure:
     """Walk ``records`` once into the GPU-independent structure arrays."""
-    _COUNTERS["structure_builds"] += 1
+    with _COUNTERS_LOCK:
+        _COUNTERS["structure_builds"] += 1
     n = len(records)
     exec_idx: List[int] = []
     flops: List[float] = []
@@ -335,7 +342,8 @@ def cost_structure(structure: TraceStructure,
     autotune path needs the actual :class:`KernelRecord`); the generic
     costing runs entirely off the structure arrays.
     """
-    _COUNTERS["cost_builds"] += 1
+    with _COUNTERS_LOCK:
+        _COUNTERS["cost_builds"] += 1
     m = structure.m
     if m:
         # Per-record peak FLOP/s resolved per unique dtype (tiny set),

@@ -1,0 +1,232 @@
+"""AST hazard lint: each DT rule on synthetic fixtures, plus negatives."""
+
+import os
+import textwrap
+
+import pytest
+
+from repro.analysis.astlint import lint_source_tree
+from repro.analysis.rules import RuleConfig
+
+
+DET_MODULE = "repro/perf/fixture_mod.py"      # under a deterministic prefix
+FREE_MODULE = "repro/serve/fixture_mod.py"    # outside the declared set
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """Write fixture modules into a synthetic src root; return a runner."""
+
+    def run(source, module=DET_MODULE, config=None):
+        path = tmp_path / module
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        return lint_source_tree(config or RuleConfig(),
+                                root=os.fspath(tmp_path), files=[module])
+
+    return run
+
+
+class TestDT001WallClock:
+    def test_time_time_in_deterministic_module(self, tree):
+        findings = tree("""
+            import time
+            def stamp():
+                return time.time()
+        """)
+        assert [f.rule_id for f in findings] == ["DT001"]
+
+    def test_aliased_import_is_resolved(self, tree):
+        findings = tree("""
+            from time import perf_counter as clock
+            def stamp():
+                return clock()
+        """)
+        assert [f.rule_id for f in findings] == ["DT001"]
+
+    def test_wall_clock_allowed_outside_deterministic_set(self, tree):
+        findings = tree("""
+            import time
+            def stamp():
+                return time.time()
+        """, module=FREE_MODULE)
+        assert findings == []
+
+
+class TestDT002UnseededRng:
+    def test_bare_random_call(self, tree):
+        findings = tree("""
+            import random
+            def draw():
+                return random.random()
+        """)
+        assert [f.rule_id for f in findings] == ["DT002"]
+
+    def test_seeded_generator_instance_is_fine(self, tree):
+        findings = tree("""
+            import random
+            def draw(seed):
+                return random.Random(seed).random()
+        """)
+        assert findings == []
+
+
+class TestDT003UnlockedModuleState:
+    def test_global_rmw_without_lock(self, tree):
+        findings = tree("""
+            _COUNT = {"n": 0}
+            def bump():
+                _COUNT["n"] += 1
+        """, module=FREE_MODULE)  # DT003 is tree-wide
+        assert [f.rule_id for f in findings] == ["DT003"]
+        assert findings[0].key == "_COUNT"
+
+    def test_lock_guarded_mutation_is_fine(self, tree):
+        findings = tree("""
+            import threading
+            _COUNT = {"n": 0}
+            _COUNT_LOCK = threading.Lock()
+            def bump():
+                with _COUNT_LOCK:
+                    _COUNT["n"] += 1
+        """, module=FREE_MODULE)
+        assert findings == []
+
+    def test_ordinal_keys_disambiguate_repeats(self, tree):
+        findings = tree("""
+            _A = []
+            _B = []
+            def grow():
+                _A.append(1)
+                _B.append(1)
+        """, module=FREE_MODULE)
+        assert sorted(f.key for f in findings) == ["_A", "_B"]
+
+
+class TestDT004BareAcquire:
+    def test_acquire_without_release_path(self, tree):
+        findings = tree("""
+            import threading
+            _LOCK = threading.Lock()
+            def grab():
+                _LOCK.acquire()
+                return 1
+        """, module=FREE_MODULE)
+        assert [f.rule_id for f in findings] == ["DT004"]
+
+    def test_try_finally_release_is_fine(self, tree):
+        # The checker protects acquires *inside* a try body whose finally
+        # releases the same name.
+        findings = tree("""
+            import threading
+            _LOCK = threading.Lock()
+            def grab():
+                try:
+                    _LOCK.acquire()
+                    return 1
+                finally:
+                    _LOCK.release()
+        """, module=FREE_MODULE)
+        assert findings == []
+
+    def test_conditional_acquire_idiom_is_fine(self, tree):
+        findings = tree("""
+            import threading
+            _LOCK = threading.Lock()
+            def poll():
+                if _LOCK.acquire(timeout=0.1):
+                    _LOCK.release()
+                    return True
+                return False
+        """, module=FREE_MODULE)
+        assert findings == []
+
+    def test_non_lock_acquire_is_ignored(self, tree):
+        findings = tree("""
+            def fetch(resource):
+                resource.acquire()
+        """, module=FREE_MODULE)
+        assert findings == []
+
+
+class TestDT005UnsortedOutput:
+    def test_json_dump_without_sort_keys(self, tree):
+        findings = tree("""
+            import json
+            def save(data, fh):
+                json.dump(data, fh)
+        """)
+        assert [f.rule_id for f in findings] == ["DT005"]
+
+    def test_json_dump_with_sort_keys_is_fine(self, tree):
+        findings = tree("""
+            import json
+            def save(data, fh):
+                json.dump(data, fh, sort_keys=True)
+        """)
+        assert findings == []
+
+    def test_set_iteration_in_deterministic_module(self, tree):
+        findings = tree("""
+            def walk(items):
+                for item in set(items):
+                    yield item
+        """)
+        assert [f.rule_id for f in findings] == ["DT005"]
+
+    def test_sorted_set_iteration_is_fine(self, tree):
+        findings = tree("""
+            def walk(items):
+                for item in sorted(set(items)):
+                    yield item
+        """)
+        assert findings == []
+
+
+class TestTreeWalk:
+    def test_real_tree_has_no_new_findings(self):
+        # Everything the AST pass flags on the real tree must be waived in
+        # LINT_BASELINE.json (test_lint_cli pins the exit code; this pins
+        # the set so a new hazard fails here with a readable diff).
+        findings = lint_source_tree(RuleConfig())
+        keys = sorted((f.rule_id, f.location, f.key) for f in findings)
+        assert keys == [
+            ("DT003", "repro/analysis/rules.py", "_REGISTRY"),
+            ("DT003", "repro/framework/autograd.py", "_GRAD_ENABLED"),
+            ("DT003", "repro/framework/module.py", "_BUILD_META"),
+            ("DT003", "repro/sim/des.py", "_PROCESS_STACK"),
+            ("DT003", "repro/workloads/base.py", "_REGISTRY"),
+        ]
+
+    def test_unparseable_file_is_skipped(self, tmp_path):
+        bad = tmp_path / "repro" / "broken.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def broken(:\n")
+        assert lint_source_tree(RuleConfig(), root=os.fspath(tmp_path),
+                                files=["repro/broken.py"]) == []
+
+    def test_findings_are_line_number_free(self, tmp_path):
+        # Shifting a hazard down a line must not change its fingerprint —
+        # line numbers live only in the message.
+        def fingerprint(source):
+            path = tmp_path / DET_MODULE
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+            findings = lint_source_tree(RuleConfig(),
+                                        root=os.fspath(tmp_path),
+                                        files=[DET_MODULE])
+            assert len(findings) == 1
+            return findings[0].fingerprint()
+
+        first = fingerprint("""
+            import time
+            def stamp():
+                return time.time()
+        """)
+        second = fingerprint("""
+            import time
+
+            def stamp():
+                return time.time()
+        """)
+        assert first == second

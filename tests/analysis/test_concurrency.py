@@ -1,0 +1,210 @@
+"""Dynamic concurrency detector: monitor semantics, corpus gate, stability."""
+
+import json
+import threading
+
+import pytest
+
+from repro.analysis.concurrency import (ConcurrencyMonitor, default_scenarios,
+                                        findings_from_facts, instrumented,
+                                        run_conc_scenarios, run_scenario,
+                                        shared)
+from repro.analysis.corpus import CORPUS, corpus_scenarios
+from repro.analysis.runner import LintReport
+from repro.analysis.rules import RuleConfig
+
+
+def _run(body):
+    """Instrument ``body(monitor)`` and return its facts."""
+    monitor = ConcurrencyMonitor(grace_join_s=0.5)
+    rescue = None
+    try:
+        with instrumented(monitor):
+            rescue = body(monitor)
+    finally:
+        facts = monitor.finish()
+        if rescue is not None:
+            rescue()
+    return facts
+
+
+class TestMonitorPrimitives:
+    def test_clean_locked_counter_has_no_facts(self):
+        def body(monitor):
+            guard = threading.Lock()
+            box = shared("t.counter", 0)
+
+            def bump():
+                for _ in range(50):
+                    with guard:
+                        box.mutate(lambda v: v + 1)
+
+            threads = [threading.Thread(target=bump) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        facts = _run(body)
+        assert facts.shared_races == []
+        assert facts.leaked_threads == []
+        assert facts.stuck_waits == []
+
+    def test_unlocked_rmw_is_a_race(self):
+        def body(monitor):
+            box = shared("t.racy", 0)
+
+            def bump():
+                for _ in range(50):
+                    box.mutate(lambda v: v + 1)
+
+            threads = [threading.Thread(target=bump, name=f"racer-{i}")
+                       for i in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        facts = _run(body)
+        assert [name for name, _ in facts.shared_races] == ["t.racy"]
+
+    def test_race_found_even_when_threads_never_overlap(self):
+        # Thread idents are recycled by the OS: if the first worker exits
+        # before the second starts, get_ident()-based ownership would
+        # collapse them into one thread and miss the race.  The monitor
+        # must key ownership on thread *lifetime*, not the raw ident.
+        def body(monitor):
+            box = shared("t.sequential", 0)
+
+            def bump():
+                for _ in range(10):
+                    box.mutate(lambda v: v + 1)
+
+            a = threading.Thread(target=bump, name="seq-a")
+            a.start()
+            a.join()  # a is fully dead before b exists
+            b = threading.Thread(target=bump, name="seq-b")
+            b.start()
+            b.join()
+
+        facts = _run(body)
+        assert [name for name, _ in facts.shared_races] == ["t.sequential"]
+
+    def test_read_only_sharing_is_not_a_race(self):
+        def body(monitor):
+            box = shared("t.readonly", 7)
+
+            def peek():
+                for _ in range(20):
+                    box.get()
+
+            threads = [threading.Thread(target=peek) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        assert _run(body).shared_races == []
+
+    def test_lock_order_edges_only_on_blocking_acquires(self):
+        def body(monitor):
+            a, b = threading.Lock(), threading.Lock()
+            with a:
+                acquired = b.acquire(blocking=False)  # try-lock: no edge
+                if acquired:
+                    b.release()
+
+        assert _run(body).order_edges == []
+
+    def test_nested_blocking_acquire_records_an_edge(self):
+        def body(monitor):
+            a, b = threading.Lock(), threading.Lock()
+            with a:
+                with b:
+                    pass
+
+        facts = _run(body)
+        assert len(facts.order_edges) == 1
+
+    def test_leaked_thread_survives_grace_join(self):
+        stop = threading.Event()
+
+        def body(monitor):
+            t = threading.Thread(target=stop.wait, name="leaker",
+                                 daemon=True)
+            t.start()
+            return stop.set  # rescue: unstick after the snapshot
+
+        facts = _run(body)
+        assert [actor for _, actor in facts.leaked_threads] == ["leaker"]
+
+    def test_finish_is_idempotent(self):
+        monitor = ConcurrencyMonitor(grace_join_s=0.1)
+        with instrumented(monitor):
+            pass
+        first = monitor.finish()
+        assert monitor.finish() is first
+
+
+class TestFixedTreeScenarios:
+    """The five production scenarios must lint clean (PR-7 bugs are fixed)."""
+
+    @pytest.mark.parametrize(
+        "scenario", default_scenarios(), ids=lambda s: s.name)
+    def test_scenario_is_clean(self, scenario):
+        assert run_scenario(scenario, RuleConfig()) == []
+
+
+class TestKnownBugCorpus:
+    """Re-broken shutdown paths are the detector's regression oracle."""
+
+    @pytest.mark.parametrize("case", CORPUS, ids=lambda c: c.scenario.name)
+    def test_case_fires_expected_rules(self, case):
+        findings = run_scenario(case.scenario, RuleConfig())
+        assert sorted({f.rule_id for f in findings}) == sorted(case.expects)
+
+    def test_corpus_findings_are_stable_across_runs(self):
+        def snapshot():
+            findings = run_conc_scenarios(
+                RuleConfig(), include_corpus=True, grace_join_s=0.5)
+            report = LintReport(findings=findings, analyzers=["conc"])
+            return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+
+        assert snapshot() == snapshot()
+
+    def test_default_run_excludes_the_corpus(self):
+        corpus_names = {s.name for s in corpus_scenarios()}
+        default_names = {s.name for s in default_scenarios()}
+        assert not corpus_names & default_names
+        assert run_conc_scenarios(RuleConfig(), grace_join_s=0.5) == []
+
+    def test_findings_have_stable_fingerprints(self):
+        first = {f.fingerprint()
+                 for f in run_conc_scenarios(RuleConfig(),
+                                             include_corpus=True,
+                                             grace_join_s=0.5)}
+        second = {f.fingerprint()
+                  for f in run_conc_scenarios(RuleConfig(),
+                                              include_corpus=True,
+                                              grace_join_s=0.5)}
+        assert first == second
+        assert len(first) == 9
+
+
+class TestFindingsFromFacts:
+    def test_disabled_rule_is_dropped(self):
+        def body(monitor):
+            box = shared("t.disabled", 0)
+
+            def bump():
+                box.mutate(lambda v: v + 1)
+
+            threads = [threading.Thread(target=bump) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        facts = _run(body)
+        config = RuleConfig(disabled=frozenset({"RC001"}))
+        assert findings_from_facts(facts, "t", config) == []

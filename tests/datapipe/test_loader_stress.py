@@ -1,0 +1,81 @@
+"""Loader shutdown under the concurrency detector: the PR-7 bug, kept dead.
+
+The loaders once wrapped their worker pool in a ``with`` block whose
+``__exit__`` joined every in-flight slow sample — re-broken as
+``corpus-loader-shutdown``.  These tests drive the *fixed* loaders through
+hostile early-close schedules inside an instrumented window and require
+zero findings: workers must wind down within the grace join, nothing may
+stay parked in a timeout-less wait.
+"""
+
+import time
+
+from repro.analysis.concurrency import (ConcurrencyMonitor, findings_from_facts,
+                                        instrumented)
+from repro.analysis.rules import RuleConfig
+from repro.datapipe.loader import BlockingLoader, NonBlockingLoader
+
+
+class SleepyDataset:
+    def __init__(self, delays):
+        self.delays = list(delays)
+
+    def __len__(self):
+        return len(self.delays)
+
+    def __getitem__(self, i):
+        time.sleep(self.delays[i])
+        return i
+
+
+def _detect(body, grace_join_s=2.0):
+    monitor = ConcurrencyMonitor(grace_join_s=grace_join_s)
+    try:
+        with instrumented(monitor):
+            body()
+    finally:
+        facts = monitor.finish()
+    return findings_from_facts(facts, "loader-stress", RuleConfig())
+
+
+class TestEarlyCloseMidDrain:
+    def test_blocking_loader_abandoned_after_two_samples(self):
+        def body():
+            dataset = SleepyDataset([0.001] * 3 + [0.05] * 5)
+            loader = BlockingLoader(dataset, num_workers=3, prefetch=4)
+            it = iter(loader)
+            next(it)
+            next(it)
+            it.close()  # generator finally: cancel + no-wait shutdown
+
+        assert _detect(body) == []
+
+    def test_nonblocking_loader_abandoned_mid_drain(self):
+        def body():
+            dataset = SleepyDataset([0.05, 0.001, 0.001, 0.05, 0.05, 0.05])
+            loader = NonBlockingLoader(dataset, num_workers=3, prefetch=4)
+            it = iter(loader)
+            next(it)  # ready-first: a fast sample arrives past the slow one
+            it.close()
+
+        assert _detect(body) == []
+
+    def test_consumer_break_is_an_early_close(self):
+        def body():
+            dataset = SleepyDataset([0.01] * 8)
+            loader = NonBlockingLoader(dataset, num_workers=2, prefetch=4)
+            for idx, _sample in loader:
+                if idx >= 1:
+                    break  # generator GC closes the iterator
+
+        assert _detect(body) == []
+
+    def test_full_drain_is_clean(self):
+        def body():
+            dataset = SleepyDataset([0.002] * 6)
+            for loader_cls in (BlockingLoader, NonBlockingLoader):
+                loader = loader_cls(dataset, num_workers=2, prefetch=3)
+                seen = sorted(idx for idx, _ in loader)
+                assert seen == list(range(6))
+
+        assert _detect(body) == []

@@ -4,6 +4,7 @@ import dataclasses
 import glob
 import gzip
 import os
+import threading
 
 import numpy as np
 import pytest
@@ -188,3 +189,72 @@ class TestBuilderIntegration:
     def test_cache_dir_env_respected(self, tmp_path, monkeypatch):
         monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "elsewhere"))
         assert default_cache_dir() == str(tmp_path / "elsewhere")
+
+
+class TestConcurrentWriters:
+    """Same-key racers must publish exactly one entry, uncorrupted."""
+
+    def test_same_key_trace_writers_single_write(self, store):
+        step, _, _ = _tiny_trace()
+        barrier = threading.Barrier(4)
+
+        def racer():
+            barrier.wait()
+            for _ in range(3):
+                store.put_trace("hot-key", step.trace, meta={"kind": "t"})
+
+        threads = [threading.Thread(target=racer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert store.writes == 1
+        assert len(glob.glob(os.path.join(store.root, "*.trace.gz"))) == 1
+        loaded, meta = store.get_trace("hot-key")
+        assert meta == {"kind": "t"}
+        assert len(loaded.records) == len(step.trace.records)
+
+    def test_distinct_keys_still_all_publish(self, store):
+        step, _, _ = _tiny_trace()
+        barrier = threading.Barrier(3)
+
+        def racer(i):
+            barrier.wait()
+            store.put_trace(f"key-{i}", step.trace)
+
+        threads = [threading.Thread(target=racer, args=(i,))
+                   for i in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert store.writes == 3
+        for i in range(3):
+            assert store.get_trace(f"key-{i}") is not None
+
+    def test_same_key_array_writers_single_write(self, store):
+        arrays = {"seconds": np.arange(8, dtype=np.float64)}
+        barrier = threading.Barrier(4)
+
+        def racer():
+            barrier.wait()
+            store.put_arrays("hot-arrays", arrays)
+
+        threads = [threading.Thread(target=racer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert store.writes == 1
+        loaded = store.get_arrays("hot-arrays")
+        np.testing.assert_array_equal(loaded["seconds"], arrays["seconds"])
+
+    def test_stats_snapshot_is_consistent(self, store):
+        step, _, _ = _tiny_trace()
+        store.put_trace("k", step.trace)
+        stats = store.stats()
+        assert stats["writes"] == 1
+        assert stats["entries"] == 1
