@@ -1,0 +1,33 @@
+"""Calibration & fidelity harness: fit the cost model to measured data.
+
+The simulator's credibility rests on its ``GpuSpec``/roofline
+parameters.  This package closes the loop the PrismLLM-style validation
+discipline demands: measure the real substrate (or import external
+traces), fit the spec parameters with confidence intervals, and gate
+the result on cross-engine bit-consistency before it can be used.
+
+    measure -> fit -> gate -> report       (``repro calibrate``)
+"""
+
+from .fit import (CalibrationFit, FittedParam, ResidualSummary, fit_line,
+                  fit_spec, spec_from_dict, spec_to_dict)
+from .gate import GateResult, cross_engine_gate, fidelity_gate
+from .importers import (ChromeImport, RunlogImport, import_chrome_trace,
+                        import_runlog)
+from .measure import (SAMPLES_FORMAT_VERSION, TimingSample, load_samples,
+                      measure_samples, predict_sample_seconds, save_samples,
+                      synthetic_samples, trimmed_mean)
+from .report import (CALIBRATE_REPORT_VERSION, bench_gates, report_to_json,
+                     run_calibrate, write_report)
+
+__all__ = [
+    "CalibrationFit", "FittedParam", "ResidualSummary", "fit_line",
+    "fit_spec", "spec_from_dict", "spec_to_dict",
+    "GateResult", "cross_engine_gate", "fidelity_gate",
+    "ChromeImport", "RunlogImport", "import_chrome_trace", "import_runlog",
+    "SAMPLES_FORMAT_VERSION", "TimingSample", "load_samples",
+    "measure_samples", "predict_sample_seconds", "save_samples",
+    "synthetic_samples", "trimmed_mean",
+    "CALIBRATE_REPORT_VERSION", "bench_gates", "report_to_json",
+    "run_calibrate", "write_report",
+]

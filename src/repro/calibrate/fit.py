@@ -1,0 +1,434 @@
+"""Bounded least-squares fitters: timing samples -> a calibrated GpuSpec.
+
+The roofline's saturation form linearizes exactly: a pure-math sample
+costs ``t = max((f + h) / (P * e_max), latency)`` — *linear in f* above
+the latency floor — and a streaming sample likewise in bytes.  So each
+stage is an ordinary least-squares line fit (sequentially summed with
+``math.fsum`` for platform determinism) whose slope and intercept map
+back to physical parameters:
+
+===========  =============================  ============================
+stage        slope                           intercept
+===========  =============================  ============================
+math (per    ``1 / (peak * math_max_eff)``  ``half_sat / (peak * e)``
+dtype)
+memop        ``1 / (bw * memop_max_eff)``   ``half_sat / (bw * e)``
+memory       ``1 / (bw * mem_max_eff)``     (shares memop's bandwidth)
+collective   ``1 / fabric_bw``              fabric alpha (latency)
+===========  =============================  ============================
+
+Raw bandwidth comes from the *memop* (memcopy) stage because a copy is
+the purest streaming probe; the memory stage (layernorm-style kernels
+that do arithmetic per byte) then fits ``mem_max_eff`` — the fraction
+of that raw bandwidth compute-adjacent kernels achieve.  On substrates
+where reductions run far below copy bandwidth (typical for a CPU
+backing store) the ratio lands well under 1 and stays inside GpuSpec's
+validity region; the reverse assignment would demand an efficiency > 1
+and clip.  Without memop samples the memory stage falls back to fitting
+the bandwidth itself.
+
+``max_eff`` and peak (or bandwidth) multiply into a single observable
+rate, so the efficiency ceilings are held at the base spec's values and
+the rate parameters absorb the product — the fitted spec predicts the
+same seconds either way.  Launch latency comes from tiny-kernel floors
+and dispatch overhead from an amortized tiny-op loop.
+
+Every parameter carries a 95% confidence interval from the OLS
+covariance (normal approximation) and is *bounded*: estimates are
+clipped into the validity region GpuSpec enforces, and clipped
+parameters are flagged ``bounded=True`` in the report rather than
+silently accepted — a bad fit must be visible, never poisonous.
+
+The fit is a pure function of the samples: refitting a saved sample
+artifact reproduces the report byte for byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..hardware.gpu import GpuSpec, get_gpu
+from .measure import TimingSample, predict_sample_seconds, trimmed_mean
+
+#: 97.5% normal quantile for the 95% confidence intervals.
+_Z95 = 1.959963984540054
+
+#: Lower bound for fitted saturation half-points (roofline rejects <= 0).
+_MIN_HALF_SAT = 1.0
+
+#: Fit-quality ceilings used by the fidelity gate, per sample source.
+#: Synthetic data came from the model itself, so the fit must be tight;
+#: measured numpy timings on shared CI runners are noisy and only need
+#: to be in the right regime.
+QUALITY_RMS_REL = {"synthetic": 0.10, "measured": 1.50,
+                   "chrome-trace": 0.50, "runlog": 1.50}
+
+
+@dataclass(frozen=True)
+class FittedParam:
+    """One fitted spec parameter with its uncertainty."""
+
+    name: str
+    value: float
+    stderr: float
+    ci95_lo: float
+    ci95_hi: float
+    n_samples: int
+    bounded: bool = False   # estimate was clipped into the valid region
+
+    def as_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class ResidualSummary:
+    """Relative-error summary of model-vs-sample seconds for one stage."""
+
+    n: int
+    rms_rel_err: float
+    max_rel_err: float
+    r2: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class CalibrationFit:
+    """A fitted spec plus everything needed to judge the fit."""
+
+    spec: GpuSpec
+    base: str
+    source: str
+    params: List[FittedParam] = field(default_factory=list)
+    residuals: Dict[str, ResidualSummary] = field(default_factory=dict)
+    holdout: Optional[ResidualSummary] = None
+    n_samples: int = 0
+    skipped_kinds: List[str] = field(default_factory=list)
+
+    @property
+    def rms_rel_err(self) -> float:
+        """Worst per-stage RMS relative error (the gate's fit metric).
+
+        The latency stage is reported but excluded: its samples pin the
+        launch-latency *floor* rather than a line, and sub-saturation
+        predictions in that regime are order-of-magnitude by design.
+        """
+        gated = {k: r for k, r in self.residuals.items() if k != "latency"}
+        if not gated:
+            return float("inf")
+        return max(r.rms_rel_err for r in gated.values())
+
+    def quality_ok(self) -> bool:
+        limit = QUALITY_RMS_REL.get(self.source, QUALITY_RMS_REL["measured"])
+        return (bool(self.residuals) and math.isfinite(self.rms_rel_err)
+                and self.rms_rel_err <= limit)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "base": self.base,
+            "source": self.source,
+            "spec": spec_to_dict(self.spec),
+            "params": [p.as_dict() for p in self.params],
+            "residuals": {k: v.as_dict()
+                          for k, v in sorted(self.residuals.items())},
+            "holdout": self.holdout.as_dict() if self.holdout else None,
+            "n_samples": self.n_samples,
+            "skipped_kinds": sorted(self.skipped_kinds),
+            "rms_rel_err": self.rms_rel_err,
+            "quality_ok": self.quality_ok(),
+        }
+
+
+def spec_to_dict(spec: GpuSpec) -> Dict[str, object]:
+    out = dataclasses.asdict(spec)
+    out["peak_tflops"] = dict(sorted(out["peak_tflops"].items()))
+    return out
+
+
+def spec_from_dict(data: Dict[str, object]) -> GpuSpec:
+    names = {f.name for f in dataclasses.fields(GpuSpec)}
+    return GpuSpec(**{k: v for k, v in data.items() if k in names})
+
+
+# ----------------------------------------------------------------------
+# Deterministic OLS line fit
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LineFit:
+    slope: float
+    intercept: float
+    slope_stderr: float
+    intercept_stderr: float
+    r2: float
+    n: int
+
+
+def fit_line(x: Sequence[float], y: Sequence[float]) -> LineFit:
+    """OLS ``y = intercept + slope * x`` with ``math.fsum`` accumulation.
+
+    Sequential exact summation keeps the fit bit-reproducible across
+    runs and platforms (no pairwise/SIMD re-association).
+    """
+    n = len(x)
+    if n < 2 or len(y) != n:
+        raise ValueError(f"line fit needs >= 2 paired points, got {n}")
+    sx = math.fsum(x)
+    sy = math.fsum(y)
+    sxx = math.fsum(v * v for v in x)
+    sxy = math.fsum(a * b for a, b in zip(x, y))
+    denom = n * sxx - sx * sx
+    if denom <= 0:
+        raise ValueError("degenerate x values (no spread) in line fit")
+    slope = (n * sxy - sx * sy) / denom
+    intercept = (sy - slope * sx) / n
+    sse = math.fsum((yi - (intercept + slope * xi)) ** 2
+                    for xi, yi in zip(x, y))
+    syy = math.fsum((yi - sy / n) ** 2 for yi in y)
+    r2 = 1.0 - sse / syy if syy > 0 else 1.0
+    # With n == 2 the line is exact and the residual dof is zero.
+    s2 = sse / (n - 2) if n > 2 else 0.0
+    slope_stderr = math.sqrt(s2 * n / denom)
+    intercept_stderr = math.sqrt(s2 * sxx / denom)
+    return LineFit(slope, intercept, slope_stderr, intercept_stderr, r2, n)
+
+
+def _param(name: str, value: float, stderr: float, n: int,
+           lo: float = 0.0, hi: float = math.inf) -> FittedParam:
+    bounded = False
+    if not math.isfinite(value):
+        value, bounded = lo if math.isfinite(lo) else 1.0, True
+    if value < lo:
+        value, bounded = lo, True
+    elif value > hi:
+        value, bounded = hi, True
+    stderr = stderr if math.isfinite(stderr) else 0.0
+    return FittedParam(name=name, value=value, stderr=stderr,
+                       ci95_lo=value - _Z95 * stderr,
+                       ci95_hi=value + _Z95 * stderr,
+                       n_samples=n, bounded=bounded)
+
+
+def _residuals(spec: GpuSpec, samples: Sequence[TimingSample]
+               ) -> ResidualSummary:
+    rels = []
+    for sample in samples:
+        predicted = predict_sample_seconds(spec, sample)
+        rels.append((predicted - sample.seconds)
+                    / sample.seconds if sample.seconds > 0 else 0.0)
+    rms = math.sqrt(math.fsum(r * r for r in rels) / len(rels))
+    mean_t = math.fsum(s.seconds for s in samples) / len(samples)
+    ss_tot = math.fsum((s.seconds - mean_t) ** 2 for s in samples)
+    ss_res = math.fsum((predict_sample_seconds(spec, s) - s.seconds) ** 2
+                       for s in samples)
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return ResidualSummary(n=len(rels), rms_rel_err=rms,
+                           max_rel_err=max(abs(r) for r in rels), r2=r2)
+
+
+# ----------------------------------------------------------------------
+# The staged fit
+# ----------------------------------------------------------------------
+def fit_spec(samples: Sequence[TimingSample],
+             base: str = "A100",
+             name: str = "calibrated",
+             source: Optional[str] = None) -> CalibrationFit:
+    """Fit a GpuSpec to timing samples, staged by sample kind.
+
+    Stages run in dependency order (latency -> memop -> memory -> math
+    -> collectives); any stage without samples keeps the base spec's
+    value and is listed in ``skipped_kinds``.  The returned spec always
+    passes ``GpuSpec.__post_init__`` validation — out-of-bounds
+    estimates are clipped and flagged, never propagated.
+    """
+    base_spec = get_gpu(base)
+    by_kind: Dict[str, List[TimingSample]] = {}
+    for sample in samples:
+        by_kind.setdefault(sample.kind, []).append(sample)
+    src = source or (samples[0].source if samples else "measured")
+
+    fit = CalibrationFit(spec=base_spec, base=base, source=src,
+                         n_samples=len(samples))
+    updates: Dict[str, object] = {"name": name}
+
+    # --- launch latency floor: tiny kernels are all floor ---
+    latency_samples = by_kind.get("latency", [])
+    if latency_samples:
+        floor_us = [s.seconds * 1e6 for s in latency_samples]
+        value = min(floor_us)
+        spread = (max(floor_us) - value) / 2.0
+        param = _param("gpu_launch_latency_us", value, spread,
+                       len(floor_us), lo=0.01, hi=1e4)
+        updates["gpu_launch_latency_us"] = param.value
+        fit.params.append(param)
+    else:
+        fit.skipped_kinds.append("latency")
+
+    # --- dispatch overhead ---
+    dispatch_samples = by_kind.get("dispatch", [])
+    if dispatch_samples:
+        per_us = [s.seconds * 1e6 for s in dispatch_samples]
+        value = trimmed_mean(per_us)
+        stderr = (_stddev(per_us) / math.sqrt(len(per_us))
+                  if len(per_us) > 1 else 0.0)
+        param = _param("cpu_launch_overhead_us", value, stderr,
+                       len(per_us), lo=0.01, hi=1e5)
+        updates["cpu_launch_overhead_us"] = param.value
+        fit.params.append(param)
+    else:
+        fit.skipped_kinds.append("dispatch")
+
+    # --- memop: copies probe raw bandwidth; intercept -> half-sat ---
+    mem_bw_fit: Optional[float] = None   # raw bytes/s (ceiling divided out)
+    memop_samples = by_kind.get("memop", [])
+    if len(memop_samples) >= 2:
+        line = fit_line([s.bytes for s in memop_samples],
+                        [s.seconds for s in memop_samples])
+        rate = 1.0 / (line.slope * base_spec.memop_max_eff) \
+            if line.slope > 0 else float("inf")
+        rate_stderr = (line.slope_stderr / line.slope) * rate \
+            if line.slope > 0 else float("inf")
+        bw_param = _param("mem_bw_gbps", rate / 1e9, rate_stderr / 1e9,
+                          line.n, lo=1e-3, hi=1e6)
+        half = line.intercept / line.slope if line.slope > 0 else -1.0
+        half_stderr = abs(half) * math.sqrt(
+            (line.intercept_stderr / line.intercept) ** 2
+            + (line.slope_stderr / line.slope) ** 2) \
+            if line.intercept != 0 and line.slope > 0 else 0.0
+        half_param = _param("mem_half_sat_bytes", half, half_stderr,
+                            line.n, lo=_MIN_HALF_SAT, hi=1e12)
+        updates["mem_bw_gbps"] = bw_param.value
+        updates["mem_half_sat_bytes"] = half_param.value
+        fit.params.extend([bw_param, half_param])
+        mem_bw_fit = bw_param.value * 1e9
+    else:
+        fit.skipped_kinds.append("memop")
+
+    # --- memory: efficiency relative to the raw bandwidth ---
+    mem_samples = by_kind.get("memory", [])
+    if len(mem_samples) >= 2 and mem_bw_fit:
+        line = fit_line([s.bytes for s in mem_samples],
+                        [s.seconds for s in mem_samples])
+        eff = 1.0 / (line.slope * mem_bw_fit) \
+            if line.slope > 0 else float("inf")
+        eff_stderr = (line.slope_stderr / line.slope) * eff \
+            if line.slope > 0 else 0.0
+        param = _param("mem_max_eff", eff, eff_stderr, line.n,
+                       lo=1e-3, hi=1.0)
+        updates["mem_max_eff"] = param.value
+        fit.params.append(param)
+    elif len(mem_samples) >= 2:
+        # No copy probe: fall back to fitting bandwidth from this stage.
+        line = fit_line([s.bytes for s in mem_samples],
+                        [s.seconds for s in mem_samples])
+        rate = 1.0 / (line.slope * base_spec.mem_max_eff) \
+            if line.slope > 0 else float("inf")
+        rate_stderr = (line.slope_stderr / line.slope) * rate \
+            if line.slope > 0 else float("inf")
+        bw_param = _param("mem_bw_gbps", rate / 1e9, rate_stderr / 1e9,
+                          line.n, lo=1e-3, hi=1e6)
+        half = line.intercept / line.slope if line.slope > 0 else -1.0
+        half_param = _param("mem_half_sat_bytes", half, 0.0, line.n,
+                            lo=_MIN_HALF_SAT, hi=1e12)
+        updates["mem_bw_gbps"] = bw_param.value
+        updates["mem_half_sat_bytes"] = half_param.value
+        fit.params.extend([bw_param, half_param])
+    else:
+        fit.skipped_kinds.append("memory")
+
+    # --- math: per-dtype peak + shared half-sat ---
+    math_samples = by_kind.get("math", [])
+    by_dtype: Dict[str, List[TimingSample]] = {}
+    for sample in math_samples:
+        by_dtype.setdefault(sample.dtype, []).append(sample)
+    peaks: Dict[str, float] = {}
+    halves: List[Tuple[float, int]] = []
+    for dtype in sorted(by_dtype):
+        group = by_dtype[dtype]
+        if len(group) < 2:
+            continue
+        line = fit_line([s.flops for s in group],
+                        [s.seconds for s in group])
+        peak = 1.0 / (line.slope * base_spec.math_max_eff) \
+            if line.slope > 0 else float("inf")
+        peak_stderr = (line.slope_stderr / line.slope) * peak \
+            if line.slope > 0 else 0.0
+        param = _param(f"peak_tflops[{dtype}]", peak / 1e12,
+                       peak_stderr / 1e12, line.n, lo=1e-6, hi=1e6)
+        peaks[dtype] = param.value
+        fit.params.append(param)
+        if line.slope > 0:
+            halves.append((line.intercept / line.slope, line.n))
+    if peaks:
+        merged = dict(base_spec.peak_tflops)
+        merged.update(peaks)
+        # The model dtype "fp32" routes GEMMs through the tf32 peak; a
+        # substrate fit only observes that effective rate, so mirror it.
+        if "fp32" in peaks and "tf32" in merged:
+            merged["tf32"] = peaks["fp32"]
+        updates["peak_tflops"] = merged
+        half_vals = [h for h, _ in halves]
+        half = trimmed_mean(half_vals) if half_vals else -1.0
+        half_stderr = _stddev(half_vals) if len(half_vals) > 1 else 0.0
+        half_param = _param("math_half_sat_flops", half, half_stderr,
+                            sum(n for _, n in halves),
+                            lo=_MIN_HALF_SAT, hi=1e15)
+        updates["math_half_sat_flops"] = half_param.value
+        fit.params.append(half_param)
+    else:
+        fit.skipped_kinds.append("math")
+
+    # --- collectives: alpha-beta per fabric domain ---
+    coll_samples = by_kind.get("collective", [])
+    intra = [s for s in coll_samples if s.group_size <= 8]
+    inter = [s for s in coll_samples if s.group_size > 8]
+    for domain, group, bw_field, alpha_field in (
+            ("intra", intra, "nvlink_bw_gbps", "intra_latency_us"),
+            ("inter", inter, "ib_bw_gbps", "inter_latency_us")):
+        if len(group) < 2:
+            if coll_samples:
+                fit.skipped_kinds.append(f"collective-{domain}")
+            continue
+        line = fit_line([s.bytes for s in group],
+                        [s.seconds for s in group])
+        bw = 1.0 / line.slope if line.slope > 0 else float("inf")
+        bw_stderr = (line.slope_stderr / line.slope) * bw \
+            if line.slope > 0 else 0.0
+        bw_param = _param(bw_field, bw / 1e9, bw_stderr / 1e9, line.n,
+                          lo=1e-3, hi=1e6)
+        alpha_param = _param(alpha_field, line.intercept * 1e6,
+                             line.intercept_stderr * 1e6, line.n,
+                             lo=0.0, hi=1e6)
+        updates[bw_field] = bw_param.value
+        updates[alpha_field] = alpha_param.value
+        fit.params.extend([bw_param, alpha_param])
+    if not coll_samples:
+        fit.skipped_kinds.append("collective")
+
+    fit.spec = dataclasses.replace(base_spec, **updates)
+
+    # --- residual summaries per fitted stage + holdout ---
+    for kind in ("math", "memory", "memop", "latency", "dispatch",
+                 "collective"):
+        group = by_kind.get(kind, [])
+        if group and _stage_was_fit(kind, fit.skipped_kinds):
+            fit.residuals[kind] = _residuals(fit.spec, group)
+    holdout_samples = by_kind.get("holdout", [])
+    if holdout_samples:
+        fit.holdout = _residuals(fit.spec, holdout_samples)
+    return fit
+
+
+def _stage_was_fit(kind: str, skipped: Sequence[str]) -> bool:
+    return kind not in skipped
+
+
+def _stddev(values: Sequence[float]) -> float:
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mean = math.fsum(values) / n
+    return math.sqrt(math.fsum((v - mean) ** 2 for v in values) / (n - 1))

@@ -1,0 +1,349 @@
+"""Measurement harness: time the real numpy substrate at small shapes.
+
+The simulator's cost model is only trustworthy if its parameters can be
+traced back to *measured* kernel timings.  This module produces those
+timings as :class:`TimingSample` records over the same substrate the
+repo's kernels actually run (``np.matmul`` GEMMs, the layernorm
+single-pass statistics kernel, tiled flash attention, raw memcopies,
+and a tiny-op dispatch loop), with seeded inputs, warmup, repetition,
+and outlier trimming.
+
+Two sources feed the same fit pipeline:
+
+* :func:`measure_samples` — wall-clock timings of this machine's numpy
+  substrate.  The fitted spec then describes *the host CPU as if it
+  were a GPU*, which is exactly what the cross-engine fidelity gate
+  needs: a spec whose numbers came from data, not the catalog.
+* :func:`synthetic_samples` — cost-model-predicted seconds for a known
+  spec plus seeded multiplicative noise.  Byte-deterministic per seed,
+  so CI can compare two runs with ``cmp`` and fit-recovery tests can
+  assert the fitters find the spec that generated the data.
+
+Samples serialize to a JSON artifact (:func:`save_samples` /
+:func:`load_samples`); the fit is deterministic *given the samples*, so
+a refit from a saved artifact is byte-reproducible even for measured
+data.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, IO, List, Sequence, Union
+
+import numpy as np
+
+from ..framework.tracer import KernelCategory, KernelRecord
+from ..hardware.gpu import GpuSpec
+from ..hardware.roofline import CostModel
+from ..kernels.attention import flash_attention_tiled
+from ..kernels.layernorm import single_pass_stats
+
+#: Bump on any incompatible change to the sample artifact schema.
+SAMPLES_FORMAT_VERSION = 1
+
+#: Sample kinds the fitters understand.  ``latency`` samples are tiny
+#: kernels used only for the launch-latency floor; ``holdout`` samples
+#: are excluded from every fit and scored afterwards as an out-of-sample
+#: residual check.
+SAMPLE_KINDS = ("math", "memory", "memop", "latency", "dispatch",
+                "collective", "holdout", "step")
+
+#: GEMM sides for the math fit — all large enough that the efficiency
+#: saturation curve is out of its 0.02 floor regime (needs
+#: ``max_eff * f / (f + half) > 0.02``, i.e. f > ~1.9e7 FLOPs at the
+#: catalog defaults), where the cost is exactly linear in FLOPs.
+_GEMM_SIDES_QUICK = (256, 320, 384, 448)
+_GEMM_SIDES_FULL = (256, 320, 384, 448, 512, 640)
+
+#: Tiny GEMM sides whose runtime is dominated by the per-launch floor.
+_LATENCY_SIDES = (8, 16)
+
+#: Memcopy / streaming sizes (bytes) — large enough that even a
+#: GH200-class spec (4.9 TB/s) keeps every point above its
+#: launch-latency floor, where the streaming cost is linear in bytes.
+_MEM_BYTES_QUICK = (4 << 20, 8 << 20, 16 << 20, 32 << 20)
+_MEM_BYTES_FULL = (4 << 20, 8 << 20, 16 << 20, 32 << 20, 64 << 20)
+
+#: Layernorm rows at 256 columns (memory-bound streaming kernels),
+#: sized above the launch floor for the same reason.
+_LN_ROWS_QUICK = (4096, 8192, 16384)
+_LN_ROWS_FULL = (4096, 8192, 16384, 32768)
+
+#: Attention holdout shapes: (batch, heads, seq, head_dim).
+_ATTN_SHAPES = ((1, 4, 128, 32), (1, 4, 192, 32))
+
+#: Synthetic collective sweep: (group_size, bytes).
+_COLLECTIVE_POINTS = tuple(
+    (group, nbytes)
+    for group in (2, 8, 16, 64)
+    for nbytes in (1 << 20, 4 << 20, 16 << 20))
+
+
+@dataclass(frozen=True)
+class TimingSample:
+    """One timed (or synthesized) kernel execution for the fit pipeline."""
+
+    kind: str          # one of SAMPLE_KINDS
+    name: str          # substrate kernel, e.g. "gemm", "memcopy"
+    dtype: str         # model dtype name ("fp32", ...)
+    flops: float       # nominal FLOPs of the operation
+    bytes: float       # nominal bytes read+written
+    seconds: float     # trimmed-mean measured (or synthesized) seconds
+    reps: int = 1      # repetitions behind the trimmed mean
+    source: str = "measured"   # measured | synthetic | chrome-trace | runlog
+    group_size: int = 0        # collectives: ranks in the group
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TimingSample":
+        return cls(**{k: data[k] for k in
+                      ("kind", "name", "dtype", "flops", "bytes", "seconds",
+                       "reps", "source", "group_size") if k in data})
+
+
+def trimmed_mean(values: Sequence[float], trim: float = 0.2) -> float:
+    """Mean of the central ``1 - 2*trim`` fraction (outlier rejection)."""
+    ordered = sorted(values)
+    drop = int(len(ordered) * trim)
+    kept = ordered[drop:len(ordered) - drop] or ordered
+    return sum(kept) / len(kept)
+
+
+def _time_reps(fn: Callable[[], object], reps: int, warmup: int = 2,
+               clock: Callable[[], float] = time.perf_counter) -> List[float]:
+    for _ in range(warmup):
+        fn()
+    out = []
+    for _ in range(reps):
+        t0 = clock()
+        fn()
+        out.append(clock() - t0)
+    return out
+
+
+def _measure(fn: Callable[[], object], reps: int) -> float:
+    return trimmed_mean(_time_reps(fn, reps))
+
+
+# ----------------------------------------------------------------------
+# Nominal work accounting (defines what the fitted parameters *mean*)
+# ----------------------------------------------------------------------
+def gemm_work(n: int) -> Dict[str, float]:
+    return {"flops": 2.0 * n * n * n, "bytes": 4.0 * 3 * n * n}
+
+
+def layernorm_work(rows: int, cols: int) -> Dict[str, float]:
+    # one read + stats accumulate + one write, 4-byte elements
+    return {"flops": 8.0 * rows * cols, "bytes": 4.0 * 2 * rows * cols}
+
+
+def memcopy_work(nbytes: int) -> Dict[str, float]:
+    return {"flops": 0.0, "bytes": 2.0 * nbytes}   # read + write
+
+
+def attention_work(batch: int, heads: int, seq: int, dim: int
+                   ) -> Dict[str, float]:
+    flops = 4.0 * batch * heads * seq * seq * dim
+    bytes_moved = 4.0 * batch * heads * (3 * seq * dim + seq * dim)
+    return {"flops": flops, "bytes": bytes_moved}
+
+
+# ----------------------------------------------------------------------
+# Measured source
+# ----------------------------------------------------------------------
+def measure_samples(quick: bool = True, seed: int = 0,
+                    reps: int = 0) -> List[TimingSample]:
+    """Time the numpy substrate; deterministic inputs per seed.
+
+    The *timings* are of course machine- and run-dependent — determinism
+    lives one level up: the fit is a pure function of the samples, which
+    :func:`save_samples` freezes into an artifact.
+    """
+    rng = np.random.default_rng(seed)
+    reps = reps or (5 if quick else 9)
+    samples: List[TimingSample] = []
+
+    for n in _LATENCY_SIDES + (_GEMM_SIDES_QUICK if quick
+                               else _GEMM_SIDES_FULL):
+        a = rng.standard_normal((n, n)).astype(np.float32)
+        b = rng.standard_normal((n, n)).astype(np.float32)
+        seconds = _measure(lambda: np.matmul(a, b), reps)
+        work = gemm_work(n)
+        samples.append(TimingSample(
+            kind="latency" if n in _LATENCY_SIDES else "math",
+            name=f"gemm{n}", dtype="fp32", seconds=seconds, reps=reps,
+            **work))
+
+    cols = 256
+    for rows in (_LN_ROWS_QUICK if quick else _LN_ROWS_FULL):
+        x = rng.standard_normal((rows, cols)).astype(np.float32)
+        seconds = _measure(lambda: single_pass_stats(x), reps)
+        samples.append(TimingSample(
+            kind="memory", name=f"layernorm{rows}x{cols}", dtype="fp32",
+            seconds=seconds, reps=reps, **layernorm_work(rows, cols)))
+
+    for nbytes in (_MEM_BYTES_QUICK if quick else _MEM_BYTES_FULL):
+        src = rng.standard_normal(nbytes // 4).astype(np.float32)
+        dst = np.empty_like(src)
+        seconds = _measure(lambda: np.copyto(dst, src), reps)
+        samples.append(TimingSample(
+            kind="memop", name=f"memcopy{nbytes}", dtype="fp32",
+            seconds=seconds, reps=reps, **memcopy_work(nbytes)))
+
+    # Dispatch overhead: per-op host cost of a trivial kernel, amortized
+    # over a loop so the clock granularity is negligible.
+    tiny = rng.standard_normal(4).astype(np.float32)
+    loop_n = 200
+
+    def dispatch_loop():
+        for _ in range(loop_n):
+            np.add(tiny, tiny)
+
+    loop_seconds = _measure(dispatch_loop, reps)
+    samples.append(TimingSample(
+        kind="dispatch", name="dispatch-loop", dtype="fp32", flops=0.0,
+        bytes=0.0, seconds=loop_seconds / loop_n, reps=reps * loop_n))
+
+    # Attention: out-of-sample fidelity check, never fed to the fitters.
+    for batch, heads, seq, dim in _ATTN_SHAPES:
+        q = rng.standard_normal((batch, heads, seq, dim)).astype(np.float32)
+        k = rng.standard_normal((batch, heads, seq, dim)).astype(np.float32)
+        v = rng.standard_normal((batch, heads, seq, dim)).astype(np.float32)
+        seconds = _measure(
+            lambda: flash_attention_tiled(q, k, v, bias=None, scale=1.0),
+            max(3, reps - 2))
+        samples.append(TimingSample(
+            kind="holdout", name=f"attention{seq}", dtype="fp32",
+            seconds=seconds, reps=max(3, reps - 2),
+            **attention_work(batch, heads, seq, dim)))
+    return samples
+
+
+# ----------------------------------------------------------------------
+# Synthetic source (fit-recovery goldens + byte-deterministic CI runs)
+# ----------------------------------------------------------------------
+def predict_sample_seconds(spec: GpuSpec, sample: TimingSample) -> float:
+    """Model-predicted seconds for a sample under ``spec``.
+
+    This is the forward model the fitters invert: math/memory/memop and
+    latency samples go through the real roofline (``CostModel``),
+    dispatch through :meth:`GpuSpec.dispatch_seconds`, collectives
+    through the fabric alpha-beta line.
+    """
+    if sample.kind == "dispatch":
+        return spec.dispatch_seconds()
+    if sample.kind == "collective":
+        intra = sample.group_size <= 8
+        alpha = (spec.intra_latency_us if intra
+                 else spec.inter_latency_us) / 1e6
+        bw = (spec.nvlink_bw_gbps if intra else spec.ib_bw_gbps) * 1e9
+        return alpha + sample.bytes / bw
+    category = {"math": KernelCategory.MATH,
+                "latency": KernelCategory.MATH,
+                "memory": KernelCategory.MEMORY,
+                "memop": KernelCategory.MEMORY_OP,
+                "holdout": KernelCategory.MATH,
+                "step": KernelCategory.MATH}[sample.kind]
+    flops = sample.flops
+    bytes_moved = sample.bytes
+    if sample.kind == "math":
+        bytes_moved = 0.0      # isolate the math roofline term
+    elif sample.kind in ("memory", "memop"):
+        flops = 0.0            # isolate the memory term
+    record = KernelRecord(
+        name=sample.name, category=category, flops=flops,
+        bytes=bytes_moved, shape=(1,), dtype=sample.dtype, scope="",
+        fused=False, phase="forward", tunable=None, tags=None)
+    return CostModel(spec, autotune=False).kernel_seconds(record)
+
+
+def synthetic_samples(spec: GpuSpec, quick: bool = True, seed: int = 0,
+                      noise: float = 0.02) -> List[TimingSample]:
+    """The measured-sample grid with model-predicted, noise-perturbed
+    seconds — fully deterministic per (spec, quick, seed, noise)."""
+    rng = np.random.default_rng(seed)
+    grid: List[TimingSample] = []
+    for n in _LATENCY_SIDES + (_GEMM_SIDES_QUICK if quick
+                               else _GEMM_SIDES_FULL):
+        grid.append(TimingSample(
+            kind="latency" if n in _LATENCY_SIDES else "math",
+            name=f"gemm{n}", dtype="fp32", seconds=0.0, source="synthetic",
+            **gemm_work(n)))
+    for rows in (_LN_ROWS_QUICK if quick else _LN_ROWS_FULL):
+        grid.append(TimingSample(
+            kind="memory", name=f"layernorm{rows}x256", dtype="fp32",
+            seconds=0.0, source="synthetic", **layernorm_work(rows, 256)))
+    for nbytes in (_MEM_BYTES_QUICK if quick else _MEM_BYTES_FULL):
+        grid.append(TimingSample(
+            kind="memop", name=f"memcopy{nbytes}", dtype="fp32",
+            seconds=0.0, source="synthetic", **memcopy_work(nbytes)))
+    grid.append(TimingSample(
+        kind="dispatch", name="dispatch-loop", dtype="fp32", flops=0.0,
+        bytes=0.0, seconds=0.0, source="synthetic"))
+    for group, nbytes in _COLLECTIVE_POINTS:
+        grid.append(TimingSample(
+            kind="collective", name=f"allreduce-g{group}-{nbytes}",
+            dtype="fp32", flops=0.0, bytes=float(nbytes), seconds=0.0,
+            source="synthetic", group_size=group))
+    for batch, heads, seq, dim in _ATTN_SHAPES:
+        grid.append(TimingSample(
+            kind="holdout", name=f"attention{seq}", dtype="fp32",
+            seconds=0.0, source="synthetic",
+            **attention_work(batch, heads, seq, dim)))
+
+    out: List[TimingSample] = []
+    for sample in grid:
+        truth = predict_sample_seconds(spec, sample)
+        factor = max(0.1, 1.0 + noise * float(rng.standard_normal()))
+        out.append(TimingSample(
+            kind=sample.kind, name=sample.name, dtype=sample.dtype,
+            flops=sample.flops, bytes=sample.bytes,
+            seconds=truth * factor, reps=1, source="synthetic",
+            group_size=sample.group_size))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Sample artifacts
+# ----------------------------------------------------------------------
+def samples_to_dict(samples: Sequence[TimingSample], seed: int,
+                    quick: bool, source: str) -> Dict[str, object]:
+    return {
+        "format_version": SAMPLES_FORMAT_VERSION,
+        "seed": seed,
+        "quick": quick,
+        "source": source,
+        "samples": [s.as_dict() for s in samples],
+    }
+
+
+def save_samples(samples: Sequence[TimingSample], target: Union[str, IO[str]],
+                 seed: int = 0, quick: bool = True,
+                 source: str = "measured") -> None:
+    payload = samples_to_dict(samples, seed, quick, source)
+    if isinstance(target, str):
+        with open(target, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+    else:
+        json.dump(payload, target, indent=2, sort_keys=True)
+
+
+def load_samples(source: Union[str, IO[str], Dict[str, object]]
+                 ) -> List[TimingSample]:
+    if isinstance(source, str):
+        with open(source) as handle:
+            payload = json.load(handle)
+    elif isinstance(source, dict):
+        payload = source
+    else:
+        payload = json.load(source)
+    version = payload.get("format_version")
+    if version != SAMPLES_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported samples format_version {version!r} "
+            f"(expected {SAMPLES_FORMAT_VERSION})")
+    return [TimingSample.from_dict(d) for d in payload["samples"]]

@@ -15,6 +15,8 @@ observability stack and ``lint`` fronts the static analysis suite::
     python -m repro faults --mtbf-hours 8760    # ...at 1-year/rank MTBF
     python -m repro serve --quick               # DES serving-fleet report
     python -m repro serve --mode broker         # real threaded broker smoke
+    python -m repro calibrate --quick           # fit GpuSpec from timings
+    python -m repro calibrate --source synthetic:H100   # deterministic fit
 """
 
 from __future__ import annotations
@@ -324,6 +326,10 @@ def optimize_command(argv: List[str]) -> int:
     parser.add_argument("--no-verify", action="store_true",
                         help="skip the incremental-vs-full bit-identity "
                              "check over every visited scenario")
+    parser.add_argument("--gpus", default=None, metavar="NAMES",
+                        help="comma-separated GPU knob candidates, or "
+                             "'portfolio' for every registered spec "
+                             "(default: A100,H100)")
     parser.add_argument("--output", "-o", default=None, metavar="PATH",
                         help="write the deterministic search report JSON "
                              "(no timings; byte-stable per seed)")
@@ -337,13 +343,21 @@ def optimize_command(argv: List[str]) -> int:
                            run_optimize_bench, verify_incremental)
     from .workloads import list_workloads
 
+    gpus = None
+    if args.gpus == "portfolio":
+        from .hardware.gpu import list_gpus
+
+        gpus = tuple(list_gpus())
+    elif args.gpus:
+        gpus = tuple(n.strip() for n in args.gpus.split(",") if n.strip())
+
     names = list_workloads() if args.workload == "all" else [args.workload]
     results = []
     verify: dict = {}
     gates_ok = True
     for name in names:
         result = optimize_workload(name, quick=args.quick, seed=args.seed,
-                                   n_restarts=args.restarts)
+                                   n_restarts=args.restarts, gpus=gpus)
         results.append(result)
         best = result.best
         ttt = best.ttt
@@ -726,20 +740,107 @@ def serve_command(argv: List[str]) -> int:
     return 0
 
 
+def calibrate_command(argv: List[str]) -> int:
+    """``repro calibrate`` — fit a GpuSpec from timings, gate the result."""
+    parser = argparse.ArgumentParser(
+        prog="repro calibrate",
+        description="Measure (or synthesize/import) kernel timings, fit "
+                    "GpuSpec + roofline parameters with confidence "
+                    "intervals, and gate the fitted spec on cross-engine "
+                    "bit-consistency.")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sample grid (CI mode)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for inputs / synthetic noise")
+    parser.add_argument("--source", default="measured",
+                        help="'measured' (time this machine's numpy "
+                             "substrate) or 'synthetic[:SPEC]' "
+                             "(deterministic model-predicted timings)")
+    parser.add_argument("--base", default="A100",
+                        help="catalog spec supplying unfitted fields")
+    parser.add_argument("--register", default=None,
+                        help="registry key for the fitted spec "
+                             "(default: CAL-<base>)")
+    parser.add_argument("--samples", default=None,
+                        help="refit a saved samples artifact instead of "
+                             "measuring")
+    parser.add_argument("--samples-out", default=None,
+                        help="write the sample artifact for later refits")
+    parser.add_argument("--import-trace", default=None,
+                        help="merge a chrome-trace JSON into the fit set")
+    parser.add_argument("--import-runlog", default=None,
+                        help="merge an MLPerf-style runlog JSONL")
+    parser.add_argument("--no-roundtrip", action="store_true",
+                        help="skip the export->import->refit check")
+    parser.add_argument("--output", "-o", default=None,
+                        help="write the full JSON report")
+    parser.add_argument("--bench-out", default=None,
+                        help="write the BENCH_calibrate.json gate summary")
+    args = parser.parse_args(argv)
+
+    from .calibrate import bench_gates, run_calibrate, write_report
+
+    report = run_calibrate(
+        quick=args.quick, seed=args.seed, source=args.source,
+        base=args.base, register_as=args.register,
+        samples_in=args.samples, samples_out=args.samples_out,
+        import_trace=args.import_trace,
+        import_runlog_path=args.import_runlog,
+        roundtrip=not args.no_roundtrip)
+
+    fit = report["fit"]
+    print(f"calibrated {report['registered_as']} "
+          f"(base {report['base']}, source {report['source']}, "
+          f"{sum(report['sample_counts'].values())} samples)")
+    print(f"{'parameter':<26}{'value':>14}{'95% CI':>26}{'n':>5}")
+    for param in fit["params"]:
+        ci = f"[{param['ci95_lo']:.6g}, {param['ci95_hi']:.6g}]"
+        flag = " (bounded)" if param["bounded"] else ""
+        print(f"{param['name']:<26}{param['value']:>14.6g}{ci:>26}"
+              f"{param['n_samples']:>5}{flag}")
+    for stage, res in fit["residuals"].items():
+        print(f"residual[{stage}]: rms_rel={res['rms_rel_err']:.4f} "
+              f"max_rel={res['max_rel_err']:.4f} r2={res['r2']:.4f}")
+    if fit.get("skipped_kinds"):
+        print(f"skipped stages (no samples): "
+              f"{', '.join(fit['skipped_kinds'])}")
+    for check, ok in report["gate"]["checks"].items():
+        print(f"gate {check}: {'ok' if ok else 'FAIL'}")
+    if "roundtrip" in report:
+        print(f"trace roundtrip: "
+              f"{'ok' if report['roundtrip']['ok'] else 'FAIL'}")
+    print(f"golden_match: {report['golden_match']}")
+
+    if args.output:
+        write_report(report, args.output)
+        print(f"report written to {args.output}")
+    if args.bench_out:
+        import json as _json
+
+        with open(args.bench_out, "w") as handle:
+            _json.dump(bench_gates(report), handle, indent=2,
+                       sort_keys=True)
+            handle.write("\n")
+        print(f"gate summary written to {args.bench_out}")
+    return 0 if report["golden_match"] else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
-    if argv and argv[0] == "trace":
-        return trace_command(argv[1:])
-    if argv and argv[0] == "bench":
-        return bench_command(argv[1:])
-    if argv and argv[0] == "lint":
-        return lint_command(argv[1:])
-    if argv and argv[0] == "optimize":
-        return optimize_command(argv[1:])
-    if argv and argv[0] == "faults":
-        return faults_command(argv[1:])
-    if argv and argv[0] == "serve":
-        return serve_command(argv[1:])
+    from .hardware.gpu import UnknownGpuError
+
+    commands = {"trace": trace_command, "bench": bench_command,
+                "lint": lint_command, "optimize": optimize_command,
+                "faults": faults_command, "serve": serve_command,
+                "calibrate": calibrate_command}
+    if argv and argv[0] in commands:
+        try:
+            return commands[argv[0]](argv[1:])
+        except UnknownGpuError as exc:
+            # Every --gpu path funnels through get_gpu; surface the
+            # friendly listing instead of a traceback.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ScaleFold reproduction: regenerate the paper's tables "

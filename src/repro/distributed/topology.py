@@ -25,9 +25,13 @@ class ClusterTopology:
     nvlink_bw_gbps: float = 0.0
     #: Per-GPU effective inter-node (IB) collective bandwidth (GB/s).
     ib_bw_gbps: float = 0.0
-    #: Collective base latencies (seconds per algorithm step).
-    intra_latency_s: float = 8e-6
-    inter_latency_s: float = 20e-6
+    #: Collective base latencies (seconds per algorithm step).  Defaults
+    #: (0) pull the GPU spec's fabric alpha terms, so calibrated specs and
+    #: fabric variants flow through without touching call sites.  The
+    #: division by 1e6 is bit-exact against the historical ``8e-6`` /
+    #: ``20e-6`` literals for integral microsecond values.
+    intra_latency_s: float = 0.0
+    inter_latency_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_gpus < 1:
@@ -36,6 +40,12 @@ class ClusterTopology:
             object.__setattr__(self, "nvlink_bw_gbps", self.gpu.nvlink_bw_gbps)
         if self.ib_bw_gbps == 0.0:
             object.__setattr__(self, "ib_bw_gbps", self.gpu.ib_bw_gbps)
+        if self.intra_latency_s == 0.0:
+            object.__setattr__(self, "intra_latency_s",
+                               self.gpu.intra_latency_us / 1e6)
+        if self.inter_latency_s == 0.0:
+            object.__setattr__(self, "inter_latency_s",
+                               self.gpu.inter_latency_us / 1e6)
 
     @property
     def n_nodes(self) -> int:

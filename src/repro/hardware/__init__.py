@@ -2,12 +2,16 @@
 
 from .cpu import CpuJitterConfig, CpuJitterModel
 from .cudagraph import CapturedGraph, CudaGraphCache, GraphCacheStats
-from .gpu import A100, GPUS, H100, GpuSpec, get_gpu
+from .gpu import (A100, B200, GH200, GPUS, H100, TPU_V5P, GpuSpec,
+                  UnknownGpuError, get_gpu, list_gpus, register_gpu,
+                  registry_token, unregister_gpu)
 from .roofline import CostModel, KernelCost
 
 __all__ = [
     "CpuJitterConfig", "CpuJitterModel",
     "CapturedGraph", "CudaGraphCache", "GraphCacheStats",
-    "A100", "GPUS", "H100", "GpuSpec", "get_gpu",
+    "A100", "B200", "GH200", "GPUS", "H100", "TPU_V5P", "GpuSpec",
+    "UnknownGpuError", "get_gpu", "list_gpus", "register_gpu",
+    "registry_token", "unregister_gpu",
     "CostModel", "KernelCost",
 ]

@@ -28,7 +28,9 @@ import numpy as np
 
 from ..framework.tracer import KernelCategory, KernelRecord
 from ..kernels.autotune import DEFAULT_CONFIG, Autotuner, KernelConfig
-from .gpu import MATMUL_DTYPE_FOR_FP32, GpuSpec
+from .gpu import (DEFAULT_MATH_HALF_SAT_FLOPS, DEFAULT_MATH_MAX_EFF,
+                  DEFAULT_MEM_HALF_SAT_BYTES, DEFAULT_MEM_MAX_EFF,
+                  DEFAULT_MEMOP_MAX_EFF, MATMUL_DTYPE_FOR_FP32, GpuSpec)
 
 #: Bump when any cost formula or constant changes: part of the on-disk
 #: cost-array cache key, so stale cached seconds can never be replayed
@@ -43,16 +45,14 @@ _LIM_MATH, _LIM_MEMORY, _LIM_LATENCY = 0, 1, 2
 # ----------------------------------------------------------------------
 # Generic (non-tunable) efficiency curves
 # ----------------------------------------------------------------------
-#: Peak fraction a large well-shaped GEMM reaches.
-MATH_MAX_EFF = 0.55
-#: FLOPs at which a GEMM reaches half its max efficiency.
-MATH_HALF_SAT_FLOPS = 5.0e8
-#: Peak fraction a large streaming kernel reaches.
-MEM_MAX_EFF = 0.95
-#: Bytes at which a streaming kernel reaches half its max efficiency.
-MEM_HALF_SAT_BYTES = 4.0e6
-#: Memory-operation (copy/fill) kernels are simpler and run closer to peak.
-MEMOP_MAX_EFF = 0.92
+# The authoritative values now live on GpuSpec (so ``repro calibrate``
+# can fit them per GPU); these aliases keep the historical import paths
+# working and document the catalog defaults.
+MATH_MAX_EFF = DEFAULT_MATH_MAX_EFF
+MATH_HALF_SAT_FLOPS = DEFAULT_MATH_HALF_SAT_FLOPS
+MEM_MAX_EFF = DEFAULT_MEM_MAX_EFF
+MEM_HALF_SAT_BYTES = DEFAULT_MEM_HALF_SAT_BYTES
+MEMOP_MAX_EFF = DEFAULT_MEMOP_MAX_EFF
 
 # ----------------------------------------------------------------------
 # Tunable-kernel launch-configuration model
@@ -75,6 +75,11 @@ class KernelCost:
 
 
 def _saturation(x: float, half: float) -> float:
+    # half <= 0 would make the curve degenerate (eff >= 1 everywhere, or a
+    # division through zero at x == -half); fitted half-points must never
+    # reach the formula in that state.
+    if half <= 0:
+        raise ValueError(f"saturation half-point must be > 0, got {half!r}")
     return x / (x + half)
 
 
@@ -109,19 +114,23 @@ class CostModel:
     # Generic path
     # ------------------------------------------------------------------
     def _generic_cost(self, record: KernelRecord) -> KernelCost:
-        latency = self.gpu.gpu_launch_latency_us * 1e-6
+        gpu = self.gpu
+        latency = gpu.gpu_launch_latency_us * 1e-6
         math_time = 0.0
         if record.flops > 0:
-            eff = max(MATH_MAX_EFF * _saturation(record.flops, MATH_HALF_SAT_FLOPS),
+            eff = max(gpu.math_max_eff
+                      * _saturation(record.flops, gpu.math_half_sat_flops),
                       0.02)
-            peak = self.gpu.peak_flops(_math_dtype(record.dtype))
+            peak = gpu.peak_flops(_math_dtype(record.dtype))
             math_time = record.flops / (peak * eff)
         mem_time = 0.0
         if record.bytes > 0:
-            max_eff = (MEMOP_MAX_EFF if record.category is KernelCategory.MEMORY_OP
-                       else MEM_MAX_EFF)
-            eff = max(max_eff * _saturation(record.bytes, MEM_HALF_SAT_BYTES), 0.02)
-            mem_time = record.bytes / (self.gpu.membw() * eff)
+            max_eff = (gpu.memop_max_eff
+                       if record.category is KernelCategory.MEMORY_OP
+                       else gpu.mem_max_eff)
+            eff = max(max_eff * _saturation(record.bytes,
+                                            gpu.mem_half_sat_bytes), 0.02)
+            mem_time = record.bytes / (gpu.membw() * eff)
         if record.category is KernelCategory.MATH and math_time >= mem_time:
             return KernelCost(max(math_time, latency),
                               "math" if math_time > latency else "latency")
@@ -215,18 +224,21 @@ class CostModel:
         results, and none happens here).  Returns ``(seconds, limiter
         codes)`` with limiters encoded per :data:`LIMITERS`.
         """
-        latency = self.gpu.gpu_launch_latency_us * 1e-6
+        gpu = self.gpu
+        latency = gpu.gpu_launch_latency_us * 1e-6
         # flops == 0 flows through as 0/half -> eff 0.02 -> 0/(peak*0.02)
         # == 0.0, exactly the scalar early-out value, with no 0/0 anywhere.
         math_eff = np.maximum(
-            MATH_MAX_EFF * (flops / (flops + MATH_HALF_SAT_FLOPS)), 0.02)
+            gpu.math_max_eff * (flops / (flops + gpu.math_half_sat_flops)),
+            0.02)
         math_time = flops / (peak_flops * math_eff)
         mem_max_eff = np.where(category_codes == memop_category_code,
-                               MEMOP_MAX_EFF, MEM_MAX_EFF)
+                               gpu.memop_max_eff, gpu.mem_max_eff)
         mem_eff = np.maximum(
-            mem_max_eff * (bytes_moved / (bytes_moved + MEM_HALF_SAT_BYTES)),
+            mem_max_eff
+            * (bytes_moved / (bytes_moved + gpu.mem_half_sat_bytes)),
             0.02)
-        mem_time = bytes_moved / (self.gpu.membw() * mem_eff)
+        mem_time = bytes_moved / (gpu.membw() * mem_eff)
 
         math_wins = ((category_codes == math_category_code)
                      & (math_time >= mem_time))

@@ -162,7 +162,12 @@ def _record_args(record: KernelRecord) -> Dict[str, object]:
     if record.tunable:
         args["tunable"] = record.tunable
     if record.tags:
-        args["tags"] = {k: repr(v) for k, v in record.tags.items()}
+        # JSON-native values pass through unchanged so an importer can
+        # round-trip them (repr-ing a bool/number was lossy); only
+        # non-JSON values fall back to repr.
+        args["tags"] = {k: (v if isinstance(v, (str, int, float, bool))
+                            or v is None else repr(v))
+                        for k, v in record.tags.items()}
     return args
 
 

@@ -110,10 +110,17 @@ def coordinate_descent(space: Tuple[Knob, ...], evaluator: Evaluator,
 def optimize_workload(workload: str, quick: bool = False, seed: int = 0,
                       n_restarts: int = 2,
                       evaluator: Optional[Evaluator] = None,
-                      space: Optional[Tuple[Knob, ...]] = None
+                      space: Optional[Tuple[Knob, ...]] = None,
+                      gpus: Optional[Tuple[str, ...]] = None
                       ) -> SearchResult:
-    """Full search for one workload: origin descent + seeded restarts."""
-    space = space if space is not None else knob_space(workload, quick=quick)
+    """Full search for one workload: origin descent + seeded restarts.
+
+    ``gpus`` widens the GPU knob to an explicit hardware portfolio
+    (catalog or runtime-registered calibrated specs); the default keeps
+    the paper's A100/H100 pair.
+    """
+    space = space if space is not None else knob_space(workload, quick=quick,
+                                                       gpus=gpus)
     evaluator = evaluator if evaluator is not None else Evaluator(workload)
     if quick:
         n_restarts = min(n_restarts, 1)

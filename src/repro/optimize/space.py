@@ -33,9 +33,10 @@ paper's §3.2 configuration), mirroring
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..framework import dtypes
+from ..hardware.gpu import get_gpu
 from ..model.config import KernelPolicy
 from ..perf.scaling import Scenario
 from ..workloads import get_workload
@@ -74,15 +75,25 @@ KNOB_STAGES: Dict[str, str] = {
 }
 
 
-def knob_space(workload: str, quick: bool = False) -> Tuple[Knob, ...]:
+def knob_space(workload: str, quick: bool = False,
+               gpus: Optional[Tuple[str, ...]] = None) -> Tuple[Knob, ...]:
     """The joint space for one workload (reduced candidates when quick).
 
     Batch candidates deliberately cross the workload's convergence cap
     (alphafold 256, transformer 2048): over-cap batches simulate fine but
     price to an infinite time-to-train, so the optimizer discovers the cap
     instead of having it hard-coded.
+
+    ``gpus`` overrides the GPU knob's candidates — pass
+    :func:`repro.hardware.gpu.list_gpus` output (or any subset,
+    including runtime-registered calibrated specs) to ask portfolio
+    questions across the whole hardware catalog; the default keeps the
+    paper's A100-vs-H100 comparison.
     """
     wl = get_workload(workload)
+    gpu_values: Tuple[object, ...] = tuple(gpus) if gpus else ("A100", "H100")
+    for gpu_name in gpu_values:
+        get_gpu(str(gpu_name))   # fail fast with the friendly listing
     cap = wl.max_batch_size
     if quick:
         batches: Tuple[object, ...] = (cap, cap * 2)
@@ -98,7 +109,7 @@ def knob_space(workload: str, quick: bool = False) -> Tuple[Knob, ...]:
         Knob("precision", ("fp32", "bf16"), KNOB_STAGES["precision"]),
         Knob("fusion", fusion, KNOB_STAGES["fusion"]),
         Knob("dap_n", daps, KNOB_STAGES["dap_n"]),
-        Knob("gpu", ("A100", "H100"), KNOB_STAGES["gpu"]),
+        Knob("gpu", gpu_values, KNOB_STAGES["gpu"]),
         Knob("batch", batches, KNOB_STAGES["batch"]),
         Knob("cuda_graphs", (False, True), KNOB_STAGES["cuda_graphs"]),
         Knob("gc_disabled", (False, True), KNOB_STAGES["gc_disabled"]),

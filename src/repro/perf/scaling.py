@@ -47,7 +47,7 @@ from ..framework.caching import LruCache, register_cache
 from ..framework.dtypes import bfloat16
 from ..framework.tracer import KernelCategory, KernelRecord
 from ..hardware.cpu import CpuJitterConfig
-from ..hardware.gpu import GpuSpec, get_gpu
+from ..hardware.gpu import GpuSpec, get_gpu, registry_token
 from ..hardware.roofline import CostModel
 from ..model.config import KernelPolicy
 from ..sim.des import Barrier, Event, Process, Resource, Simulator, Timeline
@@ -416,8 +416,11 @@ def _policy_signature(policy: KernelPolicy) -> Tuple:
 
 
 def _scenario_key(scenario: Scenario) -> Tuple:
+    # The registry token pins the key to the *current* spec registered
+    # under the name: re-registering a calibrated spec bumps the epoch,
+    # so estimates computed against the replaced spec can't be replayed.
     return (scenario.workload, _policy_signature(scenario.policy),
-            scenario.gpu, scenario.dap_n,
+            scenario.gpu, registry_token(scenario.gpu), scenario.dap_n,
             scenario.dp_degree, scenario.cuda_graphs, scenario.gc_disabled,
             scenario.torch_compile, scenario.nonblocking_pipeline,
             scenario.data_workers, scenario.data_queue_capacity,
@@ -506,7 +509,7 @@ def estimate_step_time(scenario: Scenario,
     cost_key = None
     material = None
     if records_id is not None:
-        cost_key = (records_id, scenario.gpu)
+        cost_key = (records_id, scenario.gpu, registry_token(scenario.gpu))
         material = cost_cache_material(repr(records_id), gpu, True)
     # structure_key is the GPU-independent half of cost_key: a GPU change
     # misses on the cost arrays but re-costs the cached TraceStructure

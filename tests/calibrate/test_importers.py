@@ -1,0 +1,151 @@
+"""External-trace importers: chrome-trace round-trip and runlog JSONL."""
+
+import json
+
+import pytest
+
+from repro.calibrate import (fit_spec, import_chrome_trace, import_runlog)
+from repro.calibrate.measure import SAMPLE_KINDS
+from repro.hardware import A100
+from repro.model.config import AlphaFoldConfig, KernelPolicy
+from repro.observability.chrome_trace import kernel_trace_to_chrome
+from repro.perf.trace_builder import build_step_trace
+
+
+@pytest.fixture(scope="module")
+def exported_trace():
+    """Our own exporter's output for a tiny fused step (the round-trip)."""
+    policy = KernelPolicy.scalefold(checkpointing=False)
+    step = build_step_trace(policy, cfg=AlphaFoldConfig.tiny(policy))
+    return kernel_trace_to_chrome(step.trace, A100).to_dict()
+
+
+class TestChromeRoundTrip:
+    def test_exporter_output_imports_losslessly(self, exported_trace):
+        imported = import_chrome_trace(exported_trace)
+        assert imported.samples, "no kernel samples recovered"
+        assert imported.scopes_balanced
+        assert imported.n_events == len(exported_trace["traceEvents"])
+        kinds = {s.kind for s in imported.samples}
+        assert kinds <= set(SAMPLE_KINDS)
+        assert "math" in kinds and "memory" in kinds
+
+    def test_samples_carry_exporter_args(self, exported_trace):
+        imported = import_chrome_trace(exported_trace)
+        math = [s for s in imported.samples if s.kind == "math"]
+        assert math and all(s.flops > 0 for s in math)
+        assert all(s.seconds > 0 for s in imported.samples)
+        assert all(s.source == "chrome-trace" for s in imported.samples)
+
+    def test_reimport_feeds_fit_pipeline(self, exported_trace):
+        imported = import_chrome_trace(exported_trace)
+        fit = fit_spec(imported.samples, base="A100", name="refit",
+                       source="chrome-trace")
+        assert fit.residuals, "refit produced no residual summaries"
+
+    def test_accepts_file_and_bare_array(self, exported_trace, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(exported_trace))
+        from_file = import_chrome_trace(str(path))
+        from_array = import_chrome_trace(exported_trace["traceEvents"])
+        assert len(from_file.samples) == len(from_array.samples)
+
+
+class TestChromeRobustness:
+    def x_event(self, **over):
+        event = {"ph": "X", "name": "k", "ts": 0.0, "dur": 5.0,
+                 "pid": 0, "tid": 0, "cat": "math-bounded",
+                 "args": {"category": "math-bounded", "flops": 1e9,
+                          "bytes": 1e6, "dtype": "fp32"}}
+        event.update(over)
+        return event
+
+    def test_zero_duration_skipped_and_counted(self):
+        imported = import_chrome_trace([self.x_event(dur=0.0),
+                                        self.x_event(dur=-1.0),
+                                        self.x_event()])
+        assert imported.n_zero_duration == 2
+        assert len(imported.samples) == 1
+
+    def test_unknown_category_skipped_silently(self):
+        event = self.x_event(cat="mystery", args={})
+        imported = import_chrome_trace([event])
+        assert not imported.samples
+        assert imported.n_complete == 1
+        assert imported.n_zero_duration == 0
+
+    def test_unmatched_scope_end_counted(self):
+        events = [{"ph": "E", "pid": 0, "tid": 0},
+                  {"ph": "B", "pid": 0, "tid": 0, "name": "s", "ts": 0.0},
+                  {"ph": "E", "pid": 0, "tid": 0}]
+        imported = import_chrome_trace(events)
+        assert imported.n_unmatched_end == 1
+        assert not imported.scopes_balanced
+
+    def test_nested_scopes_balance_per_thread(self):
+        events = []
+        for tid in (0, 1):
+            events += [{"ph": "B", "pid": 0, "tid": tid, "ts": 0.0},
+                       {"ph": "B", "pid": 0, "tid": tid, "ts": 1.0},
+                       {"ph": "E", "pid": 0, "tid": tid},
+                       {"ph": "E", "pid": 0, "tid": tid}]
+        imported = import_chrome_trace(events)
+        assert imported.scopes_balanced
+        assert imported.n_scope_begin == imported.n_scope_end == 4
+
+    def test_instants_flows_metadata_counted(self):
+        events = [{"ph": "i", "name": "marker"}, {"ph": "I", "name": "old"},
+                  {"ph": "s", "id": 1}, {"ph": "t", "id": 1},
+                  {"ph": "f", "id": 1}, {"ph": "M", "name": "process_name"},
+                  {"ph": "?", "name": "junk"}]
+        imported = import_chrome_trace(events)
+        assert imported.n_instants == 2
+        assert imported.n_flows == 3
+        assert imported.n_metadata == 1
+        assert imported.n_other == 1
+        assert not imported.samples
+
+    def test_empty_trace_is_not_an_error(self):
+        imported = import_chrome_trace({"traceEvents": []})
+        assert imported.n_events == 0 and not imported.samples
+
+    def test_malformed_trace_raises(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            import_chrome_trace({"traceEvents": "nope"})
+
+
+class TestRunlogImport:
+    ENTRIES = [
+        {"key": "run_start", "value": 0, "time_ms": 0.0},
+        {"key": "step", "value": 1, "time_ms": 1000.0},     # no prev: skipped
+        {"key": "step", "value": 2, "time_ms": 1150.0},     # 0.150 s
+        {"key": "step", "value": 3, "time_ms": 1300.0},     # 0.150 s
+        {"key": "eval", "value": 1, "time_ms": 5000.0},     # resets the clock
+        {"key": "step", "value": 4, "time_ms": 5100.0},     # post-reset: skipped
+        {"key": "step", "value": 5, "time_ms": 5250.0,
+         "metadata": {"step_s": 0.125}},                    # explicit wins
+    ]
+
+    def test_step_durations_from_time_diffs(self):
+        imported = import_runlog(self.ENTRIES)
+        assert [s.seconds for s in imported.samples] == [0.150, 0.150, 0.125]
+        assert imported.n_steps == 5
+        assert imported.n_skipped == 2
+        assert all(s.kind == "step" for s in imported.samples)
+
+    def test_eval_resets_interstep_clock(self):
+        # Without the reset, step 4 would absorb the 3.8 s eval gap.
+        names = [s.name for s in import_runlog(self.ENTRIES).samples]
+        assert "step4" not in names
+
+    def test_jsonl_file_roundtrip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("\n".join(json.dumps(e) for e in self.ENTRIES) + "\n")
+        assert import_runlog(str(path)).as_dict() \
+            == import_runlog(self.ENTRIES).as_dict()
+
+    def test_garbage_entries_skipped(self):
+        imported = import_runlog([42, {"key": "step", "value": 1},
+                                  {"no": "key"}])
+        assert imported.n_skipped >= 1
+        assert not imported.samples
